@@ -1,0 +1,59 @@
+// Ablation (§8, "Other coherence protocols"): MSI (the paper's protocol) vs the MESI
+// extension — cold reads take E with silent write-upgrade privilege.
+//
+// Expected tradeoff: workloads with private read-then-write patterns (TF's activations, the
+// micro 50/50 private sweep) save their S->M upgrade round trips under MESI; read-mostly
+// *shared* workloads (Memcached-C) pay extra 2-RTT E->S handoffs whenever a second blade
+// reads a region first touched by another.
+#include "bench/bench_util.h"
+
+namespace mind {
+namespace {
+
+using bench::PaperRackConfig;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+constexpr int kBlades = 4;
+constexpr int kThreadsPerBlade = 10;
+
+void RunFigure() {
+  const uint64_t total_ops = ScaledOps(200'000);
+  const uint64_t per_thread = total_ops / (kBlades * kThreadsPerBlade);
+
+  PrintSectionHeader("Ablation: MSI vs MESI coherence");
+  TablePrinter table({"workload", "protocol", "runtime_ms", "upgrades", "owner_handoffs"},
+                     15);
+  table.PrintHeader();
+
+  struct Case {
+    std::string name;
+    WorkloadSpec spec;
+  };
+  const std::vector<Case> cases = {
+      {"TF", TfSpec(kBlades, kThreadsPerBlade, per_thread)},
+      {"MC", MemcachedCSpec(kBlades, kThreadsPerBlade, per_thread)},
+      {"micro-rw", MicroSpec(kBlades, 0.5, 0.1, 100'000, per_thread)},
+  };
+
+  for (const auto& c : cases) {
+    for (auto protocol : {CoherenceProtocol::kMsi, CoherenceProtocol::kMesi}) {
+      RackConfig cfg = PaperRackConfig(kBlades);
+      cfg.protocol = protocol;
+      MindSystem sys(cfg, std::string("MIND-") + ToString(protocol));
+      const auto report = RunWorkload(sys, c.spec);
+      const RackStats& s = sys.rack().stats();
+      table.PrintRow(c.name, ToString(protocol),
+                     TablePrinter::Fmt(ToMillis(report.makespan), 2), s.write_upgrades,
+                     s.transitions_m_to_s + s.transitions_m_to_m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

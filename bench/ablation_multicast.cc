@@ -1,0 +1,90 @@
+// Ablation (design principle P3, §4.3.2): switch-native multicast invalidations with
+// egress sharer-list pruning vs sequential software unicast.
+//
+// The paper's in-network coherence leans on the traffic manager replicating invalidations
+// to all sharers in parallel; a CPU-based design must issue them one by one, so its cost
+// grows with the sharer count. Part 1 drives S->M upgrades directly against regions with a
+// controlled number of sharers and reports the write's end-to-end latency under both
+// delivery mechanisms. Part 2 replays the read-mostly Memcached-C workload end to end for
+// an application-level view (steady-state fan-out there is small, so the gap is, too).
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/mind.h"
+
+namespace mind {
+namespace {
+
+using bench::PaperRackConfig;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+// Average S->M upgrade latency when `sharers` blades hold the region, over `rounds` fresh
+// regions (each region is measured exactly once, cold for the writer).
+double MeasureUpgradeLatency(bool multicast, int sharers, int rounds) {
+  RackConfig cfg = PaperRackConfig(8);
+  cfg.use_multicast = multicast;
+  Rack rack(cfg);
+  const ProcessId pid = *rack.Exec("ablation");
+  const ProtDomainId pdid = *rack.controller().PdidOf(pid);
+  std::vector<ThreadId> tids;
+  for (int i = 0; i < 8; ++i) {
+    tids.push_back(rack.SpawnThread(pid, static_cast<ComputeBladeId>(i))->tid);
+  }
+  const VirtAddr base = *rack.Mmap(pid, 256ull << 20, PermClass::kReadWrite);
+
+  SimTime now = 0;
+  uint64_t total_latency = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const VirtAddr region = base + static_cast<uint64_t>(r) * (64 * 1024);
+    // Build the sharer set: blades 1..sharers read the page.
+    for (int s = 1; s <= sharers; ++s) {
+      now = rack.Access({tids[static_cast<size_t>(s)], static_cast<ComputeBladeId>(s), pdid,
+                         region, AccessType::kRead, now})
+                .completion +
+            kMicrosecond;
+    }
+    // Blade 0 writes: invalidations fan out to all sharers.
+    const auto w = rack.Access({tids[0], 0, pdid, region, AccessType::kWrite, now});
+    total_latency += w.latency;
+    now = w.completion + kMicrosecond;
+  }
+  return ToMicros(total_latency) / rounds;
+}
+
+void RunFigure() {
+  PrintSectionHeader(
+      "Ablation (part 1): S->M upgrade latency (us) vs sharer count, multicast vs unicast");
+  TablePrinter direct({"sharers", "multicast_us", "unicast_us", "penalty"}, 14);
+  direct.PrintHeader();
+  for (int sharers : {1, 2, 4, 7}) {
+    const double mc = MeasureUpgradeLatency(/*multicast=*/true, sharers, 200);
+    const double uc = MeasureUpgradeLatency(/*multicast=*/false, sharers, 200);
+    direct.PrintRow(sharers, TablePrinter::Fmt(mc, 2), TablePrinter::Fmt(uc, 2),
+                    TablePrinter::Fmt(uc / mc, 3));
+  }
+
+  PrintSectionHeader("Ablation (part 2): end-to-end replay (Memcached-C, 8 blades)");
+  TablePrinter replay({"workload", "delivery", "runtime_ms", "avg_lat_us", "invalidations"},
+                      14);
+  replay.PrintHeader();
+  const uint64_t per_thread = ScaledOps(200'000) / 80;
+  for (bool multicast : {true, false}) {
+    RackConfig cfg = PaperRackConfig(8);
+    cfg.use_multicast = multicast;
+    MindSystem sys(cfg, multicast ? "MIND" : "MIND-unicast");
+    const auto report = RunWorkload(sys, MemcachedCSpec(8, 10, per_thread));
+    replay.PrintRow("MC", multicast ? "multicast" : "unicast",
+                    TablePrinter::Fmt(ToMillis(report.makespan), 2),
+                    TablePrinter::Fmt(report.avg_latency_us, 2),
+                    report.counters.invalidations);
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

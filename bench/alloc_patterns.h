@@ -1,0 +1,87 @@
+// Allocation patterns for the Figure 8 (center/right) storage and load-balancing benches.
+//
+// These model the *allocation* behaviour of the paper's applications (what fig8
+// measures), not their access streams: TF allocates big parameter/activation tensors, GC a
+// few large graph arrays, Memcached a long stream of ~1 MB slabs (allocation-intensive —
+// the case where 1 GB-page placement loses badly on balance).
+#ifndef MIND_BENCH_ALLOC_PATTERNS_H_
+#define MIND_BENCH_ALLOC_PATTERNS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mind {
+namespace bench {
+
+inline constexpr uint64_t kMiB = 1024ull * 1024;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+
+// Returns the allocation sizes (bytes) the workload performs with `threads` workers.
+inline std::vector<uint64_t> AllocationPattern(const std::string& workload, int threads) {
+  std::vector<uint64_t> allocs;
+  if (workload == "TF") {
+    // ~60 parameter/gradient tensors plus 3 activation buffers per worker.
+    for (int i = 0; i < 60; ++i) {
+      allocs.push_back((1ull << (i % 4)) * kMiB);  // 1/2/4/8 MB cycling.
+    }
+    for (int t = 0; t < threads; ++t) {
+      for (int i = 0; i < 3; ++i) {
+        allocs.push_back(16 * kMiB);
+      }
+    }
+  } else if (workload == "GC") {
+    // GraphChi-style sharded graph: 32 shards of 32 MB per array, plus per-worker
+    // streaming buffers.
+    for (int i = 0; i < 32; ++i) {
+      allocs.push_back(32 * kMiB);
+    }
+    for (int t = 0; t < threads; ++t) {
+      allocs.push_back(8 * kMiB);
+      allocs.push_back(8 * kMiB);
+    }
+  } else {  // "MA&C": Memcached — allocation-intensive slab stream.
+    allocs.push_back(64 * kMiB);  // Hash table.
+    const int slabs = 1000 + 25 * threads;
+    for (int i = 0; i < slabs; ++i) {
+      allocs.push_back(1 * kMiB);
+    }
+  }
+  return allocs;
+}
+
+// Conventional page-granularity placement: allocations pack sequentially into the open
+// huge page; a new page (round-robin across blades) opens when the current one fills.
+// One translation rule per opened page.
+struct PagedPlacement {
+  uint64_t rules = 0;
+  std::vector<uint64_t> loads;  // Bytes per memory blade.
+};
+
+inline PagedPlacement SimulatePagedPlacement(const std::vector<uint64_t>& allocs,
+                                             uint64_t page_size, int memory_blades) {
+  PagedPlacement result;
+  result.loads.assign(static_cast<size_t>(memory_blades), 0);
+  uint64_t open_remaining = 0;
+  size_t rr = 0;
+  for (uint64_t size : allocs) {
+    uint64_t remaining = size;
+    while (remaining > 0) {
+      if (open_remaining == 0) {
+        result.loads[rr % static_cast<size_t>(memory_blades)] += page_size;
+        ++rr;
+        ++result.rules;
+        open_remaining = page_size;
+      }
+      const uint64_t take = remaining < open_remaining ? remaining : open_remaining;
+      remaining -= take;
+      open_remaining -= take;
+    }
+  }
+  return result;
+}
+
+}  // namespace bench
+}  // namespace mind
+
+#endif  // MIND_BENCH_ALLOC_PATTERNS_H_

@@ -1,0 +1,106 @@
+// Shared helpers for the figure benches: system factories with the paper's evaluation
+// configuration (§6.3, §7) and a one-call replay runner.
+//
+// Every bench prints the rows/series of one paper figure. Scale the (simulated) job size
+// with MIND_BENCH_SCALE (default 1.0) to trade fidelity for wall-clock time.
+#ifndef MIND_BENCH_BENCH_UTIL_H_
+#define MIND_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/baselines/fastswap.h"
+#include "src/baselines/gam.h"
+#include "src/baselines/mind_system.h"
+#include "src/common/table_printer.h"
+#include "src/workload/generators.h"
+#include "src/workload/replay.h"
+
+namespace mind {
+namespace bench {
+
+inline double Scale() {
+  if (const char* s = std::getenv("MIND_BENCH_SCALE"); s != nullptr) {
+    const double v = std::atof(s);
+    if (v > 0.0) {
+      return v;
+    }
+  }
+  return 1.0;
+}
+
+inline uint64_t ScaledOps(uint64_t base) {
+  const auto v = static_cast<uint64_t>(static_cast<double>(base) * Scale());
+  return std::max<uint64_t>(v, 1000);
+}
+
+// The paper's evaluation rack: 8 compute blades (10 threads each at full scale), 8 memory
+// blade VMs, 512 MB local DRAM per compute blade, 30k directory slots, 45k rules.
+//
+// The bounded-splitting epoch is scaled with the benches' scaled-down job sizes: the paper
+// runs last 60+ seconds (hundreds of 100 ms epochs); our replays last ~100-500 simulated
+// milliseconds, so a 5 ms epoch preserves the epochs-per-run ratio the control loop needs.
+// Figure 9 (right) sweeps the epoch length explicitly.
+inline RackConfig PaperRackConfig(int compute_blades) {
+  RackConfig c;
+  c.num_compute_blades = compute_blades;
+  c.num_memory_blades = 8;
+  c.memory_blade_capacity = 8ull << 30;
+  c.compute_cache_bytes = 512ull << 20;
+  c.directory_slots = 30000;
+  c.tcam_rules = 45000;
+  c.splitting.epoch_length = 5 * kMillisecond;
+  return c;
+}
+
+inline GamConfig PaperGamConfig(int compute_blades) {
+  GamConfig c;
+  c.num_compute_blades = compute_blades;
+  c.num_memory_blades = 8;
+  c.compute_cache_bytes = 512ull << 20;
+  return c;
+}
+
+inline FastSwapConfig PaperFastSwapConfig() {
+  FastSwapConfig c;
+  c.num_memory_blades = 8;
+  c.compute_cache_bytes = 512ull << 20;
+  return c;
+}
+
+inline std::unique_ptr<MindSystem> MakeMind(int blades, std::string label = "MIND") {
+  return std::make_unique<MindSystem>(PaperRackConfig(blades), std::move(label));
+}
+
+inline std::unique_ptr<MindSystem> MakeMindPso(int blades) {
+  RackConfig c = PaperRackConfig(blades);
+  c.consistency = ConsistencyModel::kPso;
+  return std::make_unique<MindSystem>(c, "MIND-PSO");
+}
+
+inline std::unique_ptr<MindSystem> MakeMindPsoPlus(int blades) {
+  RackConfig c = PaperRackConfig(blades);
+  c.consistency = ConsistencyModel::kPso;
+  c.directory_slots = 10'000'000;  // "Infinite" directory capacity (§7.1).
+  return std::make_unique<MindSystem>(c, "MIND-PSO+");
+}
+
+// Generates traces for `spec`, replays them on `sys`, returns the report.
+inline ReplayReport RunWorkload(MemorySystem& sys, const WorkloadSpec& spec,
+                                ReplayEngine::Sampler sampler = nullptr,
+                                SimTime sample_interval = 10 * kMillisecond) {
+  const WorkloadTraces traces = GenerateTraces(spec);
+  ReplayEngine engine(&sys, &traces);
+  const Status s = engine.Setup();
+  if (!s.ok()) {
+    std::fprintf(stderr, "replay setup failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return engine.Run(std::move(sampler), sample_interval);
+}
+
+}  // namespace bench
+}  // namespace mind
+
+#endif  // MIND_BENCH_BENCH_UTIL_H_

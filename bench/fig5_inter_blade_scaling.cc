@@ -1,0 +1,77 @@
+// Figure 5 (center): performance scaling across compute blades (10 threads per blade).
+//
+// Paper series: MIND, MIND-PSO (simulated weaker consistency), MIND-PSO+ (PSO + unbounded
+// directory) and GAM on TF / GC / M_A / M_C at 1-8 blades, normalized to MIND at 1 blade.
+// Expected shape: TF scales well for MIND (~1.5-2x per doubling); GC peaks around 2 blades
+// then degrades (contentious shared writes); M_A / M_C fail to scale past 1 blade under TSO
+// (invalidation ping-pong + directory capacity pressure) while PSO/PSO+ and GAM fare better.
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace mind {
+namespace {
+
+using bench::MakeMind;
+using bench::MakeMindPso;
+using bench::MakeMindPsoPlus;
+using bench::PaperGamConfig;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+using SpecFn = std::function<WorkloadSpec(int blades, uint64_t per_thread)>;
+constexpr int kThreadsPerBlade = 10;
+
+void RunFigure() {
+  const uint64_t total_ops = ScaledOps(400'000);
+  const std::vector<int> blade_counts = {1, 2, 4, 8};
+  const std::vector<std::pair<std::string, SpecFn>> workloads = {
+      {"TF", [](int b, uint64_t per) { return TfSpec(b, kThreadsPerBlade, per); }},
+      {"GC", [](int b, uint64_t per) { return GcSpec(b, kThreadsPerBlade, per); }},
+      {"MA", [](int b, uint64_t per) { return MemcachedASpec(b, kThreadsPerBlade, per); }},
+      {"MC", [](int b, uint64_t per) { return MemcachedCSpec(b, kThreadsPerBlade, per); }},
+  };
+
+  PrintSectionHeader(
+      "Figure 5 (center): inter-blade scaling, 10 threads/blade, normalized perf "
+      "(1 = MIND @ 1 blade)");
+  TablePrinter table({"workload", "blades", "MIND", "MIND-PSO", "MIND-PSO+", "GAM"});
+  table.PrintHeader();
+
+  for (const auto& [name, make_spec] : workloads) {
+    double mind_base = 0.0;
+    for (int blades : blade_counts) {
+      const uint64_t per_thread =
+          total_ops / static_cast<uint64_t>(blades * kThreadsPerBlade);
+      const WorkloadSpec spec = make_spec(blades, per_thread);
+
+      auto mind = MakeMind(blades);
+      const auto mind_report = RunWorkload(*mind, spec);
+      auto pso = MakeMindPso(blades);
+      const auto pso_report = RunWorkload(*pso, spec);
+      auto pso_plus = MakeMindPsoPlus(blades);
+      const auto pso_plus_report = RunWorkload(*pso_plus, spec);
+      GamSystem gam(PaperGamConfig(blades));
+      const auto gam_report = RunWorkload(gam, spec);
+
+      const double mind_perf = 1.0 / ToSeconds(mind_report.makespan);
+      if (blades == 1) {
+        mind_base = mind_perf;
+      }
+      table.PrintRow(
+          name, blades, TablePrinter::Fmt(mind_perf / mind_base, 2),
+          TablePrinter::Fmt((1.0 / ToSeconds(pso_report.makespan)) / mind_base, 2),
+          TablePrinter::Fmt((1.0 / ToSeconds(pso_plus_report.makespan)) / mind_base, 2),
+          TablePrinter::Fmt((1.0 / ToSeconds(gam_report.makespan)) / mind_base, 2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

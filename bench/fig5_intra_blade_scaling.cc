@@ -1,0 +1,69 @@
+// Figure 5 (left): performance scaling with thread count on a single compute blade.
+//
+// Paper series: MIND, FastSwap and GAM on TF / GC / M_A / M_C, 1-10 threads, performance
+// (inverse runtime) normalized to MIND at 1 thread. Expected shape: MIND and FastSwap scale
+// near-linearly (page-fault-driven remote access, hardware MMU on the fast path); GAM bends
+// past ~4 threads as its user-level library's per-access locking saturates.
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace mind {
+namespace {
+
+using bench::MakeMind;
+using bench::PaperFastSwapConfig;
+using bench::PaperGamConfig;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+using SpecFn = std::function<WorkloadSpec(int threads, uint64_t per_thread)>;
+
+void RunFigure() {
+  const uint64_t total_ops = ScaledOps(150'000);
+  const std::vector<int> thread_counts = {1, 2, 4, 10};
+  const std::vector<std::pair<std::string, SpecFn>> workloads = {
+      {"TF", [](int n, uint64_t per) { return TfSpec(1, n, per); }},
+      {"GC", [](int n, uint64_t per) { return GcSpec(1, n, per); }},
+      {"MA", [](int n, uint64_t per) { return MemcachedASpec(1, n, per); }},
+      {"MC", [](int n, uint64_t per) { return MemcachedCSpec(1, n, per); }},
+  };
+
+  PrintSectionHeader(
+      "Figure 5 (left): intra-blade scaling, normalized perf (1 = MIND @ 1 thread)");
+  TablePrinter table({"workload", "threads", "MIND", "FastSwap", "GAM"});
+  table.PrintHeader();
+
+  for (const auto& [name, make_spec] : workloads) {
+    double mind_base = 0.0;
+    for (int threads : thread_counts) {
+      const WorkloadSpec spec = make_spec(threads, total_ops / static_cast<uint64_t>(threads));
+
+      auto mind = MakeMind(1);
+      const auto mind_report = RunWorkload(*mind, spec);
+
+      FastSwapSystem fastswap(PaperFastSwapConfig());
+      const auto fs_report = RunWorkload(fastswap, spec);
+
+      GamSystem gam(PaperGamConfig(1));
+      const auto gam_report = RunWorkload(gam, spec);
+
+      const double mind_perf = 1.0 / ToSeconds(mind_report.makespan);
+      if (threads == 1) {
+        mind_base = mind_perf;
+      }
+      table.PrintRow(name, threads, TablePrinter::Fmt(mind_perf / mind_base, 2),
+                     TablePrinter::Fmt((1.0 / ToSeconds(fs_report.makespan)) / mind_base, 2),
+                     TablePrinter::Fmt((1.0 / ToSeconds(gam_report.makespan)) / mind_base, 2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 5 (right): Native-KVS throughput (MOPS) under YCSB-A and YCSB-C.
+//
+// Paper series: MIND and FastSwap, single-blade 1-10 threads; MIND alone for 20-80 threads
+// (2-8 blades — FastSwap cannot scale past one blade). Expected shape: near-linear
+// single-blade scaling for both; beyond one blade, YCSB-C (read-only) keeps scaling for
+// MIND while YCSB-A (50% writes) collapses under cross-blade read-write contention.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace mind {
+namespace {
+
+using bench::MakeMind;
+using bench::PaperFastSwapConfig;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+constexpr int kThreadsPerBlade = 10;
+
+void RunFigure() {
+  const uint64_t total_ops = ScaledOps(300'000);
+
+  PrintSectionHeader("Figure 5 (right): Native-KVS, single blade (MOPS)");
+  TablePrinter single({"ycsb", "threads", "MIND", "FastSwap"});
+  single.PrintHeader();
+  for (double read_ratio : {0.5, 1.0}) {
+    const char* ycsb = read_ratio >= 1.0 ? "C" : "A";
+    for (int threads : {1, 2, 4, 10}) {
+      const WorkloadSpec spec = NativeKvsSpec(1, threads, read_ratio,
+                                              total_ops / static_cast<uint64_t>(threads),
+                                              /*table_pages=*/32'768);
+      auto mind = MakeMind(1);
+      const auto mind_report = RunWorkload(*mind, spec);
+      FastSwapSystem fastswap(PaperFastSwapConfig());
+      const auto fs_report = RunWorkload(fastswap, spec);
+      single.PrintRow(ycsb, threads, TablePrinter::Fmt(mind_report.throughput_mops, 3),
+                      TablePrinter::Fmt(fs_report.throughput_mops, 3));
+    }
+  }
+
+  PrintSectionHeader(
+      "Figure 5 (right): Native-KVS, multiple blades, 10 threads/blade (MOPS; FastSwap "
+      "cannot scale past one blade)");
+  TablePrinter multi({"ycsb", "threads", "blades", "MIND"});
+  multi.PrintHeader();
+  for (double read_ratio : {0.5, 1.0}) {
+    const char* ycsb = read_ratio >= 1.0 ? "C" : "A";
+    for (int blades : {2, 4, 8}) {
+      const int threads = blades * kThreadsPerBlade;
+      const WorkloadSpec spec = NativeKvsSpec(blades, kThreadsPerBlade, read_ratio,
+                                              total_ops / static_cast<uint64_t>(threads),
+                                              /*table_pages=*/32'768);
+      auto mind = MakeMind(blades);
+      const auto report = RunWorkload(*mind, spec);
+      multi.PrintRow(ycsb, threads, blades, TablePrinter::Fmt(report.throughput_mops, 3));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

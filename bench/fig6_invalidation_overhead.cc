@@ -1,0 +1,55 @@
+// Figure 6: invalidation overhead — #remote accesses, #invalidations and #flushed pages
+// per memory access, vs number of compute blades (10 threads each).
+//
+// Expected shape (log y): all three rates grow with blade count; M_A / M_C sit an order of
+// magnitude above TF in invalidations and flushed pages (heavy shared writes); GC's growth
+// is steeper than TF's (it writes ~2.5x more shared data), explaining its scaling collapse.
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace mind {
+namespace {
+
+using bench::MakeMind;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+using SpecFn = std::function<WorkloadSpec(int blades, uint64_t per_thread)>;
+constexpr int kThreadsPerBlade = 10;
+
+void RunFigure() {
+  const uint64_t total_ops = ScaledOps(400'000);
+  const std::vector<std::pair<std::string, SpecFn>> workloads = {
+      {"TF", [](int b, uint64_t per) { return TfSpec(b, kThreadsPerBlade, per); }},
+      {"GC", [](int b, uint64_t per) { return GcSpec(b, kThreadsPerBlade, per); }},
+      {"MA", [](int b, uint64_t per) { return MemcachedASpec(b, kThreadsPerBlade, per); }},
+      {"MC", [](int b, uint64_t per) { return MemcachedCSpec(b, kThreadsPerBlade, per); }},
+  };
+
+  PrintSectionHeader("Figure 6: occurrences per memory access (MIND)");
+  TablePrinter table(
+      {"workload", "blades", "remote/acc", "inval/acc", "flushed/acc"}, 16);
+  table.PrintHeader();
+
+  for (const auto& [name, make_spec] : workloads) {
+    for (int blades : {1, 2, 4, 8}) {
+      const uint64_t per_thread =
+          total_ops / static_cast<uint64_t>(blades * kThreadsPerBlade);
+      auto mind = MakeMind(blades);
+      const auto report = RunWorkload(*mind, make_spec(blades, per_thread));
+      table.PrintRow(name, blades, TablePrinter::Fmt(report.RemoteAccessesPerOp(), 5),
+                     TablePrinter::Fmt(report.InvalidationsPerOp(), 5),
+                     TablePrinter::Fmt(report.FlushedPagesPerOp(), 5));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 7 (left): end-to-end latency of every MSI state transition, including data fetch,
+// with 2/4/8 compute blades holding the page, split into "network" and "wait for
+// ACK/invalidation" components.
+//
+// Expected values (paper): ~8.5-9.4 us for transitions without invalidations (S->S, I->S/M)
+// and for S->M (invalidation overlaps the parallel fetch, slightly above); ~18 us for
+// M->S/M (the owner's flush serializes before the fetch: 2 RTTs).
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/mind.h"
+
+namespace mind {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int blades) : rack(bench::PaperRackConfig(blades)) {
+    pid = *rack.Exec("fig7");
+    pdid = *rack.controller().PdidOf(pid);
+    for (int i = 0; i < blades; ++i) {
+      tids.push_back(rack.SpawnThread(pid, static_cast<ComputeBladeId>(i))->tid);
+    }
+    va = *rack.Mmap(pid, 64ull << 20, PermClass::kReadWrite);
+  }
+
+  AccessResult Go(int blade, VirtAddr addr, AccessType type, SimTime now) {
+    return rack.Access(AccessRequest{tids[static_cast<size_t>(blade)],
+                                     static_cast<ComputeBladeId>(blade), pdid, addr, type,
+                                     now});
+  }
+
+  Rack rack;
+  ProcessId pid;
+  ProtDomainId pdid;
+  std::vector<ThreadId> tids;
+  VirtAddr va;
+};
+
+struct Measured {
+  double total_us;
+  double network_us;
+  double wait_us;  // Invalidation queue + TLB shootdown at the slowest sharer.
+};
+
+Measured FromResult(const AccessResult& r) {
+  return Measured{ToMicros(r.latency), ToMicros(r.breakdown.fault + r.breakdown.network),
+                  ToMicros(r.breakdown.inv_queue + r.breakdown.inv_tlb)};
+}
+
+// S->S: n_sharers blades already share the region; one more blade reads.
+Measured MeasureSToS(int n_sharers) {
+  Fixture f(8);
+  SimTime t = 0;
+  for (int b = 0; b < n_sharers; ++b) {
+    t = f.Go(b, f.va, AccessType::kRead, t).completion + kMicrosecond;
+  }
+  return FromResult(f.Go(n_sharers, f.va, AccessType::kRead, t));
+}
+
+// S->M: n_sharers blades share; another blade writes, invalidating all of them while the
+// page is fetched from memory in parallel.
+Measured MeasureSToM(int n_sharers) {
+  Fixture f(8);
+  SimTime t = 0;
+  for (int b = 0; b < n_sharers; ++b) {
+    t = f.Go(b, f.va, AccessType::kRead, t).completion + kMicrosecond;
+  }
+  return FromResult(f.Go(n_sharers, f.va, AccessType::kWrite, t));
+}
+
+Measured MeasureIToS() {
+  Fixture f(8);
+  return FromResult(f.Go(0, f.va, AccessType::kRead, 0));
+}
+
+Measured MeasureIToM() {
+  Fixture f(8);
+  return FromResult(f.Go(0, f.va, AccessType::kWrite, 0));
+}
+
+// M->S / M->M: blade 0 owns the region with a dirty page; blade 1 reads/writes it.
+Measured MeasureMTo(AccessType type) {
+  Fixture f(8);
+  const SimTime t = f.Go(0, f.va, AccessType::kWrite, 0).completion + kMicrosecond;
+  return FromResult(f.Go(1, f.va, type, t));
+}
+
+void RunFigure() {
+  PrintSectionHeader("Figure 7 (left): per-transition latency (us), incl. data fetch");
+  TablePrinter table({"transition", "sharers", "total_us", "network_us", "wait_ack_us"}, 13);
+  table.PrintHeader();
+
+  for (int n : {1, 3, 7}) {  // 2C/4C/8C = requester + {1,3,7} prior holders.
+    const auto m = MeasureSToS(n);
+    table.PrintRow("S->S", n + 1, TablePrinter::Fmt(m.total_us, 2),
+                   TablePrinter::Fmt(m.network_us, 2), TablePrinter::Fmt(m.wait_us, 2));
+  }
+  for (int n : {1, 3, 7}) {
+    const auto m = MeasureSToM(n);
+    table.PrintRow("S->M", n + 1, TablePrinter::Fmt(m.total_us, 2),
+                   TablePrinter::Fmt(m.network_us, 2), TablePrinter::Fmt(m.wait_us, 2));
+  }
+  const auto is = MeasureIToS();
+  table.PrintRow("I->S", 1, TablePrinter::Fmt(is.total_us, 2),
+                 TablePrinter::Fmt(is.network_us, 2), TablePrinter::Fmt(is.wait_us, 2));
+  const auto im = MeasureIToM();
+  table.PrintRow("I->M", 1, TablePrinter::Fmt(im.total_us, 2),
+                 TablePrinter::Fmt(im.network_us, 2), TablePrinter::Fmt(im.wait_us, 2));
+  const auto ms = MeasureMTo(AccessType::kRead);
+  table.PrintRow("M->S", 2, TablePrinter::Fmt(ms.total_us, 2),
+                 TablePrinter::Fmt(ms.network_us, 2), TablePrinter::Fmt(ms.wait_us, 2));
+  const auto mm = MeasureMTo(AccessType::kWrite);
+  table.PrintRow("M->M", 2, TablePrinter::Fmt(mm.total_us, 2),
+                 TablePrinter::Fmt(mm.network_us, 2), TablePrinter::Fmt(mm.wait_us, 2));
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

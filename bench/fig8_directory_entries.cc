@@ -1,0 +1,74 @@
+// Figure 8 (left): directory entries used at the switch over normalized runtime.
+//
+// Setup matches §7.2: each workload on 8 compute blades x 10 threads, 30k-entry directory
+// budget. Expected shape: TF and GC stabilize well below the 30k limit (bounded splitting
+// merges their cold streaming regions); M_A and M_C pin the directory at the limit — their
+// zipfian shared hot set wants more entries than the SRAM holds, which is what drives their
+// false invalidations and scaling collapse.
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+
+namespace mind {
+namespace {
+
+using bench::MakeMind;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+using SpecFn = std::function<WorkloadSpec(uint64_t per_thread)>;
+constexpr int kBlades = 8;
+constexpr int kThreadsPerBlade = 10;
+
+void RunFigure() {
+  const uint64_t total_ops = ScaledOps(600'000);
+  const uint64_t per_thread = total_ops / (kBlades * kThreadsPerBlade);
+  const std::vector<std::pair<std::string, SpecFn>> workloads = {
+      {"TF", [](uint64_t per) { return TfSpec(kBlades, kThreadsPerBlade, per); }},
+      {"GC", [](uint64_t per) { return GcSpec(kBlades, kThreadsPerBlade, per); }},
+      {"MA", [](uint64_t per) { return MemcachedASpec(kBlades, kThreadsPerBlade, per); }},
+      {"MC", [](uint64_t per) { return MemcachedCSpec(kBlades, kThreadsPerBlade, per); }},
+  };
+
+  PrintSectionHeader(
+      "Figure 8 (left): #used directory entries over normalized runtime (limit = 30000)");
+  TablePrinter table({"workload", "t=0.1", "t=0.2", "t=0.4", "t=0.6", "t=0.8", "t=1.0",
+                      "peak"},
+                     10);
+  table.PrintHeader();
+
+  for (const auto& [name, make_spec] : workloads) {
+    auto mind = MakeMind(kBlades);
+    GaugeSeries series;
+    Rack& rack = mind->rack();
+    const auto report = RunWorkload(
+        *mind, make_spec(per_thread),
+        [&](SimTime now) { series.Sample(now, rack.directory().entry_count()); },
+        2 * kMillisecond);
+    // Downsample the series at fixed fractions of the run.
+    auto at_fraction = [&](double f) -> uint64_t {
+      const auto target = static_cast<SimTime>(f * static_cast<double>(report.makespan));
+      uint64_t value = 0;
+      for (const auto& p : series.samples()) {
+        if (p.x > target) {
+          break;
+        }
+        value = p.value;
+      }
+      return value;
+    };
+    table.PrintRow(name, at_fraction(0.1), at_fraction(0.2), at_fraction(0.4),
+                   at_fraction(0.6), at_fraction(0.8),
+                   rack.directory().entry_count(), rack.directory().high_water());
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8 (right): memory-blade load balance (Jain's fairness index) of MIND's balanced
+// allocation vs conventional 2 MB / 1 GB page placement, vs blade count.
+//
+// Expected shape: MIND and 2 MB pages both stay near 1.0 (but 2 MB pages pay for it with
+// the rule explosion of Fig. 8 center); 1 GB pages lose badly on the allocation-intensive
+// Memcached pattern — a handful of huge pages cannot spread across 8 memory blades.
+#include <vector>
+
+#include "bench/alloc_patterns.h"
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/core/mind.h"
+
+namespace mind {
+namespace {
+
+using bench::AllocationPattern;
+using bench::kGiB;
+using bench::kMiB;
+using bench::SimulatePagedPlacement;
+
+constexpr int kThreadsPerBlade = 10;
+
+double MindFairness(const std::vector<uint64_t>& allocs) {
+  Rack rack(bench::PaperRackConfig(8));
+  const ProcessId pid = *rack.Exec("fig8");
+  for (uint64_t size : allocs) {
+    auto va = rack.Mmap(pid, size, PermClass::kReadWrite);
+    if (!va.ok()) {
+      std::fprintf(stderr, "mmap failed: %s\n", va.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return JainFairnessIndex(rack.controller().allocator().PerBladeLoad());
+}
+
+void RunFigure() {
+  PrintSectionHeader(
+      "Figure 8 (right): Jain's fairness index of per-memory-blade load (8 memory blades)");
+  TablePrinter table({"workload", "blades", "2MB-pages", "1GB-pages", "MIND"}, 12);
+  table.PrintHeader();
+
+  for (const std::string workload : {"TF", "GC", "MA&C"}) {
+    for (int blades : {1, 2, 4, 8}) {
+      const auto allocs = AllocationPattern(workload, blades * kThreadsPerBlade);
+      const auto paged_2m = SimulatePagedPlacement(allocs, 2 * kMiB, 8);
+      const auto paged_1g = SimulatePagedPlacement(allocs, 1 * kGiB, 8);
+      table.PrintRow(workload, blades,
+                     TablePrinter::Fmt(JainFairnessIndex(paged_2m.loads), 3),
+                     TablePrinter::Fmt(JainFairnessIndex(paged_1g.loads), 3),
+                     TablePrinter::Fmt(MindFairness(allocs), 3));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

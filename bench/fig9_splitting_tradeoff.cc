@@ -1,0 +1,88 @@
+// Figure 9 (left): the storage-vs-performance tradeoff that Bounded Splitting navigates.
+//
+// For TF and GC (8 blades x 10 threads): run with *fixed* directory region sizes from 2 MB
+// down to 16 KB (splitting disabled, uncapped slots so demand is observable), then with
+// Bounded Splitting (BS). Expected shape: false invalidations fall as regions shrink while
+// directory entries grow ~linearly in 1/size; BS lands near the small-region false-
+// invalidation count at a fraction of the entries.
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace mind {
+namespace {
+
+using bench::PaperRackConfig;
+using bench::RunWorkload;
+using bench::ScaledOps;
+
+constexpr int kBlades = 8;
+constexpr int kThreadsPerBlade = 10;
+
+struct RowResult {
+  uint64_t false_invalidations;
+  uint64_t peak_entries;
+};
+
+RowResult RunOne(const WorkloadSpec& spec, uint64_t fixed_region_size, bool bounded_splitting) {
+  RackConfig cfg = PaperRackConfig(kBlades);
+  if (bounded_splitting) {
+    cfg.splitting.enabled = true;
+    cfg.splitting.initial_region_size = 16 * 1024;
+    cfg.directory_slots = 30'000;
+  } else {
+    cfg.splitting.enabled = false;
+    cfg.splitting.initial_region_size = fixed_region_size;
+    cfg.directory_slots = 4'000'000;  // Uncapped: measure demanded entries.
+  }
+  MindSystem sys(cfg);
+  (void)RunWorkload(sys, spec);
+  return RowResult{sys.rack().stats().false_invalidations,
+                   sys.rack().directory().high_water()};
+}
+
+void RunFigure() {
+  const uint64_t total_ops = ScaledOps(400'000);
+  const uint64_t per_thread = total_ops / (kBlades * kThreadsPerBlade);
+  using SpecFn = std::function<WorkloadSpec()>;
+  const std::vector<std::pair<std::string, SpecFn>> workloads = {
+      {"TF", [&] { return TfSpec(kBlades, kThreadsPerBlade, per_thread); }},
+      {"GC", [&] { return GcSpec(kBlades, kThreadsPerBlade, per_thread); }},
+  };
+
+  PrintSectionHeader(
+      "Figure 9 (left): false invalidations (normalized to 2MB) and directory entries");
+  TablePrinter table({"workload", "region", "false_inv(norm)", "false_inv", "entries"}, 17);
+  table.PrintHeader();
+
+  for (const auto& [name, make_spec] : workloads) {
+    const WorkloadSpec spec = make_spec();
+    double base = 0.0;
+    const std::vector<std::pair<std::string, uint64_t>> sizes = {
+        {"2MB", 2048 * 1024}, {"1MB", 1024 * 1024}, {"256KB", 256 * 1024},
+        {"64KB", 64 * 1024},  {"16KB", 16 * 1024},
+    };
+    for (const auto& [label, size] : sizes) {
+      const auto r = RunOne(spec, size, /*bounded_splitting=*/false);
+      if (base == 0.0) {
+        base = std::max<double>(1.0, static_cast<double>(r.false_invalidations));
+      }
+      table.PrintRow(name, label,
+                     TablePrinter::Fmt(static_cast<double>(r.false_invalidations) / base, 3),
+                     r.false_invalidations, r.peak_entries);
+    }
+    const auto bs = RunOne(spec, 0, /*bounded_splitting=*/true);
+    table.PrintRow(name, "BS",
+                   TablePrinter::Fmt(static_cast<double>(bs.false_invalidations) / base, 3),
+                   bs.false_invalidations, bs.peak_entries);
+  }
+}
+
+}  // namespace
+}  // namespace mind
+
+int main() {
+  mind::RunFigure();
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Google-benchmark microbenchmarks of MIND's core data-plane/control-plane structures:
+// the hot operations on the simulated switch's critical path. These are *implementation*
+// benchmarks (how fast this library executes), complementing the figure benches (what the
+// modeled system would measure).
+#include <benchmark/benchmark.h>
+
+#include "src/blade/dram_cache.h"
+#include "src/common/rng.h"
+#include "src/controlplane/allocator.h"
+#include "src/core/mind.h"
+#include "src/dataplane/directory.h"
+#include "src/dataplane/protection.h"
+#include "src/dataplane/tcam.h"
+#include "src/dataplane/translation.h"
+
+namespace mind {
+namespace {
+
+void BM_TcamLookup(benchmark::State& state) {
+  Tcam<int> tcam(nullptr);
+  Rng rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)tcam.InsertRange(static_cast<uint64_t>(i) << 16, 16, i);
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    key = (key + 0x9137) % (static_cast<uint64_t>(state.range(0)) << 16);
+    benchmark::DoNotOptimize(tcam.Lookup(key));
+  }
+}
+BENCHMARK(BM_TcamLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_TranslationLookup(benchmark::State& state) {
+  AddressTranslator t(nullptr);
+  for (int i = 0; i < 8; ++i) {
+    (void)t.AddBladeRange(static_cast<MemoryBladeId>(i), static_cast<uint64_t>(i) << 33,
+                          1ull << 33);
+  }
+  uint64_t va = 0;
+  for (auto _ : state) {
+    va = (va + 0x1003'7fff) % (8ull << 33);
+    benchmark::DoNotOptimize(t.Translate(va));
+  }
+}
+BENCHMARK(BM_TranslationLookup);
+
+void BM_ProtectionCheck(benchmark::State& state) {
+  ProtectionTable p(nullptr);
+  for (int d = 0; d < 16; ++d) {
+    for (int i = 0; i < state.range(0) / 16; ++i) {
+      (void)p.Grant(static_cast<ProtDomainId>(d),
+                    (static_cast<uint64_t>(d) << 40) + (static_cast<uint64_t>(i) << 24),
+                    1 << 20, PermClass::kReadWrite);
+    }
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(
+        p.Check(static_cast<ProtDomainId>(i % 16),
+                ((i % 16) << 40) + ((i % (static_cast<uint64_t>(state.range(0)) / 16)) << 24)));
+  }
+}
+BENCHMARK(BM_ProtectionCheck)->Arg(256)->Arg(4096);
+
+void BM_DirectoryLookup(benchmark::State& state) {
+  CacheDirectory dir(static_cast<uint32_t>(state.range(0)) + 1);
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)dir.Create(static_cast<uint64_t>(i) << 14, 14);
+  }
+  uint64_t va = 0;
+  for (auto _ : state) {
+    va = (va + 0x4ab7) % (static_cast<uint64_t>(state.range(0)) << 14);
+    benchmark::DoNotOptimize(dir.Lookup(va));
+  }
+}
+BENCHMARK(BM_DirectoryLookup)->Arg(1024)->Arg(30000);
+
+void BM_DirectorySplitMerge(benchmark::State& state) {
+  CacheDirectory dir(64);
+  (void)dir.Create(0, 21);  // One 2 MB region.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir.Split(0));
+    benchmark::DoNotOptimize(dir.MergeWithBuddy(0, 21));
+  }
+}
+BENCHMARK(BM_DirectorySplitMerge);
+
+void BM_AllocatorAllocFree(benchmark::State& state) {
+  BalancedAllocator alloc;
+  for (int i = 0; i < 8; ++i) {
+    (void)alloc.AddBlade(static_cast<MemoryBladeId>(i), static_cast<uint64_t>(i) << 33,
+                         1ull << 33);
+  }
+  for (auto _ : state) {
+    auto vma = alloc.Allocate(1 << 20);
+    benchmark::DoNotOptimize(vma);
+    (void)alloc.Free(*vma);
+  }
+}
+BENCHMARK(BM_AllocatorAllocFree);
+
+void BM_DramCacheHit(benchmark::State& state) {
+  DramCache cache(1 << 16, false);
+  for (uint64_t p = 0; p < (1 << 16); ++p) {
+    (void)cache.Insert(p, false);
+  }
+  uint64_t p = 0;
+  for (auto _ : state) {
+    p = (p + 7919) % (1 << 16);
+    benchmark::DoNotOptimize(cache.Lookup(p));
+  }
+}
+BENCHMARK(BM_DramCacheHit);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(7);
+  ZipfianGenerator zipf(1 << 20, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_RackLocalHit(benchmark::State& state) {
+  RackConfig cfg;
+  cfg.num_compute_blades = 1;
+  cfg.num_memory_blades = 1;
+  Rack rack(cfg);
+  const ProcessId pid = *rack.Exec("bm");
+  const ProtDomainId pdid = *rack.controller().PdidOf(pid);
+  const ThreadId tid = rack.SpawnThread(pid, 0)->tid;
+  const VirtAddr va = *rack.Mmap(pid, 1 << 20, PermClass::kReadWrite);
+  SimTime now = rack.Access({tid, 0, pdid, va, AccessType::kWrite, 0}).completion;
+  for (auto _ : state) {
+    const auto r = rack.Access({tid, 0, pdid, va, AccessType::kWrite, now});
+    now = r.completion;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RackLocalHit);
+
+void BM_RackRemoteMiss(benchmark::State& state) {
+  RackConfig cfg;
+  cfg.num_compute_blades = 1;
+  cfg.num_memory_blades = 8;
+  cfg.compute_cache_bytes = 64 * kPageSize;  // Tiny: every access misses.
+  Rack rack(cfg);
+  const ProcessId pid = *rack.Exec("bm");
+  const ProtDomainId pdid = *rack.controller().PdidOf(pid);
+  const ThreadId tid = rack.SpawnThread(pid, 0)->tid;
+  const VirtAddr va = *rack.Mmap(pid, 1ull << 30, PermClass::kReadWrite);
+  SimTime now = 0;
+  uint64_t page = 0;
+  for (auto _ : state) {
+    page = (page + 257) % (1 << 18);
+    const auto r = rack.Access({tid, 0, pdid, va + PageToAddr(page), AccessType::kRead, now});
+    now = r.completion;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RackRemoteMiss);
+
+}  // namespace
+}  // namespace mind
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// PageRank over shared disaggregated memory — the paper's GraphChi/GC scenario (§7.1),
+// runnable end to end.
+//
+// The graph (CSR adjacency) and both rank arrays live in the disaggregated pool; worker
+// threads on different compute blades each own a vertex range, but read neighbour ranks
+// written by *other* blades every iteration. With a swap-based system this sharing is
+// impossible without sharding the graph and adding message passing; on MIND it is ordinary
+// shared memory, kept coherent by the in-network directory.
+//
+// The example verifies the distributed result against a single-threaded in-process
+// reference computation, then reports the coherence traffic the iterations generated.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/mind.h"
+
+namespace {
+
+using namespace mind;
+
+constexpr uint32_t kVertices = 2000;
+constexpr uint32_t kEdgesPerVertex = 8;
+constexpr int kIterations = 5;
+constexpr double kDamping = 0.85;
+
+struct Csr {
+  std::vector<uint32_t> offsets;  // kVertices + 1.
+  std::vector<uint32_t> targets;
+  std::vector<uint32_t> out_degree;
+};
+
+Csr BuildGraph() {
+  Csr g;
+  Rng rng(12345);
+  ZipfianGenerator zipf(kVertices, 0.8);  // Power-law targets, like real web/social graphs.
+  g.offsets.assign(kVertices + 1, 0);
+  g.out_degree.assign(kVertices, kEdgesPerVertex);
+  g.targets.reserve(kVertices * kEdgesPerVertex);
+  for (uint32_t v = 0; v < kVertices; ++v) {
+    g.offsets[v] = static_cast<uint32_t>(g.targets.size());
+    for (uint32_t e = 0; e < kEdgesPerVertex; ++e) {
+      g.targets.push_back(static_cast<uint32_t>(zipf.Next(rng)));
+    }
+  }
+  g.offsets[kVertices] = static_cast<uint32_t>(g.targets.size());
+  return g;
+}
+
+std::vector<double> ReferencePageRank(const Csr& g) {
+  std::vector<double> rank(kVertices, 1.0 / kVertices);
+  std::vector<double> next(kVertices, 0.0);
+  for (int it = 0; it < kIterations; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - kDamping) / kVertices);
+    for (uint32_t v = 0; v < kVertices; ++v) {
+      const double share = kDamping * rank[v] / g.out_degree[v];
+      for (uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        next[g.targets[e]] += share;
+      }
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace
+
+int main() {
+  RackConfig config;
+  config.num_compute_blades = 4;
+  config.num_memory_blades = 2;
+  config.memory_blade_capacity = 1ull << 30;
+  config.compute_cache_bytes = 16ull << 20;
+  config.store_data = true;
+  Rack rack(config);
+
+  const ProcessId pid = *rack.Exec("pagerank");
+  std::vector<ThreadId> workers;
+  for (int blade = 0; blade < config.num_compute_blades; ++blade) {
+    workers.push_back(rack.SpawnThread(pid, static_cast<ComputeBladeId>(blade))->tid);
+  }
+
+  const Csr graph = BuildGraph();
+
+  // Lay the graph and the two rank arrays out in disaggregated memory.
+  const VirtAddr va_offsets = *rack.Mmap(pid, (kVertices + 1) * sizeof(uint32_t),
+                                         PermClass::kReadWrite);
+  const VirtAddr va_targets = *rack.Mmap(pid, graph.targets.size() * sizeof(uint32_t),
+                                         PermClass::kReadWrite);
+  const VirtAddr va_rank = *rack.Mmap(pid, kVertices * sizeof(double), PermClass::kReadWrite);
+  const VirtAddr va_next = *rack.Mmap(pid, kVertices * sizeof(double), PermClass::kReadWrite);
+
+  // Load the graph from blade 0 (one-time ingest).
+  SimTime now = 0;
+  now = *rack.WriteBytes(workers[0], va_offsets, graph.offsets.data(),
+                         graph.offsets.size() * sizeof(uint32_t), now);
+  now = *rack.WriteBytes(workers[0], va_targets, graph.targets.data(),
+                         graph.targets.size() * sizeof(uint32_t), now);
+  const std::vector<double> init(kVertices, 1.0 / kVertices);
+  now = *rack.WriteBytes(workers[0], va_rank, init.data(), kVertices * sizeof(double), now);
+
+  std::printf("pagerank: %u vertices, %zu edges on disaggregated memory, %zu workers\n",
+              kVertices, graph.targets.size(), workers.size());
+
+  // Iterate: each worker handles a contiguous vertex range on its own blade; per-iteration
+  // "barriers" are modeled by advancing every worker to the same logical time.
+  const uint32_t span = kVertices / static_cast<uint32_t>(workers.size());
+  for (int it = 0; it < kIterations; ++it) {
+    // Reset `next` (worker 0).
+    const std::vector<double> base(kVertices, (1.0 - kDamping) / kVertices);
+    now = *rack.WriteBytes(workers[0], va_next, base.data(), kVertices * sizeof(double), now);
+
+    std::vector<SimTime> done(workers.size(), now);
+    for (size_t w = 0; w < workers.size(); ++w) {
+      const uint32_t begin = static_cast<uint32_t>(w) * span;
+      const uint32_t end = w + 1 == workers.size() ? kVertices : begin + span;
+      SimTime t = now;
+      for (uint32_t v = begin; v < end; ++v) {
+        double rank_v = 0.0;
+        t = *rack.ReadBytes(workers[w], va_rank + v * sizeof(double), &rank_v, sizeof(double),
+                            t);
+        const double share = kDamping * rank_v / graph.out_degree[v];
+        for (uint32_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+          const uint32_t tgt = graph.targets[e];
+          double acc = 0.0;
+          t = *rack.ReadBytes(workers[w], va_next + tgt * sizeof(double), &acc, sizeof(double),
+                              t);
+          acc += share;
+          t = *rack.WriteBytes(workers[w], va_next + tgt * sizeof(double), &acc,
+                               sizeof(double), t);
+        }
+      }
+      done[w] = t;
+    }
+    // Barrier.
+    for (SimTime t : done) {
+      now = std::max(now, t);
+    }
+    // Swap rank <- next (copy via worker 0).
+    std::vector<double> buffer(kVertices);
+    now = *rack.ReadBytes(workers[0], va_next, buffer.data(), kVertices * sizeof(double), now);
+    now = *rack.WriteBytes(workers[0], va_rank, buffer.data(), kVertices * sizeof(double), now);
+    std::printf("  iteration %d done at t=%.2f ms\n", it + 1, ToMillis(now));
+  }
+
+  // Verify against the reference.
+  std::vector<double> result(kVertices);
+  now = *rack.ReadBytes(workers[1], va_rank, result.data(), kVertices * sizeof(double), now);
+  const std::vector<double> expected = ReferencePageRank(graph);
+  double max_err = 0.0;
+  for (uint32_t v = 0; v < kVertices; ++v) {
+    max_err = std::max(max_err, std::fabs(result[v] - expected[v]));
+  }
+
+  const RackStats& s = rack.stats();
+  std::printf("\nmax |distributed - reference| = %.3e\n", max_err);
+  std::printf("coherence: %llu invalidations, %llu flushed, %llu false invalidations\n",
+              static_cast<unsigned long long>(s.invalidations_sent),
+              static_cast<unsigned long long>(s.pages_flushed),
+              static_cast<unsigned long long>(s.false_invalidations));
+  const bool ok = max_err < 1e-9;
+  std::printf("%s\n", ok ? "OK" : "FAILURE");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Capability-style memory protection with in-network enforcement (§4.2).
+//
+// MIND decouples protection from translation: <protection-domain, vma> -> permission-class
+// entries live in the switch TCAM and are checked on every remote access at line rate. This
+// example plays out the paper's motivating scenario — a database server that gives each
+// client session its *own* protection domain, so one session can never read another's
+// buffers even though all sessions live in the same process and address space. Traditional
+// per-process page tables cannot express this.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/mind.h"
+
+int main() {
+  using namespace mind;
+
+  RackConfig config;
+  config.num_compute_blades = 2;
+  config.num_memory_blades = 1;
+  config.memory_blade_capacity = 1ull << 30;
+  config.store_data = true;
+  Rack rack(config);
+
+  // The database server process owns two session buffers.
+  const ProcessId server = *rack.Exec("db-server");
+  const ThreadId worker = rack.SpawnThread(server, 0)->tid;
+  const VirtAddr session_a = *rack.Mmap(server, 64 * kPageSize, PermClass::kReadWrite);
+  const VirtAddr session_b = *rack.Mmap(server, 64 * kPageSize, PermClass::kReadWrite);
+
+  // Two client sessions get their own protection domains (arbitrary ids, not PIDs).
+  const ProtDomainId alice = 1001;
+  const ProtDomainId bob = 1002;
+  // Each session may only touch its own buffer; Alice's is read-write, and she also gets a
+  // read-only window into the first page of Bob's buffer (a shared result page).
+  (void)rack.GrantToDomain(server, alice, session_a, 64 * kPageSize, PermClass::kReadWrite);
+  (void)rack.GrantToDomain(server, bob, session_b, 64 * kPageSize, PermClass::kReadWrite);
+  (void)rack.GrantToDomain(server, alice, session_b, kPageSize, PermClass::kReadOnly);
+
+  std::printf("protection domains installed: alice=%u bob=%u\n", alice, bob);
+  std::printf("switch now holds %llu protection rules\n\n",
+              static_cast<unsigned long long>(rack.protection().rule_count()));
+
+  auto access = [&](ProtDomainId domain, const char* who, VirtAddr va, AccessType type,
+                    const char* what) {
+    const AccessResult r =
+        rack.Access(AccessRequest{worker, /*blade=*/0, domain, va, type, /*now=*/0});
+    std::printf("%-6s %-5s %-28s -> %s\n", who, ToString(type), what,
+                r.status.ok() ? "ALLOWED" : r.status.ToString().c_str());
+    return r.status.ok();
+  };
+
+  bool ok = true;
+  // Alice in her own buffer: full access.
+  ok &= access(alice, "alice", session_a, AccessType::kWrite, "own buffer");
+  ok &= access(alice, "alice", session_a + 63 * kPageSize, AccessType::kRead, "own buffer end");
+  // Alice reading the shared result page of Bob's buffer: allowed, read-only.
+  ok &= access(alice, "alice", session_b, AccessType::kRead, "bob's shared page (ro)");
+  // Alice writing it: denied by the TCAM.
+  ok &= !access(alice, "alice", session_b, AccessType::kWrite, "bob's shared page (ro)");
+  // Alice deeper into Bob's buffer: denied outright.
+  ok &= !access(alice, "alice", session_b + 8 * kPageSize, AccessType::kRead, "bob's private");
+  // Bob symmetric.
+  ok &= access(bob, "bob", session_b + 8 * kPageSize, AccessType::kWrite, "own buffer");
+  ok &= !access(bob, "bob", session_a, AccessType::kRead, "alice's buffer");
+
+  // The server revokes Alice's read window — e.g. the session ended.
+  (void)rack.RevokeFromDomain(alice, session_b, kPageSize);
+  std::printf("\nserver revoked alice's window into bob's buffer\n");
+  ok &= !access(alice, "alice", session_b, AccessType::kRead, "bob's shared page (revoked)");
+
+  std::printf("\npermission denials enforced by the switch: %llu\n",
+              static_cast<unsigned long long>(rack.stats().permission_denials));
+  std::printf("%s\n", ok ? "OK" : "FAILURE");
+  return ok ? 0 : 1;
+}

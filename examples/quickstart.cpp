@@ -1,0 +1,70 @@
+// Quickstart: bring up a MIND rack, allocate disaggregated memory, and share it
+// transparently between threads running on *different* compute blades.
+//
+// This is the paper's headline capability: a process's threads spread across blades while
+// reading and writing one coherent address space — no application changes, no message
+// passing. The in-network directory keeps every byte coherent.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/mind.h"
+
+int main() {
+  using namespace mind;
+
+  // 1. Configure a small rack: 2 compute blades + 2 memory blades behind one programmable
+  //    switch. store_data=true moves real bytes (examples/tests); benches run metadata-only.
+  RackConfig config;
+  config.num_compute_blades = 2;
+  config.num_memory_blades = 2;
+  config.memory_blade_capacity = 1ull << 30;  // 1 GB per memory blade.
+  config.compute_cache_bytes = 64ull << 20;   // 64 MB local DRAM cache per compute blade.
+  config.store_data = true;
+  Rack rack(config);
+
+  // 2. Start a process and place one thread on each compute blade. Both threads share the
+  //    same PID — and therefore the same protection domain and address space (§6.1).
+  const ProcessId pid = *rack.Exec("quickstart");
+  const ThreadId alice = rack.SpawnThread(pid, /*pinned=*/0)->tid;
+  const ThreadId bob = rack.SpawnThread(pid, /*pinned=*/1)->tid;
+
+  // 3. mmap 1 MB of disaggregated memory. The control plane picks the least-loaded memory
+  //    blade, installs the translation + protection rules in the switch, and returns a VA.
+  const VirtAddr buf = *rack.Mmap(pid, 1 << 20, PermClass::kReadWrite);
+  std::printf("mmap'd 1 MB of disaggregated memory at VA 0x%llx\n",
+              static_cast<unsigned long long>(buf));
+
+  // 4. Alice (blade 0) writes a message.
+  const std::string hello = "hello from blade 0, via the in-network MMU";
+  SimTime now = *rack.WriteBytes(alice, buf, hello.data(), hello.size() + 1, 0);
+  std::printf("[blade 0] wrote: \"%s\"\n", hello.c_str());
+
+  // 5. Bob (blade 1) reads it back. The switch sees blade 1's RDMA read, finds the region
+  //    Modified at blade 0, invalidates it there (flushing the dirty page to its memory
+  //    blade), and serves blade 1 the fresh data — the M->S transition of Fig. 7.
+  char readback[128] = {};
+  now = *rack.ReadBytes(bob, buf, readback, sizeof(readback), now);
+  std::printf("[blade 1] read:  \"%s\"\n", readback);
+
+  // 6. Inspect what the coherence machinery did.
+  const RackStats& stats = rack.stats();
+  std::printf("\n--- rack stats ---\n");
+  std::printf("accesses:       %llu (%llu local hits, %llu remote)\n",
+              static_cast<unsigned long long>(stats.total_accesses),
+              static_cast<unsigned long long>(stats.local_hits),
+              static_cast<unsigned long long>(stats.remote_accesses));
+  std::printf("invalidations:  %llu (pages flushed: %llu)\n",
+              static_cast<unsigned long long>(stats.invalidations_sent),
+              static_cast<unsigned long long>(stats.pages_flushed));
+  std::printf("M->S handoffs:  %llu\n",
+              static_cast<unsigned long long>(stats.transitions_m_to_s));
+  std::printf("simulated time: %.2f us\n", ToMicros(now));
+
+  const bool ok = std::strcmp(readback, hello.c_str()) == 0;
+  std::printf("\n%s\n", ok ? "OK: blade 1 observed blade 0's write coherently."
+                           : "FAILURE: stale read!");
+  return ok ? 0 : 1;
+}

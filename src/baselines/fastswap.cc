@@ -1,0 +1,84 @@
+#include "src/baselines/fastswap.h"
+
+#include <algorithm>
+
+namespace mind {
+
+FastSwapSystem::FastSwapSystem(FastSwapConfig config)
+    : config_(config), fabric_(1, config.num_memory_blades, config.latency) {
+  cache_ = std::make_unique<DramCache>(config_.compute_cache_bytes >> kPageShift,
+                                       /*store_data=*/false);
+}
+
+Result<VirtAddr> FastSwapSystem::Alloc(uint64_t size) {
+  const VirtAddr base = next_va_;
+  next_va_ += AlignUp(size, kPageSize);
+  return base;
+}
+
+Result<ThreadId> FastSwapSystem::RegisterThread(ComputeBladeId blade) {
+  if (blade != 0) {
+    // The defining limitation: no transparent scaling beyond one compute blade (§2.2).
+    return Status(ErrorCode::kInvalidArgument,
+                  "FastSwap confines a process to a single compute blade");
+  }
+  return next_tid_++;
+}
+
+AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
+                                    AccessType type, SimTime now) {
+  (void)tid;
+  (void)blade;
+  ++counters_.total_accesses;
+  AccessResult res;
+  const uint64_t page = PageNumber(va);
+
+  DramCache::Frame* frame = cache_->Lookup(page);
+  if (frame != nullptr) {
+    // Swap systems install pages read-write; any hit is a plain DRAM access.
+    ++counters_.local_hits;
+    if (type == AccessType::kWrite) {
+      frame->dirty = true;
+    }
+    res.local_hit = true;
+    res.latency = config_.latency.local_cache_hit;
+    res.completion = now + res.latency;
+    return res;
+  }
+
+  // Page fault: frontswap fetch from the backing memory blade through the ToR switch
+  // (plain forwarding — no in-network memory logic).
+  ++counters_.remote_accesses;
+  SimTime t = now + config_.latency.page_fault_entry;
+  auto up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, t);
+  t = up.arrival + config_.latency.switch_pipeline;
+  const MemoryBladeId m = BackingBlade(page);
+  auto req = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadRequest, t);
+  t = req.arrival + config_.latency.memory_blade_service;
+  auto resp_up = fabric_.ToSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadResponse, t);
+  auto resp_down = fabric_.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse,
+                                      resp_up.arrival + config_.latency.switch_pipeline);
+  t = resp_down.arrival + config_.latency.pte_install;
+
+  auto evicted = cache_->Insert(page, /*writable=*/true, nullptr);
+  if (evicted.has_value() && evicted->dirty) {
+    // Asynchronous write-back of the victim page.
+    ++counters_.pages_flushed;
+    auto wb_up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaWriteRequest, t);
+    (void)fabric_.FromSwitch(Endpoint::Memory(BackingBlade(evicted->page)),
+                             MessageKind::kRdmaWriteRequest,
+                             wb_up.arrival + config_.latency.switch_pipeline);
+  }
+  if (type == AccessType::kWrite) {
+    cache_->MarkDirty(page);
+  }
+
+  res.latency = t - now;
+  res.completion = t;
+  res.breakdown.fault = config_.latency.page_fault_entry + config_.latency.pte_install;
+  res.breakdown.network = res.latency - res.breakdown.fault;
+  counters_.breakdown_sums += res.breakdown;
+  return res;
+}
+
+}  // namespace mind

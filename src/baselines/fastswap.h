@@ -1,0 +1,59 @@
+// FastSwap-like swap-based disaggregated memory baseline (§7, "Compared systems").
+//
+// FastSwap [Amaro et al., EuroSys'20] exposes far memory through the kernel swap path: page
+// faults fetch 4 KB pages from remote memory over RDMA, evictions push them back. There is
+// *no* coherence machinery — and therefore no cross-blade sharing: a process is confined to
+// one compute blade (the non-transparent end of the paper's design space, §2.2). Intra-blade
+// it scales almost linearly, like MIND (Fig. 5 left).
+#ifndef MIND_SRC_BASELINES_FASTSWAP_H_
+#define MIND_SRC_BASELINES_FASTSWAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/baselines/memory_system.h"
+#include "src/blade/dram_cache.h"
+#include "src/common/types.h"
+#include "src/net/fabric.h"
+#include "src/sim/latency_model.h"
+
+namespace mind {
+
+struct FastSwapConfig {
+  int num_memory_blades = 8;
+  uint64_t compute_cache_bytes = 512ull * 1024 * 1024;
+  uint64_t chunk_pages = 512;  // Remote placement granularity (2 MB).
+  LatencyModel latency;
+};
+
+class FastSwapSystem final : public MemorySystem {
+ public:
+  explicit FastSwapSystem(FastSwapConfig config);
+
+  [[nodiscard]] std::string name() const override { return "FastSwap"; }
+  [[nodiscard]] int num_compute_blades() const override { return 1; }
+
+  Result<VirtAddr> Alloc(uint64_t size) override;
+  Result<ThreadId> RegisterThread(ComputeBladeId blade) override;
+  AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
+                      SimTime now) override;
+  [[nodiscard]] SystemCounters counters() const override { return counters_; }
+
+ private:
+  [[nodiscard]] MemoryBladeId BackingBlade(uint64_t page) const {
+    return static_cast<MemoryBladeId>((page / config_.chunk_pages) %
+                                      static_cast<uint64_t>(config_.num_memory_blades));
+  }
+
+  FastSwapConfig config_;
+  Fabric fabric_;
+  std::unique_ptr<DramCache> cache_;
+  SystemCounters counters_;
+  VirtAddr next_va_ = 0x0000'7000'0000'0000ull;
+  ThreadId next_tid_ = 1;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_BASELINES_FASTSWAP_H_

@@ -1,0 +1,213 @@
+#include "src/baselines/gam.h"
+
+#include <algorithm>
+
+namespace mind {
+
+GamSystem::GamSystem(GamConfig config)
+    : config_(config),
+      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency) {
+  blades_.resize(static_cast<size_t>(config_.num_compute_blades));
+  for (auto& b : blades_) {
+    b.cache = std::make_unique<DramCache>(config_.compute_cache_bytes >> kPageShift,
+                                          /*store_data=*/false);
+  }
+}
+
+Result<VirtAddr> GamSystem::Alloc(uint64_t size) {
+  const VirtAddr base = next_va_;
+  next_va_ += AlignUp(size, kPageSize);
+  return base;
+}
+
+Result<ThreadId> GamSystem::RegisterThread(ComputeBladeId blade) {
+  if (blade >= config_.num_compute_blades) {
+    return Status(ErrorCode::kInvalidArgument, "no such blade");
+  }
+  return next_tid_++;
+}
+
+SimTime GamSystem::BladeToBlade(ComputeBladeId from, ComputeBladeId to, MessageKind kind,
+                                SimTime t) {
+  auto up = fabric_.ToSwitch(Endpoint::Compute(from), kind, t);
+  // Plain L2 forwarding through the switch: one pipeline pass, no recirculation.
+  auto down = fabric_.FromSwitch(Endpoint::Compute(to), kind,
+                                 up.arrival + config_.latency.switch_pipeline);
+  return down.arrival;
+}
+
+SimTime GamSystem::FetchFromMemory(uint64_t page, ComputeBladeId to, SimTime t) {
+  const MemoryBladeId m = BackingBlade(page);
+  // Full path: requester NIC -> switch -> memory blade -> switch -> requester.
+  auto issue = fabric_.ToSwitch(Endpoint::Compute(to), MessageKind::kRdmaReadRequest, t);
+  auto req = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadRequest,
+                                issue.arrival + config_.latency.switch_pipeline);
+  SimTime s = req.arrival + config_.latency.memory_blade_service;
+  auto up = fabric_.ToSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadResponse, s);
+  auto down = fabric_.FromSwitch(Endpoint::Compute(to), MessageKind::kRdmaReadResponse,
+                                 up.arrival + config_.latency.switch_pipeline);
+  return down.arrival;
+}
+
+SimTime GamSystem::FlushToMemory(uint64_t page, ComputeBladeId from, SimTime t) {
+  const MemoryBladeId m = BackingBlade(page);
+  auto up = fabric_.ToSwitch(Endpoint::Compute(from), MessageKind::kRdmaWriteRequest, t);
+  auto down = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaWriteRequest,
+                                 up.arrival + config_.latency.switch_pipeline);
+  return down.arrival + config_.latency.memory_blade_service;
+}
+
+SimTime GamSystem::PsoReadBarrier(ThreadId tid, uint64_t page, SimTime now) {
+  auto it = pending_writes_.find(tid);
+  if (it == pending_writes_.end()) {
+    return now;
+  }
+  SimTime barrier = now;
+  for (const auto& w : it->second) {
+    if (w.page == page) {
+      barrier = std::max(barrier, w.completion);
+    }
+  }
+  std::erase_if(it->second,
+                [barrier](const PendingWrite& w) { return w.completion <= barrier; });
+  if (it->second.empty()) {
+    pending_writes_.erase(it);
+  }
+  return barrier;
+}
+
+AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
+                               AccessType type, SimTime now) {
+  ++counters_.total_accesses;
+  AccessResult res;
+  const uint64_t page = PageNumber(va);
+  BladeState& local = blades_[blade];
+
+  const SimTime req_now = now;
+  if (type == AccessType::kRead) {
+    now = PsoReadBarrier(tid, page, now);
+  }
+
+  // Library fast path: permission check + lock on *every* access (GAM has no MMU help).
+  const auto lock_grant = local.lock.Acquire(now, config_.lock_service);
+  SimTime t = lock_grant.finish + config_.latency.gam_local_access;
+
+  DramCache::Frame* frame = local.cache->Lookup(page);
+  const bool hit = frame != nullptr && (type == AccessType::kRead || frame->writable);
+  if (hit) {
+    ++counters_.local_hits;
+    if (type == AccessType::kWrite) {
+      frame->dirty = true;
+    }
+    res.local_hit = true;
+    res.latency = t - req_now;  // Includes any PSO read-barrier stall.
+    res.completion = t;
+    res.breakdown.fault = t - req_now;
+    return res;
+  }
+
+  // Miss: consult the home node's software directory.
+  ++counters_.remote_accesses;
+  const ComputeBladeId home = HomeOf(page);
+  if (home != blade) {
+    t = BladeToBlade(blade, home, MessageKind::kRdmaReadRequest, t);
+  }
+  BladeState& home_state = blades_[home];
+  const auto handler_grant = home_state.handler.Acquire(t, config_.latency.gam_software_handler);
+  t = handler_grant.finish;
+
+  DirEntry& dir = home_state.directory[page];
+  const bool conflicting =
+      type == AccessType::kWrite || dir.state == MsiState::kModified;
+  if (conflicting) {
+    // Only conflicting transitions wait out an in-flight one; S->S reads proceed.
+    t = std::max(t, dir.busy_until);
+  }
+  res.prev_state = dir.state;
+
+  SimTime inv_done = t;
+  // Downgrade/invalidate remote copies as MSI requires. GAM tracks pages exactly, so there
+  // are never false invalidations; messages are sequential unicast (software sender).
+  if (dir.state == MsiState::kModified && dir.owner != blade) {
+    // Owner flushes the page, sequentially before the fetch.
+    SimTime at_owner = BladeToBlade(home, dir.owner, MessageKind::kInvalidation, t);
+    (void)blades_[dir.owner].cache->InvalidateRange(page, page + 1);
+    at_owner += config_.latency.invalidation_handler_cpu + config_.latency.page_flush_cpu;
+    const SimTime flushed = FlushToMemory(page, dir.owner, at_owner);
+    ++counters_.invalidations;
+    ++counters_.pages_flushed;
+    inv_done = BladeToBlade(dir.owner, home, MessageKind::kInvalidationAck, at_owner);
+    t = std::max(flushed, inv_done);
+  } else if (type == AccessType::kWrite && dir.state == MsiState::kShared) {
+    SharerMask others = dir.sharers & ~BladeBit(blade);
+    SimTime send = t;
+    while (others != 0) {
+      const auto s = static_cast<ComputeBladeId>(LowestSetBit(others));
+      others &= others - 1;
+      const SimTime at_sharer = BladeToBlade(home, s, MessageKind::kInvalidation, send);
+      send += config_.latency.rdma_message_overhead;  // Sequential software sends.
+      (void)blades_[s].cache->InvalidateRange(page, page + 1);
+      ++counters_.invalidations;
+      const SimTime ack = BladeToBlade(s, home, MessageKind::kInvalidationAck,
+                                       at_sharer + config_.latency.invalidation_handler_cpu);
+      inv_done = std::max(inv_done, ack);
+    }
+    t = std::max(t, inv_done);
+  }
+
+  // Fetch the page from the backing memory blade to the requester.
+  const bool need_data = frame == nullptr;
+  SimTime data_at = t;
+  if (need_data) {
+    data_at = FetchFromMemory(page, blade, t);
+  } else {
+    data_at = BladeToBlade(home, blade, MessageKind::kRdmaWriteAck, t);
+  }
+  const SimTime done = std::max(data_at, inv_done) + config_.latency.gam_local_access;
+
+  // Commit directory.
+  if (type == AccessType::kWrite) {
+    dir.state = MsiState::kModified;
+    dir.owner = blade;
+    dir.sharers = BladeBit(blade);
+  } else {
+    dir.state = MsiState::kShared;
+    dir.sharers |= BladeBit(blade);
+    dir.owner = kInvalidComputeBlade;
+  }
+  if (conflicting) {
+    dir.busy_until = done;
+  }
+  res.next_state = dir.state;
+
+  // Install locally; evict write-backs as needed.
+  if (need_data) {
+    auto evicted = local.cache->Insert(page, type == AccessType::kWrite, nullptr);
+    if (evicted.has_value() && evicted->dirty) {
+      (void)FlushToMemory(evicted->page, blade, done);
+      ++counters_.pages_flushed;
+    }
+  } else if (type == AccessType::kWrite) {
+    local.cache->MakeWritable(page);
+  }
+  if (type == AccessType::kWrite) {
+    local.cache->MarkDirty(page);
+  }
+
+  res.completion = done;
+  res.breakdown.fault = config_.latency.gam_local_access;
+  res.breakdown.network =
+      done - req_now > res.breakdown.fault ? done - req_now - res.breakdown.fault : 0;
+  counters_.breakdown_sums += res.breakdown;
+
+  // PSO: writes return to the thread as soon as the library hands off the request.
+  if (type == AccessType::kWrite) {
+    res.latency = (lock_grant.finish + config_.latency.gam_local_access) - req_now;
+    pending_writes_[tid].push_back(PendingWrite{page, done});
+  } else {
+    res.latency = done - req_now;
+  }
+  return res;
+}
+
+}  // namespace mind

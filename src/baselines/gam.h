@@ -1,0 +1,105 @@
+// GAM-like software DSM baseline, adapted to the disaggregated setting (§7, "Compared
+// systems").
+//
+// GAM [Cai et al., VLDB'18] is a software distributed shared memory with a *compute-blade-
+// homed* cache directory and PSO consistency. Its defining performance behaviours in the
+// paper's comparison are:
+//   1. Every access — even a local cache hit — pays user-level library overhead (permission
+//      check + lock acquisition), ~10x MIND's MMU-backed local hit. The per-blade lock
+//      serializes, which is what bends GAM's intra-blade scaling past ~4 threads (Fig. 5 left).
+//   2. Misses traverse a *home node* (another compute blade) whose software handler runs on
+//      a CPU, then the data is fetched from the owner/memory — sequential remote hops.
+//   3. PSO lets writes propagate asynchronously, and page-granularity directory entries in
+//      blade DRAM mean no capacity pressure and no false invalidations — which is why GAM
+//      overtakes MIND-TSO under heavy read-write sharing (Fig. 5 center, M_A/M_C).
+#ifndef MIND_SRC_BASELINES_GAM_H_
+#define MIND_SRC_BASELINES_GAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/memory_system.h"
+#include "src/blade/dram_cache.h"
+#include "src/common/types.h"
+#include "src/net/fabric.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/resource.h"
+
+namespace mind {
+
+struct GamConfig {
+  int num_compute_blades = 8;
+  int num_memory_blades = 8;
+  uint64_t compute_cache_bytes = 512ull * 1024 * 1024;
+  uint64_t home_chunk_pages = 512;  // 2 MB home-partition granularity.
+  LatencyModel latency;
+  SimTime lock_service = 150;       // Serialized slice of the per-access library work.
+};
+
+class GamSystem final : public MemorySystem {
+ public:
+  explicit GamSystem(GamConfig config);
+
+  [[nodiscard]] std::string name() const override { return "GAM"; }
+  [[nodiscard]] int num_compute_blades() const override { return config_.num_compute_blades; }
+
+  Result<VirtAddr> Alloc(uint64_t size) override;
+  Result<ThreadId> RegisterThread(ComputeBladeId blade) override;
+  AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
+                      SimTime now) override;
+  [[nodiscard]] SystemCounters counters() const override { return counters_; }
+
+ private:
+  // Page-granularity directory entry, held in the home blade's DRAM (unbounded).
+  struct DirEntry {
+    MsiState state = MsiState::kInvalid;
+    ComputeBladeId owner = kInvalidComputeBlade;
+    SharerMask sharers = 0;
+    SimTime busy_until = 0;
+  };
+
+  struct BladeState {
+    std::unique_ptr<DramCache> cache;
+    FifoResource lock;     // User-level library lock (every access).
+    FifoResource handler;  // Home-node request handler (software, one CPU path).
+    std::unordered_map<uint64_t, DirEntry> directory;  // Pages homed at this blade.
+  };
+
+  [[nodiscard]] ComputeBladeId HomeOf(uint64_t page) const {
+    return static_cast<ComputeBladeId>((page / config_.home_chunk_pages) %
+                                       static_cast<uint64_t>(config_.num_compute_blades));
+  }
+  [[nodiscard]] MemoryBladeId BackingBlade(uint64_t page) const {
+    return static_cast<MemoryBladeId>((page / config_.home_chunk_pages) %
+                                      static_cast<uint64_t>(config_.num_memory_blades));
+  }
+
+  // One control hop between two compute blades, through the switch (plain forwarding).
+  SimTime BladeToBlade(ComputeBladeId from, ComputeBladeId to, MessageKind kind, SimTime t);
+  // Page fetch from the backing memory blade to `to`.
+  SimTime FetchFromMemory(uint64_t page, ComputeBladeId to, SimTime t);
+  // Page flush from `from` to the backing memory blade.
+  SimTime FlushToMemory(uint64_t page, ComputeBladeId from, SimTime t);
+
+  // PSO pending-store bookkeeping (same semantics as Rack's).
+  struct PendingWrite {
+    uint64_t page = 0;
+    SimTime completion = 0;
+  };
+  SimTime PsoReadBarrier(ThreadId tid, uint64_t page, SimTime now);
+
+  GamConfig config_;
+  Fabric fabric_;
+  std::vector<BladeState> blades_;
+  std::unordered_map<ThreadId, std::vector<PendingWrite>> pending_writes_;
+  SystemCounters counters_;
+  VirtAddr next_va_ = 0x0000'7000'0000'0000ull;
+  ThreadId next_tid_ = 1;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_BASELINES_GAM_H_

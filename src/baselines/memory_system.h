@@ -1,0 +1,53 @@
+// Common replay interface over the three compared systems (§7, "Compared systems").
+//
+// The paper captures each workload's memory accesses once (with Intel PIN) and replays the
+// *identical* access stream against MIND, GAM and FastSwap through a memory-access emulator.
+// MemorySystem is that emulator's system-side interface: allocate segments, register worker
+// threads on blades, and issue timed accesses.
+#ifndef MIND_SRC_BASELINES_MEMORY_SYSTEM_H_
+#define MIND_SRC_BASELINES_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/core/access.h"
+
+namespace mind {
+
+// Counters every compared system reports; MIND additionally exposes RackStats.
+struct SystemCounters {
+  uint64_t total_accesses = 0;
+  uint64_t local_hits = 0;
+  uint64_t remote_accesses = 0;
+  uint64_t invalidations = 0;
+  uint64_t pages_flushed = 0;
+  uint64_t false_invalidations = 0;
+  LatencyBreakdown breakdown_sums;
+};
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int num_compute_blades() const = 0;
+
+  // Allocates a segment of the workload's address space (setup phase; not timed).
+  virtual Result<VirtAddr> Alloc(uint64_t size) = 0;
+
+  // Registers a worker thread pinned to `blade`. Systems without multi-blade support
+  // (FastSwap) reject blades other than 0.
+  virtual Result<ThreadId> RegisterThread(ComputeBladeId blade) = 0;
+
+  // One timed memory access from `tid` (running on `blade`) at logical time `now`.
+  virtual AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
+                              SimTime now) = 0;
+
+  [[nodiscard]] virtual SystemCounters counters() const = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_BASELINES_MEMORY_SYSTEM_H_

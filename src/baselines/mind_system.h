@@ -1,0 +1,69 @@
+// MemorySystem adapter over the MIND rack.
+#ifndef MIND_SRC_BASELINES_MIND_SYSTEM_H_
+#define MIND_SRC_BASELINES_MIND_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/memory_system.h"
+#include "src/core/mind.h"
+
+namespace mind {
+
+class MindSystem final : public MemorySystem {
+ public:
+  explicit MindSystem(RackConfig config, std::string label = "MIND")
+      : rack_(std::make_unique<Rack>(config)), label_(std::move(label)) {
+    auto pid = rack_->Exec("workload");
+    pid_ = *pid;
+    pdid_ = *rack_->controller().PdidOf(pid_);
+  }
+
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] int num_compute_blades() const override {
+    return rack_->config().num_compute_blades;
+  }
+
+  Result<VirtAddr> Alloc(uint64_t size) override {
+    return rack_->Mmap(pid_, size, PermClass::kReadWrite);
+  }
+
+  Result<ThreadId> RegisterThread(ComputeBladeId blade) override {
+    auto placement = rack_->SpawnThread(pid_, blade);
+    if (!placement.ok()) {
+      return placement.status();
+    }
+    return placement->tid;
+  }
+
+  AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
+                      SimTime now) override {
+    return rack_->Access(AccessRequest{tid, blade, pdid_, va, type, now});
+  }
+
+  [[nodiscard]] SystemCounters counters() const override {
+    const RackStats& s = rack_->stats();
+    SystemCounters c;
+    c.total_accesses = s.total_accesses;
+    c.local_hits = s.local_hits;
+    c.remote_accesses = s.remote_accesses;
+    c.invalidations = s.invalidations_sent;
+    c.pages_flushed = s.pages_flushed;
+    c.false_invalidations = s.false_invalidations;
+    c.breakdown_sums = s.breakdown_sums;
+    return c;
+  }
+
+  [[nodiscard]] Rack& rack() { return *rack_; }
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+ private:
+  std::unique_ptr<Rack> rack_;
+  std::string label_;
+  ProcessId pid_ = kInvalidProcess;
+  ProtDomainId pdid_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_BASELINES_MIND_SYSTEM_H_

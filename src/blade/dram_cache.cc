@@ -1,0 +1,121 @@
+#include "src/blade/dram_cache.h"
+
+#include <cassert>
+
+namespace mind {
+
+DramCache::Frame* DramCache::Lookup(uint64_t page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) {
+    return nullptr;
+  }
+  TouchLru(page, it->second);
+  return &it->second;
+}
+
+const DramCache::Frame* DramCache::Peek(uint64_t page) const {
+  auto it = frames_.find(page);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+void DramCache::TouchLru(uint64_t page, Frame& frame) {
+  lru_.erase(frame.lru_it);
+  lru_.push_front(page);
+  frame.lru_it = lru_.begin();
+}
+
+std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writable,
+                                                     std::unique_ptr<PageData> data,
+                                                     ProtDomainId pdid) {
+  if (auto it = frames_.find(page); it != frames_.end()) {
+    // Re-insert: permission upgrade and/or fresh data.
+    it->second.writable = it->second.writable || writable;
+    it->second.pdid = pdid;
+    if (data != nullptr) {
+      it->second.data = std::move(data);
+    }
+    TouchLru(page, it->second);
+    return std::nullopt;
+  }
+
+  std::optional<Eviction> evicted;
+  if (frames_.size() >= capacity_ && capacity_ > 0) {
+    assert(!lru_.empty());
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = frames_.find(victim);
+    assert(vit != frames_.end());
+    evicted = Eviction{victim, vit->second.dirty, std::move(vit->second.data)};
+    frames_.erase(vit);
+  }
+
+  Frame frame;
+  frame.writable = writable;
+  frame.dirty = false;
+  frame.pdid = pdid;
+  if (store_data_) {
+    frame.data = data != nullptr ? std::move(data) : std::make_unique<PageData>();
+  }
+  lru_.push_front(page);
+  frame.lru_it = lru_.begin();
+  frames_.emplace(page, std::move(frame));
+  return evicted;
+}
+
+void DramCache::MakeWritable(uint64_t page) {
+  if (auto it = frames_.find(page); it != frames_.end()) {
+    it->second.writable = true;
+  }
+}
+
+void DramCache::MarkDirty(uint64_t page) {
+  if (auto it = frames_.find(page); it != frames_.end()) {
+    it->second.dirty = true;
+  }
+}
+
+DramCache::RangeInvalidation DramCache::InvalidateRange(uint64_t page_begin,
+                                                        uint64_t page_end) {
+  RangeInvalidation result;
+  auto it = frames_.lower_bound(page_begin);
+  while (it != frames_.end() && it->first < page_end) {
+    if (it->second.dirty) {
+      result.flushed.push_back(Eviction{it->first, true, std::move(it->second.data)});
+    } else {
+      ++result.dropped_clean;
+    }
+    lru_.erase(it->second.lru_it);
+    it = frames_.erase(it);
+  }
+  return result;
+}
+
+DramCache::RangeInvalidation DramCache::DowngradeRange(uint64_t page_begin,
+                                                       uint64_t page_end) {
+  RangeInvalidation result;
+  for (auto it = frames_.lower_bound(page_begin); it != frames_.end() && it->first < page_end;
+       ++it) {
+    if (it->second.dirty) {
+      // Flush a copy; the page stays cached read-only.
+      Eviction flushed{it->first, true, nullptr};
+      if (it->second.data != nullptr) {
+        flushed.data = std::make_unique<PageData>(*it->second.data);
+      }
+      result.flushed.push_back(std::move(flushed));
+      it->second.dirty = false;
+    }
+    it->second.writable = false;
+  }
+  return result;
+}
+
+uint64_t DramCache::CountRange(uint64_t page_begin, uint64_t page_end) const {
+  uint64_t count = 0;
+  for (auto it = frames_.lower_bound(page_begin); it != frames_.end() && it->first < page_end;
+       ++it) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace mind

@@ -1,0 +1,93 @@
+// Compute-blade local DRAM cache (§2.1 partial disaggregation, §6.1).
+//
+// Under MIND's partial-disaggregation model each compute blade keeps a few GB of local DRAM
+// as a *virtually addressed* page cache (512 MB in the paper's evaluation — ~25% of workload
+// footprint). The cache tracks per-page write permission and dirtiness; on an invalidation
+// for a region it must flush every writable (dirty) page in that region and drop all local
+// PTEs for it (§6.1). Eviction is LRU with write-back of dirty pages.
+//
+// Page payloads are optional: correctness tests and the examples move real bytes, while the
+// figure benches run metadata-only to keep memory use flat.
+#ifndef MIND_SRC_BLADE_DRAM_CACHE_H_
+#define MIND_SRC_BLADE_DRAM_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace mind {
+
+using PageData = std::array<uint8_t, kPageSize>;
+
+class DramCache {
+ public:
+  DramCache(uint64_t capacity_frames, bool store_data)
+      : capacity_(capacity_frames), store_data_(store_data) {}
+
+  struct Frame {
+    bool dirty = false;
+    bool writable = false;
+    // Protection domain that faulted the page in. A hit from a different domain re-checks
+    // against the switch's protection table (MPK-style domain tags on local PTEs), so one
+    // session can never ride another session's cached pages (§4.2).
+    ProtDomainId pdid = 0;
+    std::unique_ptr<PageData> data;  // Null when the cache is metadata-only.
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  // Returns the frame caching `page` (a page number), or nullptr. Bumps LRU recency.
+  Frame* Lookup(uint64_t page);
+  [[nodiscard]] const Frame* Peek(uint64_t page) const;  // No LRU side effects.
+
+  // Inserts (or updates) a page. If the cache is full, evicts the LRU page first and
+  // returns it so the caller can write back dirty data. `data` may be null.
+  struct Eviction {
+    uint64_t page = 0;
+    bool dirty = false;
+    std::unique_ptr<PageData> data;
+  };
+  std::optional<Eviction> Insert(uint64_t page, bool writable,
+                                 std::unique_ptr<PageData> data = nullptr,
+                                 ProtDomainId pdid = 0);
+
+  // Upgrades an existing frame to writable (S->M locally). No-op if absent.
+  void MakeWritable(uint64_t page);
+  // Marks a cached page dirty after a store. No-op if absent.
+  void MarkDirty(uint64_t page);
+
+  // Invalidates every cached page in [page_begin, page_end): dirty pages are returned for
+  // write-back (these are the "flushed pages" of Fig. 6), clean pages are simply dropped.
+  struct RangeInvalidation {
+    std::vector<Eviction> flushed;  // Dirty pages needing write-back, ascending page order.
+    uint64_t dropped_clean = 0;
+  };
+  RangeInvalidation InvalidateRange(uint64_t page_begin, uint64_t page_end);
+
+  // Downgrade to read-only without dropping: flushes dirty pages (returned) and clears
+  // write permission. Used by the ablation that keeps M->S sharers resident.
+  RangeInvalidation DowngradeRange(uint64_t page_begin, uint64_t page_end);
+
+  [[nodiscard]] uint64_t CountRange(uint64_t page_begin, uint64_t page_end) const;
+
+  [[nodiscard]] uint64_t size() const { return frames_.size(); }
+  [[nodiscard]] uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] bool store_data() const { return store_data_; }
+
+ private:
+  void TouchLru(uint64_t page, Frame& frame);
+
+  uint64_t capacity_;
+  bool store_data_;
+  std::map<uint64_t, Frame> frames_;  // Ordered by page number for range invalidations.
+  std::list<uint64_t> lru_;           // Front = most recently used.
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_BLADE_DRAM_CACHE_H_

@@ -1,0 +1,72 @@
+// Passive memory blade (§3.2, §6.2).
+//
+// MIND's memory blades store pages and answer one-sided RDMA reads/writes — no CPU cycles,
+// no RPC handlers, no polling threads. We model the blade as a page store behind a NIC whose
+// service time covers the DMA into/out of DRAM. Byte storage is optional (metadata-only for
+// the large benches).
+#ifndef MIND_SRC_BLADE_MEMORY_BLADE_H_
+#define MIND_SRC_BLADE_MEMORY_BLADE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "src/blade/dram_cache.h"  // For PageData.
+#include "src/common/types.h"
+
+namespace mind {
+
+class MemoryBlade {
+ public:
+  MemoryBlade(MemoryBladeId id, uint64_t capacity_bytes, bool store_data)
+      : id_(id), capacity_pages_(capacity_bytes >> kPageShift), store_data_(store_data) {}
+
+  [[nodiscard]] MemoryBladeId id() const { return id_; }
+  [[nodiscard]] uint64_t capacity_pages() const { return capacity_pages_; }
+
+  // One-sided RDMA write of a full page at physical page number `pa_page`. Pages are
+  // zero-filled on first touch, matching anonymous-mmap semantics.
+  void WritePage(uint64_t pa_page, const PageData* data) {
+    ++writes_;
+    if (!store_data_) {
+      return;
+    }
+    auto& slot = pages_[pa_page];
+    if (slot == nullptr) {
+      slot = std::make_unique<PageData>();
+      slot->fill(0);
+    }
+    if (data != nullptr) {
+      *slot = *data;
+    }
+  }
+
+  // One-sided RDMA read. Returns null in metadata-only mode or for never-written pages
+  // (semantically all-zero).
+  [[nodiscard]] const PageData* ReadPage(uint64_t pa_page) {
+    ++reads_;
+    if (!store_data_) {
+      return nullptr;
+    }
+    auto it = pages_.find(pa_page);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+  [[nodiscard]] uint64_t reads() const { return reads_; }
+  [[nodiscard]] uint64_t writes() const { return writes_; }
+  [[nodiscard]] uint64_t resident_pages() const { return pages_.size(); }
+  [[nodiscard]] bool store_data() const { return store_data_; }
+
+ private:
+  MemoryBladeId id_;
+  uint64_t capacity_pages_;
+  bool store_data_;
+  std::unordered_map<uint64_t, std::unique_ptr<PageData>> pages_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_BLADE_MEMORY_BLADE_H_

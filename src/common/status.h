@@ -1,0 +1,120 @@
+// Lightweight status / result types used across MIND modules.
+//
+// The control plane returns Linux-compatible error codes to compute blades (§6.1); ErrorCode
+// mirrors the subset of errno values MIND emits, plus internal conditions (switch resource
+// exhaustion) that the control plane maps to ENOMEM before replying to a blade.
+#ifndef MIND_SRC_COMMON_STATUS_H_
+#define MIND_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mind {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  kNoMemory,          // ENOMEM: no virtual or physical space left.
+  kInvalidArgument,   // EINVAL: malformed request (unaligned, zero-length, ...).
+  kPermissionDenied,  // EACCES: protection table rejected the access (§4.2).
+  kFault,             // EFAULT: address not covered by any vma.
+  kExists,            // EEXIST: overlapping allocation.
+  kNotFound,          // ESRCH / ENOENT: unknown process, vma or directory entry.
+  kResourceExhausted, // Switch ASIC resource limit hit (TCAM rules or SRAM slots).
+  kTimedOut,          // Communication failure after retransmission limit (§4.4).
+  kUnavailable,       // Component offline (failure injection).
+};
+
+[[nodiscard]] constexpr const char* ToString(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNoMemory:
+      return "no-memory";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kPermissionDenied:
+      return "permission-denied";
+    case ErrorCode::kFault:
+      return "fault";
+    case ErrorCode::kExists:
+      return "exists";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kResourceExhausted:
+      return "resource-exhausted";
+    case ErrorCode::kTimedOut:
+      return "timed-out";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string s = mind::ToString(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Minimal expected-like result wrapper. Holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result error must carry a non-ok status");
+  }
+  Result(ErrorCode code) : data_(Status(code)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_COMMON_STATUS_H_

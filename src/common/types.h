@@ -1,0 +1,186 @@
+// Core value types shared by every MIND module.
+//
+// MIND operates on a single global virtual address space (the paper, §4.1) that is
+// range-partitioned across memory blades. All addresses here are 64-bit; simulated time is
+// kept in nanoseconds so that both sub-100ns DRAM hits and 100ms control-plane epochs are
+// representable without conversion.
+#ifndef MIND_SRC_COMMON_TYPES_H_
+#define MIND_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mind {
+
+// ---------------------------------------------------------------------------
+// Addresses and pages.
+// ---------------------------------------------------------------------------
+
+using VirtAddr = uint64_t;
+using PhysAddr = uint64_t;
+
+inline constexpr uint64_t kPageShift = 12;                  // 4 KB pages, as in the paper.
+inline constexpr uint64_t kPageSize = 1ull << kPageShift;   // 4096
+inline constexpr uint64_t kPageMask = ~(kPageSize - 1);
+
+// Default region-granularity constants for the cache directory (§4.3, §5).
+inline constexpr uint64_t kMinRegionSize = kPageSize;            // 4 KB floor for splitting.
+inline constexpr uint64_t kDefaultInitialRegionSize = 16 * 1024; // 16 KB (paper default).
+inline constexpr uint64_t kDefaultBaseRegionSize = 2 * 1024 * 1024;  // M = 2 MB base regions.
+
+[[nodiscard]] constexpr VirtAddr PageBase(VirtAddr va) { return va & kPageMask; }
+[[nodiscard]] constexpr uint64_t PageNumber(VirtAddr va) { return va >> kPageShift; }
+[[nodiscard]] constexpr VirtAddr PageToAddr(uint64_t page_number) {
+  return page_number << kPageShift;
+}
+
+// ---------------------------------------------------------------------------
+// Simulated time (nanoseconds).
+// ---------------------------------------------------------------------------
+
+using SimTime = uint64_t;  // Nanoseconds since simulation start.
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * 1000;
+inline constexpr SimTime kSecond = 1000ull * 1000 * 1000;
+
+[[nodiscard]] constexpr double ToMicros(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+[[nodiscard]] constexpr double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+[[nodiscard]] constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Identifiers.
+// ---------------------------------------------------------------------------
+
+// Compute blades and memory blades live in distinct id spaces; both are dense small integers
+// assigned by the rack at construction time.
+using ComputeBladeId = uint16_t;
+using MemoryBladeId = uint16_t;
+using ThreadId = uint32_t;  // Globally unique across blades.
+using ProcessId = uint32_t;
+// Protection-domain id (§4.2). For unmodified applications MIND uses the PID as the PDID.
+using ProtDomainId = uint32_t;
+
+inline constexpr ComputeBladeId kInvalidComputeBlade =
+    std::numeric_limits<ComputeBladeId>::max();
+inline constexpr MemoryBladeId kInvalidMemoryBlade = std::numeric_limits<MemoryBladeId>::max();
+inline constexpr ProcessId kInvalidProcess = std::numeric_limits<ProcessId>::max();
+
+// ---------------------------------------------------------------------------
+// Access and permission model (§4.2).
+// ---------------------------------------------------------------------------
+
+enum class AccessType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+[[nodiscard]] constexpr const char* ToString(AccessType t) {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+// Permission classes. MIND maps Linux permissions onto these for unmodified applications,
+// but richer classes can be defined per protection domain.
+enum class PermClass : uint8_t {
+  kNone = 0,
+  kReadOnly = 1,
+  kReadWrite = 2,
+};
+
+[[nodiscard]] constexpr bool Permits(PermClass pc, AccessType t) {
+  switch (pc) {
+    case PermClass::kNone:
+      return false;
+    case PermClass::kReadOnly:
+      return t == AccessType::kRead;
+    case PermClass::kReadWrite:
+      return true;
+  }
+  return false;
+}
+
+[[nodiscard]] constexpr const char* ToString(PermClass pc) {
+  switch (pc) {
+    case PermClass::kNone:
+      return "none";
+    case PermClass::kReadOnly:
+      return "read-only";
+    case PermClass::kReadWrite:
+      return "read-write";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MSI coherence states (§4.3).
+// ---------------------------------------------------------------------------
+
+enum class MsiState : uint8_t {
+  kInvalid = 0,    // I: no compute-blade cache holds any page of the region.
+  kShared = 1,     // S: one or more blades hold read-only copies.
+  kModified = 2,   // M: exactly one blade owns the region read-write.
+  // E exists only under the MESI extension (§8 "Other coherence protocols"): a single blade
+  // holds the region with silent-upgrade privilege (pages installed writable), so its first
+  // write needs no coherence transaction. The directory treats E as possibly dirty.
+  kExclusive = 3,
+};
+
+[[nodiscard]] constexpr const char* ToString(MsiState s) {
+  switch (s) {
+    case MsiState::kInvalid:
+      return "I";
+    case MsiState::kShared:
+      return "S";
+    case MsiState::kModified:
+      return "M";
+    case MsiState::kExclusive:
+      return "E";
+  }
+  return "?";
+}
+
+// Coherence protocol selection: the paper's MSI, or the MESI extension it sketches in §8.
+enum class CoherenceProtocol : uint8_t {
+  kMsi = 0,
+  kMesi = 1,
+};
+
+[[nodiscard]] constexpr const char* ToString(CoherenceProtocol p) {
+  return p == CoherenceProtocol::kMsi ? "MSI" : "MESI";
+}
+
+// Sharer lists are bitmasks over compute blades; the rack is capped at 64 compute blades,
+// far beyond the 8-blade rack evaluated in the paper.
+using SharerMask = uint64_t;
+inline constexpr int kMaxComputeBlades = 64;
+
+[[nodiscard]] constexpr SharerMask BladeBit(ComputeBladeId b) { return SharerMask{1} << b; }
+
+// ---------------------------------------------------------------------------
+// Memory consistency models (§6.1, §7.1).
+// ---------------------------------------------------------------------------
+
+enum class ConsistencyModel : uint8_t {
+  // Total Store Order: the page-fault-driven implementation on x86; writes that trigger
+  // coherence transitions block the issuing thread until the transition completes.
+  kTso = 0,
+  // Processor Store Order (simulated, as MIND-PSO in §7.1): writes propagate asynchronously;
+  // a subsequent read to the same region blocks until the pending write completes.
+  kPso = 1,
+};
+
+[[nodiscard]] constexpr const char* ToString(ConsistencyModel m) {
+  return m == ConsistencyModel::kTso ? "TSO" : "PSO";
+}
+
+}  // namespace mind
+
+#endif  // MIND_SRC_COMMON_TYPES_H_

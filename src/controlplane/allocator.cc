@@ -1,0 +1,195 @@
+#include "src/controlplane/allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mind {
+
+Status BalancedAllocator::AddBlade(MemoryBladeId blade, VirtAddr va_start, uint64_t capacity) {
+  if (capacity == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-capacity blade");
+  }
+  for (const auto& b : blades_) {
+    if (va_start < b.start + b.capacity && b.start < va_start + capacity) {
+      return Status(ErrorCode::kExists, "partition overlaps existing blade");
+    }
+  }
+  Blade b;
+  b.id = blade;
+  b.start = va_start;
+  b.capacity = capacity;
+  b.free_extents[va_start] = capacity;
+  blades_.push_back(std::move(b));
+  return Status::Ok();
+}
+
+Result<VirtAddr> BalancedAllocator::AllocateInBlade(Blade& blade, uint64_t size,
+                                                    uint64_t alignment) {
+  for (auto it = blade.free_extents.begin(); it != blade.free_extents.end(); ++it) {
+    const VirtAddr ext_base = it->first;
+    const uint64_t ext_size = it->second;
+    const VirtAddr aligned = AlignUp(ext_base, alignment);
+    const uint64_t padding = aligned - ext_base;
+    if (padding + size > ext_size) {
+      continue;
+    }
+    // Carve [aligned, aligned + size) out of the extent.
+    blade.free_extents.erase(it);
+    if (padding > 0) {
+      blade.free_extents[ext_base] = padding;
+    }
+    const uint64_t tail = ext_size - padding - size;
+    if (tail > 0) {
+      blade.free_extents[aligned + size] = tail;
+    }
+    blade.allocated += size;
+    return aligned;
+  }
+  return Status(ErrorCode::kNoMemory, "no extent fits in blade partition");
+}
+
+void BalancedAllocator::FreeInBlade(Blade& blade, VirtAddr base, uint64_t size) {
+  blade.allocated -= std::min(blade.allocated, size);
+  auto [it, inserted] = blade.free_extents.emplace(base, size);
+  assert(inserted && "double free");
+  // Coalesce with right neighbour.
+  auto next = std::next(it);
+  if (next != blade.free_extents.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    blade.free_extents.erase(next);
+  }
+  // Coalesce with left neighbour.
+  if (it != blade.free_extents.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      blade.free_extents.erase(it);
+    }
+  }
+}
+
+int BalancedAllocator::PickLeastLoaded(uint64_t size) const {
+  int best = -1;
+  uint64_t best_allocated = UINT64_MAX;
+  for (size_t i = 0; i < blades_.size(); ++i) {
+    const Blade& b = blades_[i];
+    if (b.allocated + size > b.capacity) {
+      continue;  // Fast reject; first-fit may still fail on fragmentation, handled below.
+    }
+    if (b.allocated < best_allocated) {
+      best_allocated = b.allocated;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+Result<VmaAllocation> BalancedAllocator::Allocate(uint64_t size) {
+  if (size == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-size allocation");
+  }
+  if (blades_.empty()) {
+    return Status(ErrorCode::kNoMemory, "no memory blades registered");
+  }
+
+  VmaAllocation vma;
+  vma.requested_size = size;
+
+  if (config_.policy == PlacementPolicy::kBalanced) {
+    uint64_t rounded = AlignUp(size, kPageSize);
+    if (config_.round_sizes_to_pow2) {
+      rounded = RoundUpPowerOfTwo(rounded);
+    }
+    // Try least-loaded first; on fragmentation failure fall through to the next candidates.
+    std::vector<size_t> order(blades_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return blades_[a].allocated < blades_[b].allocated;
+    });
+    for (size_t idx : order) {
+      Blade& blade = blades_[idx];
+      // Align to the allocation's own (power-of-two) size so the vma is one TCAM entry.
+      const uint64_t alignment = config_.round_sizes_to_pow2 ? rounded : kPageSize;
+      auto base = AllocateInBlade(blade, rounded, alignment);
+      if (base.ok()) {
+        vma.base = *base;
+        vma.size = rounded;
+        vma.chunks.push_back({*base, rounded, blade.id});
+        total_allocated_ += rounded;
+        ++placement_count_;
+        return vma;
+      }
+    }
+    return Status(ErrorCode::kNoMemory, "no blade can fit allocation");
+  }
+
+  // kPageInterleave: chop into fixed-size pages, place round-robin. The vma is still
+  // contiguous in VA space in a real page-based system; here each chunk lands wherever the
+  // cursor points, and the VA of the allocation is the VA of the first chunk (callers that
+  // need contiguity use kBalanced; this policy exists for the Fig. 8 comparisons).
+  const uint64_t page = config_.interleave_page_size;
+  const uint64_t rounded = AlignUp(size, page);
+  uint64_t remaining = rounded;
+  std::vector<VmaAllocation::Chunk> chunks;
+  while (remaining > 0) {
+    bool placed = false;
+    for (size_t attempt = 0; attempt < blades_.size(); ++attempt) {
+      Blade& blade = blades_[interleave_cursor_ % blades_.size()];
+      ++interleave_cursor_;
+      auto base = AllocateInBlade(blade, page, page);
+      if (base.ok()) {
+        chunks.push_back({*base, page, blade.id});
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Roll back partial placement.
+      for (const auto& c : chunks) {
+        for (auto& blade : blades_) {
+          if (blade.id == c.blade) {
+            FreeInBlade(blade, c.va, c.size);
+          }
+        }
+      }
+      return Status(ErrorCode::kNoMemory, "interleaved allocation failed");
+    }
+    remaining -= page;
+  }
+  vma.base = chunks.front().va;
+  vma.size = rounded;
+  vma.chunks = std::move(chunks);
+  total_allocated_ += rounded;
+  placement_count_ += vma.chunks.size();
+  return vma;
+}
+
+Status BalancedAllocator::Free(const VmaAllocation& vma) {
+  for (const auto& chunk : vma.chunks) {
+    bool found = false;
+    for (auto& blade : blades_) {
+      if (blade.id == chunk.blade) {
+        FreeInBlade(blade, chunk.va, chunk.size);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status(ErrorCode::kNotFound, "chunk names unknown blade");
+    }
+  }
+  total_allocated_ -= std::min(total_allocated_, vma.size);
+  return Status::Ok();
+}
+
+std::vector<uint64_t> BalancedAllocator::PerBladeLoad() const {
+  std::vector<uint64_t> loads(blades_.size(), 0);
+  for (size_t i = 0; i < blades_.size(); ++i) {
+    loads[i] = blades_[i].allocated;
+  }
+  return loads;
+}
+
+}  // namespace mind

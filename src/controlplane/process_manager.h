@@ -1,0 +1,131 @@
+// Process and thread management at the switch control plane (§6.1, §6.3).
+//
+// Compute blades intercept exec/exit and forward them to the control plane, which keeps the
+// canonical task structures and the blade<->process mapping. Threads of one process running
+// on *different* compute blades share a PID — and therefore a protection domain and address
+// space — which is precisely what gives MIND transparent compute elasticity. Thread placement
+// is round-robin, as in the paper ("we do not focus on scheduling in this work").
+#ifndef MIND_SRC_CONTROLPLANE_PROCESS_MANAGER_H_
+#define MIND_SRC_CONTROLPLANE_PROCESS_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace mind {
+
+struct TaskStruct {
+  ProcessId pid = kInvalidProcess;
+  ProtDomainId pdid = 0;  // Defaults to pid for unmodified applications (§4.2).
+  std::string name;
+  // tid -> compute blade hosting that thread.
+  std::unordered_map<ThreadId, ComputeBladeId> threads;
+};
+
+class ProcessManager {
+ public:
+  explicit ProcessManager(int num_compute_blades) : num_blades_(num_compute_blades) {}
+
+  // exec: creates a process; its PDID defaults to the new PID.
+  Result<ProcessId> Exec(const std::string& name) {
+    const ProcessId pid = next_pid_++;
+    TaskStruct task;
+    task.pid = pid;
+    task.pdid = pid;
+    task.name = name;
+    processes_.emplace(pid, std::move(task));
+    return pid;
+  }
+
+  // Spawns a thread of `pid`; placement is round-robin across compute blades unless the
+  // caller pins it. Returns the (tid, blade) pair.
+  struct ThreadPlacement {
+    ThreadId tid;
+    ComputeBladeId blade;
+  };
+  Result<ThreadPlacement> SpawnThread(ProcessId pid,
+                                      ComputeBladeId pinned = kInvalidComputeBlade) {
+    auto it = processes_.find(pid);
+    if (it == processes_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown pid");
+    }
+    const ThreadId tid = next_tid_++;
+    const ComputeBladeId blade =
+        pinned != kInvalidComputeBlade
+            ? pinned
+            : static_cast<ComputeBladeId>(round_robin_++ % static_cast<uint32_t>(num_blades_));
+    it->second.threads[tid] = blade;
+    thread_to_process_[tid] = pid;
+    return ThreadPlacement{tid, blade};
+  }
+
+  Status Exit(ProcessId pid) {
+    auto it = processes_.find(pid);
+    if (it == processes_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown pid");
+    }
+    for (const auto& [tid, blade] : it->second.threads) {
+      thread_to_process_.erase(tid);
+    }
+    processes_.erase(it);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] const TaskStruct* Find(ProcessId pid) const {
+    auto it = processes_.find(pid);
+    return it == processes_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] Result<ProtDomainId> PdidOf(ProcessId pid) const {
+    auto it = processes_.find(pid);
+    if (it == processes_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown pid");
+    }
+    return it->second.pdid;
+  }
+
+  // Assigns a custom protection domain (e.g. one per client session, §4.2).
+  Status SetPdid(ProcessId pid, ProtDomainId pdid) {
+    auto it = processes_.find(pid);
+    if (it == processes_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown pid");
+    }
+    it->second.pdid = pdid;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Result<ComputeBladeId> BladeOfThread(ThreadId tid) const {
+    auto pit = thread_to_process_.find(tid);
+    if (pit == thread_to_process_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown tid");
+    }
+    const TaskStruct& task = processes_.at(pit->second);
+    return task.threads.at(tid);
+  }
+
+  [[nodiscard]] Result<ProcessId> ProcessOfThread(ThreadId tid) const {
+    auto pit = thread_to_process_.find(tid);
+    if (pit == thread_to_process_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown tid");
+    }
+    return pit->second;
+  }
+
+  [[nodiscard]] size_t process_count() const { return processes_.size(); }
+
+ private:
+  int num_blades_;
+  ProcessId next_pid_ = 1;
+  ThreadId next_tid_ = 1;
+  uint32_t round_robin_ = 0;
+  std::unordered_map<ProcessId, TaskStruct> processes_;
+  std::unordered_map<ThreadId, ProcessId> thread_to_process_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_CONTROLPLANE_PROCESS_MANAGER_H_

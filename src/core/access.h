@@ -1,0 +1,55 @@
+// Access-request/result types for the MIND data path.
+#ifndef MIND_SRC_CORE_ACCESS_H_
+#define MIND_SRC_CORE_ACCESS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace mind {
+
+struct AccessRequest {
+  ThreadId tid = 0;
+  ComputeBladeId blade = 0;
+  ProtDomainId pdid = 0;
+  VirtAddr va = 0;
+  AccessType type = AccessType::kRead;
+  SimTime now = 0;
+};
+
+// The additive latency decomposition of Fig. 7 (right): PgFault covers trap entry and PTE
+// install; Network covers hops, switch pipeline passes, serialization, memory service and
+// directory serialization; Inv-queue and Inv-TLB cover the slowest sharer's handler-queue
+// wait and synchronous TLB shootdown on the invalidation critical path.
+struct LatencyBreakdown {
+  SimTime fault = 0;
+  SimTime network = 0;
+  SimTime inv_queue = 0;
+  SimTime inv_tlb = 0;
+
+  [[nodiscard]] SimTime Total() const { return fault + network + inv_queue + inv_tlb; }
+
+  LatencyBreakdown& operator+=(const LatencyBreakdown& o) {
+    fault += o.fault;
+    network += o.network;
+    inv_queue += o.inv_queue;
+    inv_tlb += o.inv_tlb;
+    return *this;
+  }
+};
+
+struct AccessResult {
+  Status status;
+  SimTime latency = 0;     // Thread-visible latency (PSO writes return before completion).
+  SimTime completion = 0;  // Absolute time the coherence transition fully finished.
+  bool local_hit = false;
+  bool triggered_invalidation = false;
+  MsiState prev_state = MsiState::kInvalid;  // Directory state before the access.
+  MsiState next_state = MsiState::kInvalid;
+  LatencyBreakdown breakdown;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_CORE_ACCESS_H_

@@ -1,0 +1,68 @@
+// Rack-level configuration for MIND.
+//
+// Defaults mirror the paper's evaluation setup (§6.3, §7): 8 compute blades with 512 MB of
+// local DRAM cache each, a ToR programmable switch with ~30k directory SRAM slots and ~45k
+// match-action rules, MSI coherence with bounded splitting (16 KB initial regions, 100 ms
+// epochs), and TSO consistency from the page-fault-driven implementation.
+#ifndef MIND_SRC_CORE_CONFIG_H_
+#define MIND_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/controlplane/allocator.h"
+#include "src/controlplane/bounded_splitting.h"
+#include "src/net/reliability.h"
+#include "src/sim/latency_model.h"
+
+namespace mind {
+
+struct RackConfig {
+  int num_compute_blades = 8;
+  int num_memory_blades = 8;
+  uint64_t memory_blade_capacity = 8ull * 1024 * 1024 * 1024;  // 8 GB per blade.
+  uint64_t compute_cache_bytes = 512ull * 1024 * 1024;         // 512 MB local DRAM (§7).
+
+  // Switch ASIC resource budgets (§7.2: 30k directory entries, 45k match-action rules).
+  uint32_t directory_slots = 30000;
+  uint64_t tcam_rules = 45000;
+
+  // Store real page bytes (examples/correctness tests) or metadata only (figure benches).
+  bool store_data = false;
+
+  ConsistencyModel consistency = ConsistencyModel::kTso;
+
+  // MSI (the paper's protocol) or the MESI extension it sketches in §8: cold reads take E
+  // with pages installed writable, so private read-then-write patterns skip the S->M
+  // upgrade round trip.
+  CoherenceProtocol protocol = CoherenceProtocol::kMsi;
+
+  // Invalidation delivery: switch-native multicast with egress pruning (§4.3.2) vs the
+  // sequential-unicast ablation.
+  bool use_multicast = true;
+
+  // Ablation of the §4.3.1 decoupling: when true, a miss fetches the *entire* directory
+  // region (the coupled "cache block = directory block" design the paper argues against),
+  // paying one page transfer per page in the region instead of one.
+  bool fetch_whole_region = false;
+
+  LatencyModel latency;
+  BoundedSplittingConfig splitting;
+  AllocatorConfig alloc;
+  ReliabilityConfig reliability;
+
+  [[nodiscard]] uint64_t cache_frames() const { return compute_cache_bytes >> kPageShift; }
+
+  // Convenience: the MIND-PSO+ configuration of §7.1 — PSO plus effectively infinite
+  // directory capacity.
+  static RackConfig PsoPlus() {
+    RackConfig c;
+    c.consistency = ConsistencyModel::kPso;
+    c.directory_slots = 10'000'000;
+    return c;
+  }
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_CORE_CONFIG_H_

@@ -1,0 +1,16 @@
+// Umbrella header for the MIND library.
+//
+// #include "src/core/mind.h" pulls in the full public API: the Rack (in-network MMU +
+// blades), its configuration, access types and statistics. Substrate headers can also be
+// included individually.
+#ifndef MIND_SRC_CORE_MIND_H_
+#define MIND_SRC_CORE_MIND_H_
+
+#include "src/common/status.h"    // IWYU pragma: export
+#include "src/common/types.h"     // IWYU pragma: export
+#include "src/core/access.h"      // IWYU pragma: export
+#include "src/core/config.h"      // IWYU pragma: export
+#include "src/core/rack.h"        // IWYU pragma: export
+#include "src/core/rack_stats.h"  // IWYU pragma: export
+
+#endif  // MIND_SRC_CORE_MIND_H_

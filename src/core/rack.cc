@@ -1,0 +1,658 @@
+#include "src/core/rack.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mind {
+
+Rack::Rack(RackConfig config)
+    : config_(config),
+      lat_(config.latency),
+      tcam_capacity_(config.tcam_rules),
+      translator_(&tcam_capacity_),
+      protection_(&tcam_capacity_),
+      directory_(config.directory_slots),
+      stt_(config.protocol),
+      splitting_(&directory_, config.splitting),
+      controller_(&translator_, &protection_, &splitting_, config.num_compute_blades,
+                  config.alloc),
+      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency),
+      reliability_(config.reliability) {
+  compute_blades_.reserve(static_cast<size_t>(config.num_compute_blades));
+  for (int i = 0; i < config.num_compute_blades; ++i) {
+    compute_blades_.push_back(std::make_unique<ComputeBlade>(
+        static_cast<ComputeBladeId>(i), config.cache_frames(), config.store_data,
+        config.latency));
+  }
+  memory_blades_.reserve(static_cast<size_t>(config.num_memory_blades));
+  for (int i = 0; i < config.num_memory_blades; ++i) {
+    memory_blades_.push_back(std::make_unique<MemoryBlade>(static_cast<MemoryBladeId>(i),
+                                                           config.memory_blade_capacity,
+                                                           config.store_data));
+    const Status s = controller_.MemoryBladeOnline(static_cast<MemoryBladeId>(i),
+                                                   config.memory_blade_capacity);
+    assert(s.ok());
+    (void)s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data-path helpers.
+// ---------------------------------------------------------------------------
+
+SimTime Rack::FetchPageFromMemory(VirtAddr va, ComputeBladeId requester, SimTime start,
+                                  const PageData** bytes) {
+  auto tr = translator_.Translate(PageBase(va));
+  assert(tr.ok() && "translation must exist for an allocated vma");
+  // Switch egress -> memory blade NIC (header-rewritten one-sided RDMA read, §6.3).
+  auto to_mem = fabric_.FromSwitch(Endpoint::Memory(tr->blade), MessageKind::kRdmaReadRequest,
+                                   start);
+  SimTime t = to_mem.arrival + lat_.memory_blade_service;
+  const PageData* payload = memory_blades_[tr->blade]->ReadPage(PageNumber(tr->phys_addr));
+  if (bytes != nullptr) {
+    *bytes = payload;
+  }
+  // Memory blade -> switch -> requesting compute blade (page payload).
+  auto to_switch = fabric_.ToSwitch(Endpoint::Memory(tr->blade),
+                                    MessageKind::kRdmaReadResponse, t);
+  t = to_switch.arrival + lat_.switch_pipeline;
+  auto to_blade = fabric_.FromSwitch(Endpoint::Compute(requester),
+                                     MessageKind::kRdmaReadResponse, t);
+  return to_blade.arrival;
+}
+
+SimTime Rack::WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* data,
+                            SimTime start) {
+  const VirtAddr va = PageToAddr(page);
+  auto tr = translator_.Translate(va);
+  if (!tr.ok()) {
+    return start;  // vma was unmapped concurrently; drop the write-back.
+  }
+  auto h1 = fabric_.ToSwitch(Endpoint::Compute(from), MessageKind::kRdmaWriteRequest, start);
+  SimTime t = h1.arrival + lat_.switch_pipeline;
+  auto h2 = fabric_.FromSwitch(Endpoint::Memory(tr->blade), MessageKind::kRdmaWriteRequest, t);
+  t = h2.arrival + lat_.memory_blade_service;
+  memory_blades_[tr->blade]->WritePage(PageNumber(tr->phys_addr), data);
+  return t;
+}
+
+void Rack::InsertIntoCache(ComputeBladeId blade_id, uint64_t page, bool writable,
+                           const PageData* bytes, SimTime now, ProtDomainId pdid) {
+  auto& cache = compute_blades_[blade_id]->cache();
+  std::unique_ptr<PageData> data;
+  if (config_.store_data) {
+    data = std::make_unique<PageData>();
+    if (bytes != nullptr) {
+      *data = *bytes;
+    } else {
+      data->fill(0);
+    }
+  }
+  auto evicted = cache.Insert(page, writable, std::move(data), pdid);
+  if (evicted.has_value() && evicted->dirty) {
+    // Write-back on eviction keeps memory the source of truth for uncached pages — the
+    // invariant that lets M-state owner faults fetch from memory in one RTT.
+    ++stats_.evict_writebacks;
+    WriteBackPage(blade_id, evicted->page, evicted->data.get(), now);
+  }
+}
+
+Rack::InvalidationWave Rack::InvalidateBlades(SharerMask targets, const DirectoryEntry& entry,
+                                              uint64_t requested_page,
+                                              ComputeBladeId requester, SimTime t) {
+  InvalidationWave wave;
+  if (targets == 0) {
+    return wave;
+  }
+  const auto deliveries = config_.use_multicast ? fabric_.MulticastInvalidation(targets, t)
+                                                : fabric_.UnicastInvalidations(targets, t);
+  stats_.invalidations_sent += deliveries.size();
+  for (const auto& d : deliveries) {
+    ComputeBlade& sharer = *compute_blades_[d.blade];
+    auto outcome = sharer.HandleInvalidation(entry.base, entry.end(), d.delivery.arrival);
+
+    SimTime flush_land = outcome.done;
+    for (auto& ev : outcome.flushed) {
+      flush_land = std::max(flush_land,
+                            WriteBackPage(d.blade, ev.page, ev.data.get(), outcome.done));
+      if (ev.page != requested_page) {
+        ++wave.false_invalidations;
+      }
+    }
+    wave.flushed += outcome.flushed.size();
+    wave.clean_drops += outcome.dropped_clean;
+    wave.flush_landed = std::max(wave.flush_landed, flush_land);
+
+    // ACK: sharer -> switch -> requesting blade (§4.4: the requester collects ACKs).
+    auto ack_up = fabric_.ToSwitch(Endpoint::Compute(d.blade), MessageKind::kInvalidationAck,
+                                   outcome.done);
+    SimTime ack_at_req = ack_up.arrival + lat_.switch_pipeline;
+    if (requester != kInvalidComputeBlade) {
+      auto ack_down = fabric_.FromSwitch(Endpoint::Compute(requester),
+                                         MessageKind::kInvalidationAck, ack_at_req);
+      ack_at_req = ack_down.arrival;
+    }
+    wave.max_ack_at_requester = std::max(wave.max_ack_at_requester, ack_at_req);
+    wave.max_queue_wait = std::max(wave.max_queue_wait, outcome.queue_wait);
+    wave.max_tlb = std::max(wave.max_tlb, outcome.tlb_time);
+  }
+  stats_.pages_flushed += wave.flushed;
+  stats_.false_invalidations += wave.false_invalidations;
+  stats_.clean_drops += wave.clean_drops;
+  return wave;
+}
+
+DirectoryEntry* Rack::EnsureDirectoryEntry(VirtAddr va, SimTime& t, Status* error) {
+  if (auto* existing = directory_.Lookup(va); existing != nullptr) {
+    return existing;
+  }
+  const VmaRecord* vma = controller_.FindVma(va);
+  if (vma == nullptr) {
+    *error = Status(ErrorCode::kFault, "address not mapped");
+    return nullptr;
+  }
+  // New entries start at the configured initial region size (16 KB default), clipped to the
+  // vma and shrunk until the aligned region lies fully inside it.
+  uint64_t region_size = std::max<uint64_t>(
+      kPageSize, std::min<uint64_t>(config_.splitting.initial_region_size,
+                                    RoundDownPowerOfTwo(vma->size())));
+  VirtAddr base = AlignDown(va, region_size);
+  while (region_size > kPageSize &&
+         (base < vma->base() || base + region_size > vma->end())) {
+    region_size >>= 1;
+    base = AlignDown(va, region_size);
+  }
+
+  auto created = directory_.Create(base, Log2Floor(region_size));
+  int eviction_rounds = 0;
+  const uint32_t max_region_log2 = Log2Floor(config_.splitting.base_region_size);
+  while (!created.ok()) {
+    if (created.status().code() != ErrorCode::kResourceExhausted || eviction_rounds >= 64) {
+      *error = created.status();
+      return nullptr;
+    }
+    ++eviction_rounds;
+    auto victim_base = directory_.FindEvictionVictim(t);
+    if (!victim_base.has_value()) {
+      *error = Status(ErrorCode::kResourceExhausted, "directory full and all entries busy");
+      return nullptr;
+    }
+    // Capacity pressure, cheap path first: fold the stale victim into its buddy — a pure
+    // control-plane action that frees a slot without touching any blade (coherence state
+    // merges conservatively).
+    if (directory_.MergeWithBuddy(*victim_base, max_region_log2).ok()) {
+      created = directory_.Create(base, Log2Floor(region_size));
+      continue;
+    }
+    // Otherwise force-invalidate the victim region. Every dirty page it flushes is by
+    // definition falsely invalidated (nothing in it was requested).
+    DirectoryEntry* victim = directory_.Lookup(*victim_base);
+    assert(victim != nullptr);
+    const SharerMask holders =
+        victim->OwnerHeld() ? BladeBit(victim->owner) : victim->sharers;
+    auto wave = InvalidateBlades(holders, *victim, UINT64_MAX, kInvalidComputeBlade, t);
+    ++stats_.directory_capacity_evictions;
+    t = std::max(t, wave.max_ack_at_requester);
+    const Status removed = directory_.Remove(*victim_base);
+    assert(removed.ok());
+    (void)removed;
+    created = directory_.Create(base, Log2Floor(region_size));
+  }
+  return *created;
+}
+
+SimTime Rack::PsoReadBarrier(ThreadId tid, VirtAddr va, SimTime now) {
+  auto it = pending_writes_.find(tid);
+  if (it == pending_writes_.end()) {
+    return now;
+  }
+  auto& pending = it->second;
+  SimTime barrier = now;
+  for (const auto& w : pending) {
+    if (va >= w.begin && va < w.end) {
+      barrier = std::max(barrier, w.completion);
+    }
+  }
+  // Prune completed stores.
+  std::erase_if(pending, [barrier](const PendingWrite& w) { return w.completion <= barrier; });
+  if (pending.empty()) {
+    pending_writes_.erase(it);
+  }
+  return barrier;
+}
+
+void Rack::PsoRecordWrite(ThreadId tid, VirtAddr va, SimTime completion) {
+  // Store-buffer granularity is the page: a later read of the *same page* must drain the
+  // pending store, but reads elsewhere proceed — that's what makes PSO outrun TSO.
+  const VirtAddr begin = PageBase(va);
+  auto& pending = pending_writes_[tid];
+  for (auto& w : pending) {
+    if (w.begin == begin) {
+      w.completion = std::max(w.completion, completion);
+      return;
+    }
+  }
+  pending.push_back(PendingWrite{begin, begin + kPageSize, completion});
+}
+
+// ---------------------------------------------------------------------------
+// The MIND access path (Fig. 2 right, Fig. 4).
+// ---------------------------------------------------------------------------
+
+AccessResult Rack::Access(const AccessRequest& req) {
+  splitting_.MaybeRunEpoch(req.now);
+  ++stats_.total_accesses;
+
+  AccessResult res;
+  const uint64_t page = PageNumber(req.va);
+  ComputeBlade& blade = *compute_blades_[req.blade];
+
+  SimTime now = req.now;
+  if (config_.consistency == ConsistencyModel::kPso && req.type == AccessType::kRead) {
+    now = PsoReadBarrier(req.tid, req.va, now);
+  }
+
+  // 1. Local DRAM cache, through the hardware MMU: the fast path. A hit from a different
+  // protection domain than the one that faulted the page in re-validates against the
+  // protection table (domain-tagged PTEs), so cached pages never leak across domains.
+  DramCache::Frame* frame = blade.cache().Lookup(page);
+  const bool domain_ok =
+      frame != nullptr &&
+      (frame->pdid == req.pdid || protection_.Allows(req.pdid, req.va, req.type));
+  const bool hit = frame != nullptr && domain_ok &&
+                   (req.type == AccessType::kRead || frame->writable);
+  if (hit) {
+    ++stats_.local_hits;
+    if (req.type == AccessType::kWrite) {
+      frame->dirty = true;
+    }
+    res.local_hit = true;
+    res.latency = (now - req.now) + lat_.local_cache_hit;
+    res.completion = req.now + res.latency;
+    return res;
+  }
+
+  // 2. Page fault: issue a one-sided RDMA request on the *virtual* address to the switch.
+  ++stats_.remote_accesses;
+  SimTime t = now + lat_.page_fault_entry;
+  auto to_switch = fabric_.ToSwitch(Endpoint::Compute(req.blade),
+                                    MessageKind::kRdmaReadRequest, t);
+  const SimTime issued_at = t + lat_.rdma_message_overhead;  // Thread-side post completes.
+  t = to_switch.arrival + lat_.switch_pipeline;  // Ingress parse + translation + protection.
+
+  // 3. Protection check in the match-action pipeline (§4.2). A missing <PDID, vma> entry
+  // rejects the request; the blade maps that to EFAULT when no vma covers the address and
+  // EACCES when the vma exists but the permission class mismatches.
+  if (!protection_.Allows(req.pdid, req.va, req.type)) {
+    ++stats_.permission_denials;
+    auto reject = fabric_.FromSwitch(Endpoint::Compute(req.blade), MessageKind::kRdmaWriteAck,
+                                     t);
+    res.status = controller_.FindVma(req.va) == nullptr
+                     ? Status(ErrorCode::kFault, "address not mapped")
+                     : Status(ErrorCode::kPermissionDenied);
+    res.latency = reject.arrival - req.now;
+    res.completion = reject.arrival;
+    return res;
+  }
+
+  // 4. Directory lookup (first MAU); lazily create the region entry if absent.
+  Status dir_error;
+  DirectoryEntry* entry = EnsureDirectoryEntry(req.va, t, &dir_error);
+  if (entry == nullptr) {
+    res.status = dir_error;
+    res.latency = t - req.now;
+    res.completion = t;
+    return res;
+  }
+
+  // Transient-state blocking: wait out any in-flight transition on this region.
+  const SimTime busy_wait = entry->busy_until > t ? entry->busy_until - t : 0;
+  t += busy_wait;
+  ++entry->epoch_accesses;
+  entry->last_active = t;
+
+  const RequestorRole role = entry->RoleOf(req.blade);
+  const SttEntry& row = stt_.Lookup(entry->state, req.type, role);
+  res.prev_state = entry->state;
+  res.next_state = row.next_state;
+
+  // 5. Transition decision (second MAU) + recirculation to commit the entry (Fig. 4).
+  t += lat_.switch_recirculation;
+
+  // 6. Invalidations via switch-native multicast with egress pruning (§4.3.2).
+  SharerMask targets = 0;
+  if (row.invalidate == InvalidateTargets::kOtherSharers) {
+    targets = entry->sharers & ~BladeBit(req.blade);
+  } else if (row.invalidate == InvalidateTargets::kOwner &&
+             entry->owner != kInvalidComputeBlade && entry->owner != req.blade) {
+    targets = BladeBit(entry->owner);
+  }
+
+  InvalidationWave wave;
+  if (targets != 0) {
+    if (reliability_.config().loss_probability > 0.0) {
+      auto outcome = reliability_.SendWithAck(0);
+      if (!outcome.delivered) {
+        // Retransmission limit: reset the address (§4.4) and fail the access.
+        (void)ResetAddress(req.va, t);
+        res.status = Status(ErrorCode::kTimedOut, "invalidation ACKs lost; region reset");
+        res.latency = (t + reliability_.config().ack_timeout) - req.now;
+        res.completion = t + reliability_.config().ack_timeout;
+        return res;
+      }
+      t += outcome.latency;  // Timeout-and-retransmit delays actually incurred.
+    }
+    wave = InvalidateBlades(targets, *entry, page, req.blade, t);
+    // Splitting signal: every page falsely invalidated in this region — dirty flushes AND
+    // clean drops (each dropped page is a future re-fetch). The *reported*
+    // false-invalidation counter stays dirty-page-only, matching the paper's definition.
+    entry->epoch_false_invalidations += wave.false_invalidations + wave.clean_drops;
+    ++entry->epoch_invalidations;
+    res.triggered_invalidation = true;
+  }
+
+  // 7. Data fetch. S->M upgrades with the page already cached skip the fetch entirely; the
+  // M->S/M->M handoff must wait for the previous owner's flush to land (sequential 2-RTT
+  // path); S-state fetches overlap with the invalidation wave (parallel 1-RTT path).
+  const bool need_data = frame == nullptr;
+  const PageData* bytes = nullptr;
+  SimTime data_at_requester;
+  if (need_data) {
+    const SimTime fetch_start =
+        row.sequential_fetch ? std::max(t, wave.flush_landed) : t;
+    data_at_requester = FetchPageFromMemory(req.va, req.blade, fetch_start, &bytes);
+    if (config_.fetch_whole_region) {
+      // Coupled-granularity ablation (§4.3.1): pull every other page of the region too.
+      // The extra transfers serialize on the requester's NIC behind the demanded page.
+      for (VirtAddr va = entry->base; va < entry->end(); va += kPageSize) {
+        const uint64_t p = PageNumber(va);
+        if (p == page || blade.cache().Peek(p) != nullptr) {
+          continue;
+        }
+        const PageData* extra_bytes = nullptr;
+        const SimTime arrived = FetchPageFromMemory(va, req.blade, fetch_start, &extra_bytes);
+        InsertIntoCache(req.blade, p, /*writable=*/false, extra_bytes, arrived);
+        data_at_requester = std::max(data_at_requester, arrived);
+      }
+    }
+  } else {
+    ++stats_.write_upgrades;
+    auto grant = fabric_.FromSwitch(Endpoint::Compute(req.blade), MessageKind::kRdmaWriteAck,
+                                    t);
+    data_at_requester = grant.arrival;
+  }
+
+  const SimTime done =
+      std::max(data_at_requester, wave.max_ack_at_requester) + lat_.pte_install;
+
+  // 8. Commit the directory entry (the recirculated update).
+  if (row.clears_sharers) {
+    entry->sharers = 0;
+    entry->owner = kInvalidComputeBlade;
+  }
+  if (row.becomes_owner) {
+    entry->owner = req.blade;
+    entry->sharers = BladeBit(req.blade);
+  } else if (row.joins_sharers) {
+    entry->sharers |= BladeBit(req.blade);
+  }
+  entry->state = row.next_state;
+  if (!entry->OwnerHeld()) {
+    entry->owner = kInvalidComputeBlade;
+  }
+  entry->busy_until = targets != 0 ? done : t;
+
+  // 9. Install the page at the requesting blade. Under MESI, E-state pages install
+  // writable (the silent-upgrade privilege): the holder's first store is a local hit.
+  const bool writable =
+      req.type == AccessType::kWrite || row.next_state == MsiState::kExclusive;
+  if (need_data) {
+    InsertIntoCache(req.blade, page, writable, bytes, done, req.pdid);
+  } else if (writable) {
+    blade.cache().MakeWritable(page);
+  }
+  if (req.type == AccessType::kWrite) {
+    blade.cache().MarkDirty(page);
+  }
+
+  // 10. Bookkeeping: transition counters and the Fig. 7 (right) latency decomposition.
+  switch (res.prev_state) {
+    case MsiState::kInvalid:
+      // Cold reads land in S (MSI) or E (MESI); both count as the read-miss bucket.
+      (row.next_state == MsiState::kModified) ? ++stats_.transitions_i_to_m
+                                              : ++stats_.transitions_i_to_s;
+      break;
+    case MsiState::kShared:
+      (row.next_state == MsiState::kShared) ? ++stats_.transitions_s_to_s
+                                            : ++stats_.transitions_s_to_m;
+      break;
+    case MsiState::kModified:
+    case MsiState::kExclusive:  // E handoffs cost the same 2-RTT path as M.
+      if (role == RequestorRole::kOwner) {
+        ++stats_.transitions_m_stay;
+      } else if (row.next_state == MsiState::kShared) {
+        ++stats_.transitions_m_to_s;
+      } else {
+        ++stats_.transitions_m_to_m;
+      }
+      break;
+  }
+
+  res.breakdown.fault = lat_.page_fault_entry + lat_.pte_install;
+  res.breakdown.inv_queue = wave.max_queue_wait;
+  res.breakdown.inv_tlb = wave.max_tlb;
+  const SimTime total = done - req.now;
+  const SimTime accounted = res.breakdown.fault + wave.max_queue_wait + wave.max_tlb;
+  res.breakdown.network = total > accounted ? total - accounted : 0;
+  stats_.breakdown_sums += res.breakdown;
+
+  res.completion = done;
+  if (config_.consistency == ConsistencyModel::kPso && req.type == AccessType::kWrite) {
+    // Store buffering: the thread resumes once the request is posted; coherence completes
+    // asynchronously. A later read to this region blocks via PsoReadBarrier.
+    res.latency = issued_at - req.now;
+    PsoRecordWrite(req.tid, req.va, done);
+  } else {
+    res.latency = done - req.now;
+  }
+  return res;
+}
+
+AccessResult Rack::AccessByThread(ThreadId tid, VirtAddr va, AccessType type, SimTime now) {
+  AccessResult res;
+  auto blade = controller_.processes().BladeOfThread(tid);
+  auto pid = controller_.processes().ProcessOfThread(tid);
+  if (!blade.ok() || !pid.ok()) {
+    res.status = Status(ErrorCode::kNotFound, "unknown thread");
+    return res;
+  }
+  auto pdid = controller_.processes().PdidOf(*pid);
+  assert(pdid.ok());
+  return Access(AccessRequest{tid, *blade, *pdid, va, type, now});
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level convenience operations (examples / end-to-end tests).
+// ---------------------------------------------------------------------------
+
+Result<SimTime> Rack::WriteBytes(ThreadId tid, VirtAddr va, const void* src, uint64_t len,
+                                 SimTime now) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  auto blade = controller_.processes().BladeOfThread(tid);
+  if (!blade.ok()) {
+    return blade.status();
+  }
+  SimTime t = now;
+  while (len > 0) {
+    const uint64_t offset = va & (kPageSize - 1);
+    const uint64_t chunk = std::min<uint64_t>(len, kPageSize - offset);
+    AccessResult r = AccessByThread(tid, va, AccessType::kWrite, t);
+    if (!r.status.ok()) {
+      return r.status;
+    }
+    t += r.latency;
+    if (auto* frame = compute_blades_[*blade]->cache().Lookup(PageNumber(va));
+        frame != nullptr && frame->data != nullptr) {
+      std::memcpy(frame->data->data() + offset, p, chunk);
+    }
+    va += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return t;
+}
+
+Result<SimTime> Rack::ReadBytes(ThreadId tid, VirtAddr va, void* dst, uint64_t len,
+                                SimTime now) {
+  auto* p = static_cast<uint8_t*>(dst);
+  auto blade = controller_.processes().BladeOfThread(tid);
+  if (!blade.ok()) {
+    return blade.status();
+  }
+  SimTime t = now;
+  while (len > 0) {
+    const uint64_t offset = va & (kPageSize - 1);
+    const uint64_t chunk = std::min<uint64_t>(len, kPageSize - offset);
+    AccessResult r = AccessByThread(tid, va, AccessType::kRead, t);
+    if (!r.status.ok()) {
+      return r.status;
+    }
+    t += r.latency;
+    if (auto* frame = compute_blades_[*blade]->cache().Lookup(PageNumber(va));
+        frame != nullptr && frame->data != nullptr) {
+      std::memcpy(p, frame->data->data() + offset, chunk);
+    } else {
+      std::memset(p, 0, chunk);  // Metadata-only mode reads as zero.
+    }
+    va += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling and teardown.
+// ---------------------------------------------------------------------------
+
+Result<SimTime> Rack::MigrateRange(VirtAddr base, uint32_t size_log2, MemoryBladeId dst,
+                                   SimTime now) {
+  if (dst >= memory_blades_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "no such memory blade");
+  }
+  const uint64_t size = uint64_t{1} << size_log2;
+  if (controller_.FindVma(base) == nullptr) {
+    return Status(ErrorCode::kFault, "range not mapped");
+  }
+  // 1. Quiesce: drop cached copies everywhere, flushing dirty pages to the *old* home.
+  ShootDownRange(base, size, /*write_back=*/true);
+  // 2. Copy pages old-home -> new-home. The control plane drives full-page RDMA reads and
+  //    writes; contiguous physical space on `dst` comes from its migration arena.
+  const PhysAddr dst_pa = migration_cursor_;
+  migration_cursor_ += size;
+  SimTime t = now;
+  for (VirtAddr va = base; va < base + size; va += kPageSize) {
+    auto tr = translator_.Translate(va);
+    if (!tr.ok()) {
+      return tr.status();
+    }
+    const PageData* bytes = memory_blades_[tr->blade]->ReadPage(PageNumber(tr->phys_addr));
+    memory_blades_[dst]->WritePage(PageNumber(dst_pa + (va - base)), bytes);
+    // One page crosses the fabric twice (src -> switch -> dst).
+    auto up = fabric_.ToSwitch(Endpoint::Memory(tr->blade), MessageKind::kRdmaReadResponse, t);
+    auto down = fabric_.FromSwitch(Endpoint::Memory(dst), MessageKind::kRdmaWriteRequest,
+                                   up.arrival + lat_.switch_pipeline);
+    t = down.arrival + lat_.memory_blade_service;
+  }
+  // 3. Flip the translation: the outlier's longest-prefix match now overrides the blade
+  //    range for this range only.
+  if (Status s = controller_.MigrateRange(base, size_log2, dst, dst_pa); !s.ok()) {
+    return s;
+  }
+  // 4. Coherence state for the range restarts cold (I) at the new home.
+  std::vector<VirtAddr> stale;
+  directory_.ForEach([&](DirectoryEntry& e) {
+    if (e.base < base + size && e.end() > base) {
+      stale.push_back(e.base);
+    }
+  });
+  for (VirtAddr b : stale) {
+    (void)directory_.Remove(b);
+  }
+  return t;
+}
+
+Status Rack::ResetAddress(VirtAddr va, SimTime now) {
+  DirectoryEntry* entry = directory_.Lookup(va);
+  if (entry == nullptr) {
+    return Status(ErrorCode::kNotFound, "no directory entry for address");
+  }
+  // §4.4: force *all* compute blades to flush their data for the address, then remove the
+  // directory entry — conservative, but it breaks transitions wedged by a dead blade.
+  SharerMask everyone = 0;
+  for (int i = 0; i < config_.num_compute_blades; ++i) {
+    everyone |= BladeBit(static_cast<ComputeBladeId>(i));
+  }
+  (void)InvalidateBlades(everyone, *entry, UINT64_MAX, kInvalidComputeBlade, now);
+  return directory_.Remove(entry->base);
+}
+
+void Rack::ShootDownRange(VirtAddr base, uint64_t size, bool write_back) {
+  const uint64_t first = PageNumber(base);
+  const uint64_t last = PageNumber(base + size - 1) + 1;
+  for (auto& blade : compute_blades_) {
+    auto inv = blade->cache().InvalidateRange(first, last);
+    if (!write_back) {
+      continue;
+    }
+    for (auto& ev : inv.flushed) {
+      ++stats_.pages_flushed;
+      WriteBackPage(blade->id(), ev.page, ev.data.get(), /*start=*/0);
+    }
+  }
+}
+
+Status Rack::Mprotect(ProcessId pid, VirtAddr base, uint64_t size, PermClass perm) {
+  Status s = controller_.Mprotect(pid, base, size, perm);
+  if (s.ok()) {
+    // Cached PTEs in the range may now over-permit; drop them so the next access re-checks
+    // against the switch's protection table.
+    ShootDownRange(base, size, /*write_back=*/true);
+  }
+  return s;
+}
+
+Status Rack::RevokeFromDomain(ProtDomainId grantee, VirtAddr base, uint64_t size) {
+  Status s = controller_.RevokeFromDomain(grantee, base, size);
+  if (s.ok()) {
+    ShootDownRange(base, size, /*write_back=*/true);
+  }
+  return s;
+}
+
+Status Rack::Munmap(ProcessId pid, VirtAddr base) {
+  const VmaRecord* vma = controller_.FindVma(base);
+  if (vma == nullptr) {
+    return Status(ErrorCode::kFault, "no vma at address");
+  }
+  const VirtAddr begin = vma->base();
+  const VirtAddr end = vma->end();
+  // Drop cached pages everywhere (no write-back — the mapping is going away) and remove the
+  // covered directory entries.
+  for (auto& blade : compute_blades_) {
+    (void)blade->cache().InvalidateRange(PageNumber(begin), PageNumber(end - 1) + 1);
+  }
+  std::vector<VirtAddr> to_remove;
+  directory_.ForEach([&](DirectoryEntry& e) {
+    if (e.base < end && e.end() > begin) {
+      to_remove.push_back(e.base);
+    }
+  });
+  for (VirtAddr b : to_remove) {
+    (void)directory_.Remove(b);
+  }
+  return controller_.Munmap(pid, base);
+}
+
+}  // namespace mind

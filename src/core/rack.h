@@ -1,0 +1,191 @@
+// The MIND rack: public API tying the switch data plane, control plane, compute blades and
+// memory blades together (Fig. 2).
+//
+// A Rack hosts the full in-network memory management unit: address translation, protection
+// and the MSI cache directory execute "on the switch ASIC" in the access path; allocation,
+// permission assignment and bounded splitting run at the control plane; compute blades keep
+// page caches and service invalidations; memory blades passively serve one-sided RDMA.
+//
+// The data path is driven by logical time: callers supply the access timestamp and receive
+// the thread-visible latency plus the absolute completion time, which lets the trace-replay
+// engine model a whole rack of concurrent threads deterministically.
+#ifndef MIND_SRC_CORE_RACK_H_
+#define MIND_SRC_CORE_RACK_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blade/compute_blade.h"
+#include "src/blade/memory_blade.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/controlplane/bounded_splitting.h"
+#include "src/controlplane/controller.h"
+#include "src/core/access.h"
+#include "src/core/config.h"
+#include "src/core/rack_stats.h"
+#include "src/dataplane/directory.h"
+#include "src/dataplane/protection.h"
+#include "src/dataplane/stt.h"
+#include "src/dataplane/tcam.h"
+#include "src/dataplane/translation.h"
+#include "src/net/fabric.h"
+#include "src/net/reliability.h"
+
+namespace mind {
+
+class Rack {
+ public:
+  explicit Rack(RackConfig config);
+
+  // --- Control-plane surface (syscall intercepts, §6.1) ---
+
+  Result<ProcessId> Exec(const std::string& name) { return controller_.Exec(name); }
+  Status Exit(ProcessId pid) { return controller_.Exit(pid); }
+  Result<ProcessManager::ThreadPlacement> SpawnThread(
+      ProcessId pid, ComputeBladeId pinned = kInvalidComputeBlade) {
+    return controller_.SpawnThread(pid, pinned);
+  }
+  Result<VirtAddr> Mmap(ProcessId pid, uint64_t size, PermClass perm) {
+    return controller_.Mmap(pid, size, perm);
+  }
+  // munmap also tears down coherence state for the vma (flushing nothing — data is gone).
+  Status Munmap(ProcessId pid, VirtAddr base);
+  // Permission changes shoot down cached pages in the range at every blade (with dirty
+  // write-back), so stale PTEs can never bypass the switch's protection check.
+  Status Mprotect(ProcessId pid, VirtAddr base, uint64_t size, PermClass perm);
+  Status GrantToDomain(ProcessId owner, ProtDomainId grantee, VirtAddr base, uint64_t size,
+                       PermClass perm) {
+    return controller_.GrantToDomain(owner, grantee, base, size, perm);
+  }
+  Status RevokeFromDomain(ProtDomainId grantee, VirtAddr base, uint64_t size);
+
+  // --- Data path ---
+
+  AccessResult Access(const AccessRequest& req);
+
+  // Resolves the thread's blade and protection domain, then runs Access.
+  AccessResult AccessByThread(ThreadId tid, VirtAddr va, AccessType type, SimTime now);
+
+  // Byte-granular reads/writes for examples and end-to-end tests (requires store_data).
+  // They fault pages in via Access and then move real bytes. Returns the completion time.
+  Result<SimTime> WriteBytes(ThreadId tid, VirtAddr va, const void* src, uint64_t len,
+                             SimTime now);
+  Result<SimTime> ReadBytes(ThreadId tid, VirtAddr va, void* dst, uint64_t len, SimTime now);
+
+  // Page migration (§4.1, "Transparency via outlier entries"): moves the aligned range
+  // [base, base + 2^size_log2) to `dst` memory blade — copies the pages, installs an
+  // outlier translation (LPM overrides the blade range), and shoots down cached copies so
+  // subsequent faults fetch from the new home. Returns the completion time.
+  Result<SimTime> MigrateRange(VirtAddr base, uint32_t size_log2, MemoryBladeId dst,
+                               SimTime now);
+
+  // --- Failure handling (§4.4) ---
+
+  // Reset for a VA: forces all blades to drop/flush the containing region and removes its
+  // directory entry, breaking any wedged transition.
+  Status ResetAddress(VirtAddr va, SimTime now);
+
+  // --- Introspection (benches & tests) ---
+
+  [[nodiscard]] const RackConfig& config() const { return config_; }
+  [[nodiscard]] const RackStats& stats() const { return stats_; }
+  [[nodiscard]] CacheDirectory& directory() { return directory_; }
+  [[nodiscard]] Controller& controller() { return controller_; }
+  [[nodiscard]] BoundedSplitting& bounded_splitting() { return splitting_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const AddressTranslator& translator() const { return translator_; }
+  [[nodiscard]] const ProtectionTable& protection() const { return protection_; }
+  [[nodiscard]] const StateTransitionTable& stt() const { return stt_; }
+  [[nodiscard]] ComputeBlade& compute_blade(ComputeBladeId id) { return *compute_blades_[id]; }
+  [[nodiscard]] MemoryBlade& memory_blade(MemoryBladeId id) { return *memory_blades_[id]; }
+  [[nodiscard]] TcamCapacity& tcam_capacity() { return tcam_capacity_; }
+  [[nodiscard]] ReliabilityTracker& reliability() { return reliability_; }
+
+  // Total match-action rules in use: translation + protection + the materialized STT.
+  [[nodiscard]] uint64_t MatchActionRules() const {
+    return translator_.rule_count() + protection_.rule_count() + stt_.rule_count();
+  }
+
+ private:
+  // Result of delivering one invalidation wave to a set of blades.
+  struct InvalidationWave {
+    SimTime max_ack_at_requester = 0;  // Slowest ACK as seen by the requesting blade.
+    SimTime flush_landed = 0;          // When the last flushed page reached memory.
+    SimTime max_queue_wait = 0;
+    SimTime max_tlb = 0;
+    uint64_t flushed = 0;
+    uint64_t false_invalidations = 0;
+    uint64_t clean_drops = 0;
+  };
+
+  // Invalidates `targets` for the entry's region on behalf of `requester` (which asked for
+  // `requested_page`; pass UINT64_MAX for forced/capacity invalidations with no requested
+  // page). Performs flush write-backs to memory blades and routes ACKs to the requester.
+  InvalidationWave InvalidateBlades(SharerMask targets, const DirectoryEntry& entry,
+                                    uint64_t requested_page, ComputeBladeId requester,
+                                    SimTime t);
+
+  // Finds or lazily creates the directory entry covering `va`, evicting under capacity
+  // pressure. Advances `t` by any control-plane work performed. Null on kFault (no vma).
+  DirectoryEntry* EnsureDirectoryEntry(VirtAddr va, SimTime& t, Status* error);
+
+  // Fetches the page containing `va` from its memory blade towards `requester`. Returns the
+  // data-arrival time; `bytes` receives the page payload when data storage is on.
+  SimTime FetchPageFromMemory(VirtAddr va, ComputeBladeId requester, SimTime start,
+                              const PageData** bytes);
+
+  // Writes one page back to its memory blade (flush or eviction), returning landing time.
+  SimTime WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* data,
+                        SimTime start);
+
+  // Inserts a fetched page into the requester's cache, handling dirty LRU eviction.
+  void InsertIntoCache(ComputeBladeId blade, uint64_t page, bool writable,
+                       const PageData* bytes, SimTime now, ProtDomainId pdid = 0);
+
+  // Drops cached pages of [base, base+size) at every compute blade, writing dirty pages
+  // back to memory first. Used on permission changes and teardown.
+  void ShootDownRange(VirtAddr base, uint64_t size, bool write_back);
+
+  // PSO support: pending-store tracking per thread.
+  struct PendingWrite {
+    VirtAddr begin = 0;
+    VirtAddr end = 0;
+    SimTime completion = 0;
+  };
+  SimTime PsoReadBarrier(ThreadId tid, VirtAddr va, SimTime now);
+  void PsoRecordWrite(ThreadId tid, VirtAddr va, SimTime completion);
+
+  RackConfig config_;
+  LatencyModel lat_;
+
+  // Data plane.
+  TcamCapacity tcam_capacity_;
+  AddressTranslator translator_;
+  ProtectionTable protection_;
+  CacheDirectory directory_;
+  StateTransitionTable stt_;
+
+  // Control plane.
+  BoundedSplitting splitting_;
+  Controller controller_;
+
+  // Fabric + blades.
+  Fabric fabric_;
+  ReliabilityTracker reliability_;
+  std::vector<std::unique_ptr<ComputeBlade>> compute_blades_;
+  std::vector<std::unique_ptr<MemoryBlade>> memory_blades_;
+
+  RackStats stats_;
+  std::unordered_map<ThreadId, std::vector<PendingWrite>> pending_writes_;
+  // Physical arena on destination blades for migrated ranges; grows monotonically. A full
+  // implementation would reuse the balanced allocator; a bump cursor suffices for the
+  // migration feature and keeps PAs disjoint from the identity-mapped partitions.
+  PhysAddr migration_cursor_ = 1ull << 44;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_CORE_RACK_H_

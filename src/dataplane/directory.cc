@@ -1,0 +1,197 @@
+#include "src/dataplane/directory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mind {
+
+DirectoryEntry* CacheDirectory::Lookup(VirtAddr va) {
+  auto it = entries_.upper_bound(va);
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->second.Contains(va) ? &it->second : nullptr;
+}
+
+const DirectoryEntry* CacheDirectory::Lookup(VirtAddr va) const {
+  auto it = entries_.upper_bound(va);
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->second.Contains(va) ? &it->second : nullptr;
+}
+
+Result<DirectoryEntry*> CacheDirectory::Create(VirtAddr base, uint32_t size_log2) {
+  if (size_log2 < kPageShift || !IsAligned(base, uint64_t{1} << size_log2)) {
+    return Status(ErrorCode::kInvalidArgument, "bad region geometry");
+  }
+  const VirtAddr end = base + (uint64_t{1} << size_log2);
+  // Overlap check against neighbours.
+  auto it = entries_.upper_bound(base);
+  if (it != entries_.end() && it->second.base < end) {
+    return Status(ErrorCode::kExists, "region overlaps successor");
+  }
+  if (it != entries_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end() > base) {
+      return Status(ErrorCode::kExists, "region overlaps predecessor");
+    }
+  }
+  auto slot = slots_.Allocate(base);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  DirectoryEntry entry;
+  entry.base = base;
+  entry.size_log2 = size_log2;
+  auto [pos, inserted] = entries_.emplace(base, entry);
+  assert(inserted);
+  return &pos->second;
+}
+
+Status CacheDirectory::Remove(VirtAddr base) {
+  auto it = entries_.find(base);
+  if (it == entries_.end()) {
+    return Status(ErrorCode::kNotFound);
+  }
+  entries_.erase(it);
+  return slots_.Free(base);
+}
+
+Status CacheDirectory::Split(VirtAddr base) {
+  auto it = entries_.find(base);
+  if (it == entries_.end()) {
+    return Status(ErrorCode::kNotFound);
+  }
+  DirectoryEntry& parent = it->second;
+  if (parent.size_log2 <= kPageShift) {
+    return Status(ErrorCode::kInvalidArgument, "region already at 4KB floor");
+  }
+  const uint32_t child_log2 = parent.size_log2 - 1;
+  const VirtAddr upper_base = base + (uint64_t{1} << child_log2);
+
+  auto slot = slots_.Allocate(upper_base);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+
+  DirectoryEntry upper = parent;  // Children inherit coherence state conservatively.
+  upper.base = upper_base;
+  upper.size_log2 = child_log2;
+  upper.ResetEpochCounters();
+
+  parent.size_log2 = child_log2;
+  parent.ResetEpochCounters();
+
+  entries_.emplace(upper_base, upper);
+  return Status::Ok();
+}
+
+bool CacheDirectory::StatesCompatible(const DirectoryEntry& a, const DirectoryEntry& b) {
+  // Merging must not create a region with two owners or an owner plus foreign sharers.
+  // E (MESI) counts as owner-held, exactly like M.
+  const bool a_owned = a.OwnerHeld();
+  const bool b_owned = b.OwnerHeld();
+  if (a_owned && b_owned) {
+    return a.owner == b.owner;
+  }
+  if (a_owned) {
+    // Owner + shared copies on other blades cannot merge into a single state.
+    return b.state == MsiState::kInvalid || b.sharers == BladeBit(a.owner);
+  }
+  if (b_owned) {
+    return a.state == MsiState::kInvalid || a.sharers == BladeBit(b.owner);
+  }
+  return true;  // I/S combinations merge via sharer-list union.
+}
+
+Status CacheDirectory::MergeWithBuddy(VirtAddr base, uint32_t max_size_log2) {
+  auto it = entries_.find(base);
+  if (it == entries_.end()) {
+    return Status(ErrorCode::kNotFound);
+  }
+  DirectoryEntry& entry = it->second;
+  if (entry.size_log2 >= max_size_log2) {
+    return Status(ErrorCode::kInvalidArgument, "at maximum region size");
+  }
+  const uint64_t size = entry.size();
+  const VirtAddr buddy_base = base ^ size;
+  auto buddy_it = entries_.find(buddy_base);
+  if (buddy_it == entries_.end() || buddy_it->second.size_log2 != entry.size_log2) {
+    return Status(ErrorCode::kNotFound, "no same-size buddy");
+  }
+  DirectoryEntry& buddy = buddy_it->second;
+  if (!StatesCompatible(entry, buddy)) {
+    return Status(ErrorCode::kInvalidArgument, "incompatible coherence states");
+  }
+
+  DirectoryEntry& lower = base < buddy_base ? entry : buddy;
+  DirectoryEntry& upper = base < buddy_base ? buddy : entry;
+
+  // Merged state: M > E > S > I; sharer lists union; owner follows the dominant state.
+  auto rank = [](MsiState st) {
+    switch (st) {
+      case MsiState::kInvalid:
+        return 0;
+      case MsiState::kShared:
+        return 1;
+      case MsiState::kExclusive:
+        return 2;
+      case MsiState::kModified:
+        return 3;
+    }
+    return 0;
+  };
+  if (rank(upper.state) > rank(lower.state)) {
+    lower.state = upper.state;
+    lower.owner = upper.owner;
+  }
+  lower.sharers |= upper.sharers;
+  lower.busy_until = std::max(lower.busy_until, upper.busy_until);
+  lower.last_active = std::max(lower.last_active, upper.last_active);
+  lower.epoch_false_invalidations += upper.epoch_false_invalidations;
+  lower.epoch_invalidations += upper.epoch_invalidations;
+  lower.epoch_accesses += upper.epoch_accesses;
+  lower.size_log2 += 1;
+
+  const VirtAddr upper_key = upper.base;
+  entries_.erase(upper_key);
+  return slots_.Free(upper_key);
+}
+
+std::optional<VirtAddr> CacheDirectory::FindEvictionVictim(SimTime now, int scan_limit) {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  auto it = entries_.lower_bound(clock_cursor_);
+  std::optional<VirtAddr> best;
+  SimTime best_age = 0;
+  for (int i = 0; i < scan_limit; ++i) {
+    if (it == entries_.end()) {
+      it = entries_.begin();
+    }
+    const DirectoryEntry& e = it->second;
+    if (e.busy_until <= now) {
+      const SimTime age = now >= e.last_active ? now - e.last_active : 0;
+      if (!best.has_value() || age > best_age) {
+        best = e.base;
+        best_age = age;
+      }
+    }
+    ++it;
+    if (it == entries_.end()) {
+      it = entries_.begin();
+    }
+    if (static_cast<uint64_t>(i + 1) >= entries_.size()) {
+      break;
+    }
+  }
+  if (it != entries_.end()) {
+    clock_cursor_ = it->first;
+  }
+  return best;
+}
+
+}  // namespace mind

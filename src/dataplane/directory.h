@@ -1,0 +1,127 @@
+// In-network cache directory (§4.3, §6.3).
+//
+// The directory tracks *variable-sized regions* — not pages — so the whole thing fits in the
+// switch ASIC's SRAM slot budget (30k entries in the paper's deployment). Each entry carries
+// the MSI state, the owner, the sharer bitmap, and the epoch counters the bounded-splitting
+// algorithm (§5) consumes. Entries are created lazily at the configured initial region size
+// when a region is first cached, split/merged by the control plane between epochs, and
+// evicted (with a forced invalidation, performed by the caller) under capacity pressure.
+#ifndef MIND_SRC_DATAPLANE_DIRECTORY_H_
+#define MIND_SRC_DATAPLANE_DIRECTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/bitops.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/dataplane/sram.h"
+#include "src/dataplane/stt.h"
+
+namespace mind {
+
+struct DirectoryEntry {
+  VirtAddr base = 0;
+  uint32_t size_log2 = 0;
+  MsiState state = MsiState::kInvalid;
+  ComputeBladeId owner = kInvalidComputeBlade;
+  SharerMask sharers = 0;
+
+  // Region lock: while a transition with invalidations is in flight the region is "busy";
+  // conflicting requests queue behind this horizon (transient-state blocking).
+  SimTime busy_until = 0;
+  SimTime last_active = 0;
+
+  // Epoch-scoped counters for bounded splitting (§5).
+  uint64_t epoch_false_invalidations = 0;
+  uint64_t epoch_invalidations = 0;
+  uint64_t epoch_accesses = 0;
+  // Consecutive epochs with zero false invalidations; merge hysteresis uses this so a
+  // momentarily-quiet hot region is not merged back just to re-split next epoch.
+  uint32_t quiet_epochs = 0;
+
+  [[nodiscard]] uint64_t size() const { return uint64_t{1} << size_log2; }
+  [[nodiscard]] VirtAddr end() const { return base + size(); }
+  [[nodiscard]] bool Contains(VirtAddr va) const { return va >= base && va < end(); }
+
+  [[nodiscard]] bool OwnerHeld() const {
+    return state == MsiState::kModified || state == MsiState::kExclusive;
+  }
+
+  [[nodiscard]] RequestorRole RoleOf(ComputeBladeId blade) const {
+    if (OwnerHeld() && owner == blade) {
+      return RequestorRole::kOwner;
+    }
+    if ((sharers & BladeBit(blade)) != 0) {
+      return RequestorRole::kSharer;
+    }
+    return RequestorRole::kNone;
+  }
+
+  void ResetEpochCounters() {
+    epoch_false_invalidations = 0;
+    epoch_invalidations = 0;
+    epoch_accesses = 0;
+  }
+};
+
+class CacheDirectory {
+ public:
+  explicit CacheDirectory(uint32_t capacity_slots) : slots_(capacity_slots) {}
+
+  // Returns the entry whose region contains `va`, or nullptr if none exists (region is in
+  // the implicit I state).
+  [[nodiscard]] DirectoryEntry* Lookup(VirtAddr va);
+  [[nodiscard]] const DirectoryEntry* Lookup(VirtAddr va) const;
+
+  // Creates an entry for the aligned region [base, base + 2^size_log2). Fails with
+  // kResourceExhausted when no SRAM slot is free (caller should evict) and kExists when the
+  // region would overlap an existing entry.
+  Result<DirectoryEntry*> Create(VirtAddr base, uint32_t size_log2);
+
+  // Removes the entry at `base`, freeing its SRAM slot.
+  Status Remove(VirtAddr base);
+
+  // Splits the region at `base` into two buddies; the upper half takes a fresh SRAM slot.
+  // Children inherit state/owner/sharers/busy horizon conservatively. Fails when the region
+  // is already at the 4 KB floor or when no slot is free.
+  Status Split(VirtAddr base);
+
+  // Merges the region at `base` with its buddy if the buddy exists, both are the same size,
+  // their union is aligned, the merged size would not exceed `max_size_log2`, and their
+  // coherence states are compatible (no conflicting owners). Frees the upper buddy's slot.
+  Status MergeWithBuddy(VirtAddr base, uint32_t max_size_log2);
+
+  // True if the two entries' states can be merged conservatively.
+  [[nodiscard]] static bool StatesCompatible(const DirectoryEntry& a, const DirectoryEntry& b);
+
+  // Picks a victim entry for capacity eviction: a CLOCK-style cursor sweep that prefers the
+  // stalest entry among the next `scan_limit` entries that are not busy at `now`. Returns
+  // nullopt when every scanned entry is busy.
+  [[nodiscard]] std::optional<VirtAddr> FindEvictionVictim(SimTime now, int scan_limit = 64);
+
+  // Iteration for the control plane (bounded splitting, stats sampling).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [base, entry] : entries_) {
+      fn(entry);
+    }
+  }
+
+  [[nodiscard]] uint64_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] uint64_t capacity() const { return slots_.total(); }
+  [[nodiscard]] double utilization() const { return slots_.utilization(); }
+  [[nodiscard]] uint64_t high_water() const { return slots_.high_water(); }
+  [[nodiscard]] const SramSlotStore& slots() const { return slots_; }
+
+ private:
+  std::map<VirtAddr, DirectoryEntry> entries_;  // Keyed by region base.
+  SramSlotStore slots_;
+  VirtAddr clock_cursor_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_DATAPLANE_DIRECTORY_H_

@@ -1,0 +1,161 @@
+#include "src/dataplane/protection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mind {
+
+std::vector<ProtectionTable::Piece> ProtectionTable::DecomposeRange(VirtAddr base,
+                                                                    uint64_t size) {
+  std::vector<Piece> pieces;
+  VirtAddr cur = base;
+  uint64_t remaining = size;
+  while (remaining > 0) {
+    // Largest power-of-two block that is both aligned at `cur` and fits in `remaining`.
+    const uint64_t align_limit = cur == 0 ? remaining : (cur & (~cur + 1));  // Lowest set bit.
+    const uint64_t fit_limit = RoundDownPowerOfTwo(remaining);
+    const uint64_t block = std::min(align_limit == 0 ? fit_limit : align_limit, fit_limit);
+    pieces.push_back(Piece{cur, Log2Floor(block)});
+    cur += block;
+    remaining -= block;
+  }
+  return pieces;
+}
+
+bool ProtectionTable::ChargeRules(VirtAddr base, uint64_t size) {
+  const uint64_t n = PieceCount(base, size);
+  if (capacity_ != nullptr && !capacity_->TryReserve(n)) {
+    return false;
+  }
+  rule_count_ += n;
+  return true;
+}
+
+void ProtectionTable::ReleaseRules(VirtAddr base, uint64_t size) {
+  const uint64_t n = PieceCount(base, size);
+  if (capacity_ != nullptr) {
+    capacity_->Release(n);
+  }
+  rule_count_ -= std::min(rule_count_, n);
+}
+
+Status ProtectionTable::Grant(ProtDomainId pdid, VirtAddr base, uint64_t size, PermClass pc) {
+  if (size == 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty protection range");
+  }
+  // Exact-overwrite semantics: clear any previous grants over the range, then insert.
+  if (Status s = Revoke(pdid, base, size); !s.ok() && s.code() != ErrorCode::kNotFound) {
+    return s;
+  }
+  if (!ChargeRules(base, size)) {
+    return Status(ErrorCode::kResourceExhausted, "protection TCAM full");
+  }
+  auto& map = domains_[pdid];
+  auto [it, inserted] = map.emplace(base, Interval{size, pc});
+  assert(inserted);
+  Coalesce(map, it);
+  return Status::Ok();
+}
+
+Status ProtectionTable::Revoke(ProtDomainId pdid, VirtAddr base, uint64_t size) {
+  auto dom_it = domains_.find(pdid);
+  if (dom_it == domains_.end()) {
+    return Status(ErrorCode::kNotFound);
+  }
+  auto& map = dom_it->second;
+  const VirtAddr end = base + size;
+  bool removed_any = false;
+
+  // Find the first interval that could intersect [base, end).
+  auto it = map.upper_bound(base);
+  if (it != map.begin()) {
+    --it;
+  }
+  while (it != map.end() && it->first < end) {
+    const VirtAddr ival_start = it->first;
+    const VirtAddr ival_end = ival_start + it->second.size;
+    const PermClass pc = it->second.pc;
+    if (ival_end <= base) {
+      ++it;
+      continue;
+    }
+    removed_any = true;
+    ReleaseRules(ival_start, it->second.size);
+    it = map.erase(it);
+    // Reinsert the non-revoked remainders (left and/or right slivers).
+    if (ival_start < base) {
+      const uint64_t left_size = base - ival_start;
+      if (ChargeRules(ival_start, left_size)) {
+        map.emplace(ival_start, Interval{left_size, pc});
+      }
+    }
+    if (ival_end > end) {
+      const uint64_t right_size = ival_end - end;
+      if (ChargeRules(end, right_size)) {
+        it = map.emplace(end, Interval{right_size, pc}).first;
+        ++it;
+      }
+    }
+  }
+  if (map.empty()) {
+    domains_.erase(dom_it);
+  }
+  return removed_any ? Status::Ok() : Status(ErrorCode::kNotFound);
+}
+
+PermClass ProtectionTable::Check(ProtDomainId pdid, VirtAddr va) const {
+  auto dom_it = domains_.find(pdid);
+  if (dom_it == domains_.end()) {
+    return PermClass::kNone;
+  }
+  const auto& map = dom_it->second;
+  auto it = map.upper_bound(va);
+  if (it == map.begin()) {
+    return PermClass::kNone;
+  }
+  --it;
+  if (va >= it->first + it->second.size) {
+    return PermClass::kNone;
+  }
+  return it->second.pc;
+}
+
+ProtectionTable::IntervalMap::iterator ProtectionTable::Coalesce(IntervalMap& map,
+                                                                 IntervalMap::iterator it) {
+  // Merge with the left neighbour when contiguous and same class. Coalescing two adjacent
+  // intervals can strictly reduce the number of power-of-two pieces (e.g. [0,4K)+[4K,8K) ->
+  // one 8K entry), which is the TCAM-storage optimization of §4.2.
+  if (it != map.begin()) {
+    auto left = std::prev(it);
+    if (left->first + left->second.size == it->first && left->second.pc == it->second.pc) {
+      ReleaseRules(left->first, left->second.size);
+      ReleaseRules(it->first, it->second.size);
+      const VirtAddr merged_base = left->first;
+      const uint64_t merged_size = left->second.size + it->second.size;
+      const PermClass pc = it->second.pc;
+      map.erase(left);
+      map.erase(it);
+      // Re-charge; merging never increases piece count, so this cannot fail after the
+      // releases above unless another thread raced (single-threaded control plane: safe).
+      ChargeRules(merged_base, merged_size);
+      it = map.emplace(merged_base, Interval{merged_size, pc}).first;
+    }
+  }
+  // Merge with the right neighbour.
+  auto right = std::next(it);
+  if (right != map.end() && it->first + it->second.size == right->first &&
+      right->second.pc == it->second.pc) {
+    ReleaseRules(it->first, it->second.size);
+    ReleaseRules(right->first, right->second.size);
+    const VirtAddr merged_base = it->first;
+    const uint64_t merged_size = it->second.size + right->second.size;
+    const PermClass pc = it->second.pc;
+    map.erase(right);
+    map.erase(it);
+    ChargeRules(merged_base, merged_size);
+    it = map.emplace(merged_base, Interval{merged_size, pc}).first;
+  }
+  return it;
+}
+
+}  // namespace mind

@@ -1,0 +1,96 @@
+// SRAM slot store for cache-directory entries (§6.3, "Cache directory management").
+//
+// MIND reserves a fixed amount of data-plane SRAM, partitioned into fixed-size slots, one per
+// directory region entry. The control plane keeps a free list of slots and a `used map` from
+// a region's base virtual address to its slot. We reproduce that structure exactly — the 30k
+// slot budget is what saturates for the Memcached workloads (Fig. 8 left).
+#ifndef MIND_SRC_DATAPLANE_SRAM_H_
+#define MIND_SRC_DATAPLANE_SRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace mind {
+
+using SramSlot = uint32_t;
+inline constexpr SramSlot kInvalidSlot = UINT32_MAX;
+
+class SramSlotStore {
+ public:
+  explicit SramSlotStore(uint32_t num_slots) {
+    free_list_.reserve(num_slots);
+    // Push in reverse so slot 0 is handed out first (cosmetic, aids debugging).
+    for (uint32_t s = num_slots; s > 0; --s) {
+      free_list_.push_back(s - 1);
+    }
+    total_slots_ = num_slots;
+  }
+
+  // Allocates a slot and binds it to `region_base` in the used map.
+  Result<SramSlot> Allocate(VirtAddr region_base) {
+    if (free_list_.empty()) {
+      return Status(ErrorCode::kResourceExhausted, "directory SRAM full");
+    }
+    const SramSlot slot = free_list_.back();
+    free_list_.pop_back();
+    used_map_[region_base] = slot;
+    high_water_ = std::max<uint64_t>(high_water_, used_map_.size());
+    return slot;
+  }
+
+  Status Free(VirtAddr region_base) {
+    auto it = used_map_.find(region_base);
+    if (it == used_map_.end()) {
+      return Status(ErrorCode::kNotFound);
+    }
+    free_list_.push_back(it->second);
+    used_map_.erase(it);
+    return Status::Ok();
+  }
+
+  // Re-keys a slot when a region's base changes (merge keeps the left buddy's slot).
+  Status Rekey(VirtAddr old_base, VirtAddr new_base) {
+    auto it = used_map_.find(old_base);
+    if (it == used_map_.end()) {
+      return Status(ErrorCode::kNotFound);
+    }
+    const SramSlot slot = it->second;
+    used_map_.erase(it);
+    used_map_[new_base] = slot;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] std::optional<SramSlot> SlotOf(VirtAddr region_base) const {
+    auto it = used_map_.find(region_base);
+    if (it == used_map_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] uint64_t used() const { return used_map_.size(); }
+  [[nodiscard]] uint64_t free() const { return free_list_.size(); }
+  [[nodiscard]] uint64_t total() const { return total_slots_; }
+  [[nodiscard]] uint64_t high_water() const { return high_water_; }
+  [[nodiscard]] double utilization() const {
+    return total_slots_ == 0
+               ? 0.0
+               : static_cast<double>(used()) / static_cast<double>(total_slots_);
+  }
+
+ private:
+  std::vector<SramSlot> free_list_;
+  std::unordered_map<VirtAddr, SramSlot> used_map_;
+  uint64_t total_slots_ = 0;
+  uint64_t high_water_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_DATAPLANE_SRAM_H_

@@ -1,0 +1,162 @@
+// Materialized MSI state-transition table (§6.3, Fig. 4).
+//
+// A single match-action unit cannot look up a directory entry, compute the transition and
+// write the entry back in one pass, so MIND splits the logic across two MAUs: the first holds
+// directory entries, the second holds *this* table — every possible (state, access, requestor
+// role) combination with its resulting actions — and the packet recirculates once to commit
+// the update. Storing the table explicitly trades a little SRAM for the per-packet compute
+// the ASIC lacks. We materialize the same table so tests can enumerate every transition.
+#ifndef MIND_SRC_DATAPLANE_STT_H_
+#define MIND_SRC_DATAPLANE_STT_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace mind {
+
+// The requesting blade's relationship to the region before the access.
+enum class RequestorRole : uint8_t {
+  kNone = 0,    // Not in the sharer list and not the owner.
+  kSharer = 1,  // Holds the region in S.
+  kOwner = 2,   // Owns the region in M.
+};
+
+[[nodiscard]] constexpr const char* ToString(RequestorRole r) {
+  switch (r) {
+    case RequestorRole::kNone:
+      return "none";
+    case RequestorRole::kSharer:
+      return "sharer";
+    case RequestorRole::kOwner:
+      return "owner";
+  }
+  return "?";
+}
+
+// Who must be invalidated before the access may proceed.
+enum class InvalidateTargets : uint8_t {
+  kNone = 0,
+  kOtherSharers = 1,  // All sharers except the requestor (S -> M upgrade).
+  kOwner = 2,         // The current owner (M -> S / M -> M handoff).
+};
+
+struct SttEntry {
+  MsiState state;            // Match: current region state.
+  AccessType access;         // Match: requested access.
+  RequestorRole role;        // Match: requestor's standing in the entry.
+
+  MsiState next_state;       // Action: state written back on recirculation.
+  InvalidateTargets invalidate;  // Action: multicast invalidation targets.
+  bool sequential_fetch;     // Action: data fetch must wait for flush (M-state sources).
+  bool becomes_owner;        // Action: requestor recorded as owner.
+  bool joins_sharers;        // Action: requestor appended to sharer list.
+  bool clears_sharers;       // Action: sharer list reset to requestor only.
+};
+
+// The full states x accesses x roles table. Transitions that cannot occur by construction
+// (e.g. role=kOwner when state=S) still get well-defined conservative rows so a corrupted
+// directory cannot wedge the pipeline — mirroring the defensive default rules installed on
+// the ASIC. Under kMesi (the §8 extension) cold reads enter E instead of S: the page is
+// installed writable at the single holder, making its first write free of any coherence
+// transaction, at the price of treating E like M (possibly dirty, 2-RTT handoff) when
+// another blade shows up.
+class StateTransitionTable {
+ public:
+  explicit StateTransitionTable(CoherenceProtocol protocol = CoherenceProtocol::kMsi)
+      : protocol_(protocol) {
+    Materialize();
+  }
+
+  [[nodiscard]] const SttEntry& Lookup(MsiState state, AccessType access,
+                                       RequestorRole role) const {
+    return table_[Index(state, access, role)];
+  }
+
+  [[nodiscard]] const std::vector<SttEntry>& rows() const { return rows_; }
+
+  // TCAM footprint of the materialized table: one rule per row (tens of entries; §8 notes
+  // even MOESI-scale tables remain small relative to ASIC capacity).
+  [[nodiscard]] size_t rule_count() const { return rows_.size(); }
+  [[nodiscard]] CoherenceProtocol protocol() const { return protocol_; }
+
+ private:
+  static constexpr size_t Index(MsiState s, AccessType a, RequestorRole r) {
+    return (static_cast<size_t>(s) * 2 + static_cast<size_t>(a)) * 3 + static_cast<size_t>(r);
+  }
+
+  void Materialize() {
+    auto add = [this](MsiState s, AccessType a, RequestorRole r, MsiState next,
+                      InvalidateTargets inv, bool seq, bool owner, bool join, bool clear) {
+      const SttEntry e{s, a, r, next, inv, seq, owner, join, clear};
+      table_[Index(s, a, r)] = e;
+      rows_.push_back(e);
+    };
+    using S = MsiState;
+    using A = AccessType;
+    using R = RequestorRole;
+    using I = InvalidateTargets;
+
+    // --- State I: no cached copies anywhere; fetch from memory, no invalidations. Under
+    // MESI a cold read takes E (exclusive, silently upgradable) instead of S. ---
+    const S cold_read_state =
+        protocol_ == CoherenceProtocol::kMesi ? S::kExclusive : S::kShared;
+    const bool cold_read_owns = protocol_ == CoherenceProtocol::kMesi;
+    add(S::kInvalid, A::kRead, R::kNone, cold_read_state, I::kNone, false, cold_read_owns,
+        !cold_read_owns, cold_read_owns);
+    add(S::kInvalid, A::kWrite, R::kNone, S::kModified, I::kNone, false, true, false, true);
+    // Defensive rows (roles impossible in I).
+    add(S::kInvalid, A::kRead, R::kSharer, S::kShared, I::kNone, false, false, true, false);
+    add(S::kInvalid, A::kRead, R::kOwner, S::kShared, I::kNone, false, false, true, false);
+    add(S::kInvalid, A::kWrite, R::kSharer, S::kModified, I::kNone, false, true, false, true);
+    add(S::kInvalid, A::kWrite, R::kOwner, S::kModified, I::kNone, false, true, false, true);
+
+    // --- State S: reads join the sharer list; writes upgrade to M, invalidating the rest.
+    // Memory holds the latest data in S (dirty pages were flushed on the M->S downgrade), so
+    // data always comes from the memory blade and invalidation proceeds in parallel. ---
+    add(S::kShared, A::kRead, R::kNone, S::kShared, I::kNone, false, false, true, false);
+    add(S::kShared, A::kRead, R::kSharer, S::kShared, I::kNone, false, false, true, false);
+    add(S::kShared, A::kRead, R::kOwner, S::kShared, I::kNone, false, false, true, false);
+    add(S::kShared, A::kWrite, R::kNone, S::kModified, I::kOtherSharers, false, true, false,
+        true);
+    add(S::kShared, A::kWrite, R::kSharer, S::kModified, I::kOtherSharers, false, true, false,
+        true);
+    add(S::kShared, A::kWrite, R::kOwner, S::kModified, I::kOtherSharers, false, true, false,
+        true);
+
+    // --- State M: the owner's faults hit memory directly (its uncached pages are clean in
+    // memory thanks to write-back-on-evict); non-owners must first have the owner flush its
+    // dirty pages, making the fetch *sequential* — the 2-RTT, ~18us path of Fig. 7 (left). ---
+    add(S::kModified, A::kRead, R::kOwner, S::kModified, I::kNone, false, true, false, false);
+    add(S::kModified, A::kWrite, R::kOwner, S::kModified, I::kNone, false, true, false, false);
+    add(S::kModified, A::kRead, R::kNone, S::kShared, I::kOwner, true, false, true, true);
+    add(S::kModified, A::kRead, R::kSharer, S::kShared, I::kOwner, true, false, true, true);
+    add(S::kModified, A::kWrite, R::kNone, S::kModified, I::kOwner, true, true, false, true);
+    add(S::kModified, A::kWrite, R::kSharer, S::kModified, I::kOwner, true, true, false, true);
+
+    // --- State E (MESI only): one blade holds the region with silent-upgrade privilege.
+    // Because the holder may have written without telling the switch, the directory treats
+    // E exactly like M on remote accesses: invalidate + flush the holder, sequential fetch.
+    // The holder's own faults stay in E with a plain 1-RTT memory fetch. ---
+    add(S::kExclusive, A::kRead, R::kOwner, S::kExclusive, I::kNone, false, true, false,
+        false);
+    add(S::kExclusive, A::kWrite, R::kOwner, S::kExclusive, I::kNone, false, true, false,
+        false);
+    add(S::kExclusive, A::kRead, R::kNone, S::kShared, I::kOwner, true, false, true, true);
+    add(S::kExclusive, A::kRead, R::kSharer, S::kShared, I::kOwner, true, false, true, true);
+    add(S::kExclusive, A::kWrite, R::kNone, S::kModified, I::kOwner, true, true, false, true);
+    add(S::kExclusive, A::kWrite, R::kSharer, S::kModified, I::kOwner, true, true, false,
+        true);
+  }
+
+  CoherenceProtocol protocol_;
+  std::array<SttEntry, 24> table_{};
+  std::vector<SttEntry> rows_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_DATAPLANE_STT_H_

@@ -1,0 +1,142 @@
+// Ternary CAM model with longest-prefix matching and capacity accounting.
+//
+// MIND stores outlier address translations and protection entries in switch TCAM (§4.1-4.2).
+// TCAM entries match power-of-two ranges: a 64-bit value plus a prefix length; the most
+// specific (longest-prefix) entry wins, which is what lets outlier entries override the
+// blade-range translation and lets nested protection grants override broader ones.
+//
+// Capacity is enforced because Figure 8 (center) depends on it: the ASIC in the paper holds
+// ~45k match-action rules. Multiple tables can share one capacity pool via TcamCapacity, the
+// way translation and protection share the physical TCAM.
+#ifndef MIND_SRC_DATAPLANE_TCAM_H_
+#define MIND_SRC_DATAPLANE_TCAM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace mind {
+
+// Shared capacity pool across tables that occupy the same physical TCAM.
+class TcamCapacity {
+ public:
+  explicit TcamCapacity(uint64_t max_entries) : max_entries_(max_entries) {}
+
+  [[nodiscard]] bool TryReserve(uint64_t n = 1) {
+    if (used_ + n > max_entries_) {
+      return false;
+    }
+    used_ += n;
+    high_water_ = std::max(high_water_, used_);
+    return true;
+  }
+  void Release(uint64_t n = 1) { used_ -= std::min(used_, n); }
+
+  [[nodiscard]] uint64_t used() const { return used_; }
+  [[nodiscard]] uint64_t max_entries() const { return max_entries_; }
+  [[nodiscard]] uint64_t high_water() const { return high_water_; }
+  [[nodiscard]] double utilization() const {
+    return max_entries_ == 0 ? 0.0
+                             : static_cast<double>(used_) / static_cast<double>(max_entries_);
+  }
+
+ private:
+  uint64_t max_entries_;
+  uint64_t used_ = 0;
+  uint64_t high_water_ = 0;
+};
+
+// One LPM table over 64-bit keys. prefix_len counts matched high-order bits: an entry with
+// prefix_len L matches keys whose top L bits equal the entry's. prefix_len 64 is an exact
+// match; prefix_len (64 - k) matches an aligned 2^k range.
+template <typename Value>
+class Tcam {
+ public:
+  explicit Tcam(TcamCapacity* capacity) : capacity_(capacity) {}
+
+  // Inserts an entry for the aligned power-of-two range [base, base + 2^size_log2).
+  // Fails with kResourceExhausted when the shared capacity pool is full, kInvalidArgument
+  // when the base is not aligned to the range size.
+  Status InsertRange(uint64_t base, uint32_t size_log2, const Value& value) {
+    if (size_log2 > 63 || (base & ((uint64_t{1} << size_log2) - 1)) != 0) {
+      return Status(ErrorCode::kInvalidArgument, "unaligned TCAM range");
+    }
+    const uint32_t prefix_len = 64 - size_log2;
+    auto& table = tables_[prefix_len];
+    const uint64_t key = Mask(base, prefix_len);
+    auto it = table.find(key);
+    if (it != table.end()) {
+      it->second = value;  // Overwrite in place; no capacity change.
+      return Status::Ok();
+    }
+    if (capacity_ != nullptr && !capacity_->TryReserve()) {
+      return Status(ErrorCode::kResourceExhausted, "TCAM full");
+    }
+    table.emplace(key, value);
+    ++entries_;
+    return Status::Ok();
+  }
+
+  Status RemoveRange(uint64_t base, uint32_t size_log2) {
+    const uint32_t prefix_len = 64 - size_log2;
+    auto table_it = tables_.find(prefix_len);
+    if (table_it == tables_.end()) {
+      return Status(ErrorCode::kNotFound);
+    }
+    const uint64_t key = Mask(base, prefix_len);
+    if (table_it->second.erase(key) == 0) {
+      return Status(ErrorCode::kNotFound);
+    }
+    if (table_it->second.empty()) {
+      tables_.erase(table_it);
+    }
+    if (capacity_ != nullptr) {
+      capacity_->Release();
+    }
+    --entries_;
+    return Status::Ok();
+  }
+
+  // Longest-prefix match: returns the value of the most specific entry covering `key`.
+  [[nodiscard]] std::optional<Value> Lookup(uint64_t key) const {
+    // tables_ is ordered by prefix_len ascending; iterate descending for longest-first.
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+      const auto& [prefix_len, table] = *it;
+      auto entry = table.find(Mask(key, prefix_len));
+      if (entry != table.end()) {
+        return entry->second;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] uint64_t entries() const { return entries_; }
+
+  void Clear() {
+    if (capacity_ != nullptr) {
+      capacity_->Release(entries_);
+    }
+    tables_.clear();
+    entries_ = 0;
+  }
+
+ private:
+  static uint64_t Mask(uint64_t key, uint32_t prefix_len) {
+    if (prefix_len == 0) {
+      return 0;
+    }
+    return key & ~((prefix_len >= 64) ? 0ull : ((uint64_t{1} << (64 - prefix_len)) - 1));
+  }
+
+  TcamCapacity* capacity_;  // Not owned; may be null (uncapped table).
+  std::map<uint32_t, std::unordered_map<uint64_t, Value>> tables_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_DATAPLANE_TCAM_H_

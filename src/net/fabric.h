@@ -1,0 +1,153 @@
+// The rack fabric: dedicated full-duplex links between each blade and the ToR switch.
+//
+// Every compute and memory blade in the paper's testbed has a dedicated 100 Gbps NIC; the
+// switch's per-port capacity matches. We model each direction of each port as a FIFO resource
+// so concurrent page transfers to the same blade queue behind one another (NIC serialization),
+// while transfers to different blades proceed in parallel — exactly the property MIND's
+// multicast invalidation exploits (§4.3.2).
+#ifndef MIND_SRC_NET_FABRIC_H_
+#define MIND_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitops.h"
+#include "src/common/types.h"
+#include "src/net/message.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/resource.h"
+
+namespace mind {
+
+// Endpoint of a link: a compute blade, a memory blade, or the switch CPU (control plane).
+struct Endpoint {
+  enum class Kind : uint8_t { kComputeBlade, kMemoryBlade, kSwitchCpu };
+  Kind kind = Kind::kComputeBlade;
+  uint16_t id = 0;
+
+  static Endpoint Compute(ComputeBladeId id) { return {Kind::kComputeBlade, id}; }
+  static Endpoint Memory(MemoryBladeId id) { return {Kind::kMemoryBlade, id}; }
+  static Endpoint SwitchCpu() { return {Kind::kSwitchCpu, 0}; }
+};
+
+class Fabric {
+ public:
+  Fabric(int num_compute_blades, int num_memory_blades, const LatencyModel& latency)
+      : latency_(latency),
+        compute_tx_(num_compute_blades),
+        compute_rx_(num_compute_blades),
+        memory_tx_(num_memory_blades),
+        memory_rx_(num_memory_blades) {}
+
+  struct Delivery {
+    SimTime arrival;    // When the message is fully received at the destination port.
+    SimTime link_wait;  // Queueing delay on the sender's egress link.
+  };
+
+  // Transfer one hop: blade -> switch. Returns when the switch has the message.
+  Delivery ToSwitch(const Endpoint& from, MessageKind kind, SimTime now) {
+    return Transfer(TxOf(from), kind, now);
+  }
+
+  // Transfer one hop: switch -> blade. Returns when the blade has the message.
+  Delivery FromSwitch(const Endpoint& to, MessageKind kind, SimTime now) {
+    return Transfer(RxOf(to), kind, now);
+  }
+
+  // Multicast an invalidation from the switch to every compute blade whose bit is set in
+  // `sharers`. The switch replicates the packet in the traffic manager; copies traverse
+  // distinct egress ports in parallel. Copies for ports not leading to a sharer are dropped
+  // in the egress pipeline (§4.3.2), consuming no link bandwidth. Returns per-sharer
+  // deliveries in blade order alongside the ids.
+  struct MulticastDelivery {
+    ComputeBladeId blade;
+    Delivery delivery;
+  };
+  std::vector<MulticastDelivery> MulticastInvalidation(SharerMask sharers, SimTime now) {
+    std::vector<MulticastDelivery> out;
+    SharerMask remaining = sharers;
+    while (remaining != 0) {
+      const auto blade = static_cast<ComputeBladeId>(LowestSetBit(remaining));
+      remaining &= remaining - 1;
+      out.push_back({blade, FromSwitch(Endpoint::Compute(blade), MessageKind::kInvalidation,
+                                       now)});
+      ++invalidations_sent_;
+    }
+    ++multicast_operations_;
+    return out;
+  }
+
+  // Unicast equivalent (ablation baseline): the sender issues one invalidation after another,
+  // paying per-message serialization sequentially at its own port before fan-out.
+  std::vector<MulticastDelivery> UnicastInvalidations(SharerMask sharers, SimTime now) {
+    std::vector<MulticastDelivery> out;
+    SimTime send_time = now;
+    SharerMask remaining = sharers;
+    while (remaining != 0) {
+      const auto blade = static_cast<ComputeBladeId>(LowestSetBit(remaining));
+      remaining &= remaining - 1;
+      // Sequential issue: each message occupies the sender CPU/NIC before the next.
+      send_time += latency_.rdma_message_overhead +
+                   latency_.Serialize(latency_.control_message_bytes);
+      out.push_back({blade, FromSwitch(Endpoint::Compute(blade), MessageKind::kInvalidation,
+                                       send_time)});
+      ++invalidations_sent_;
+    }
+    return out;
+  }
+
+  [[nodiscard]] uint64_t invalidations_sent() const { return invalidations_sent_; }
+  [[nodiscard]] uint64_t multicast_operations() const { return multicast_operations_; }
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+
+  [[nodiscard]] int num_compute_blades() const { return static_cast<int>(compute_tx_.size()); }
+  [[nodiscard]] int num_memory_blades() const { return static_cast<int>(memory_tx_.size()); }
+
+ private:
+  Delivery Transfer(FifoResource& link, MessageKind kind, SimTime now) {
+    const uint64_t bytes =
+        CarriesPage(kind) ? latency_.page_payload_bytes : latency_.control_message_bytes;
+    // The link serializes wire bytes only; per-message NIC processing (doorbells, CQEs)
+    // pipelines with other messages, so it adds latency without occupying the link.
+    const auto grant = link.Acquire(now, latency_.Serialize(bytes));
+    return Delivery{grant.finish + latency_.rdma_message_overhead + latency_.link_propagation,
+                    grant.wait};
+  }
+
+  FifoResource& TxOf(const Endpoint& e) {
+    switch (e.kind) {
+      case Endpoint::Kind::kComputeBlade:
+        return compute_tx_[e.id];
+      case Endpoint::Kind::kMemoryBlade:
+        return memory_tx_[e.id];
+      case Endpoint::Kind::kSwitchCpu:
+        return switch_cpu_link_;
+    }
+    return switch_cpu_link_;
+  }
+
+  FifoResource& RxOf(const Endpoint& e) {
+    switch (e.kind) {
+      case Endpoint::Kind::kComputeBlade:
+        return compute_rx_[e.id];
+      case Endpoint::Kind::kMemoryBlade:
+        return memory_rx_[e.id];
+      case Endpoint::Kind::kSwitchCpu:
+        return switch_cpu_link_;
+    }
+    return switch_cpu_link_;
+  }
+
+  LatencyModel latency_;
+  std::vector<FifoResource> compute_tx_;  // blade -> switch, per compute blade.
+  std::vector<FifoResource> compute_rx_;  // switch -> blade.
+  std::vector<FifoResource> memory_tx_;
+  std::vector<FifoResource> memory_rx_;
+  FifoResource switch_cpu_link_;          // PCIe path to the switch CPU (control plane).
+  uint64_t invalidations_sent_ = 0;
+  uint64_t multicast_operations_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_NET_FABRIC_H_

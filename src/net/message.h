@@ -1,0 +1,70 @@
+// Wire-level message taxonomy for the emulated rack fabric.
+//
+// MIND's data path carries one-sided RDMA requests whose destination is *not* known to the
+// sender — compute blades issue requests on virtual addresses and the switch rewrites headers
+// after translation/coherence (§6.3, "Virtualizing RDMA connections"). The message kinds below
+// mirror that protocol; sizes drive serialization-delay accounting in the fabric.
+#ifndef MIND_SRC_NET_MESSAGE_H_
+#define MIND_SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace mind {
+
+enum class MessageKind : uint8_t {
+  kRdmaReadRequest = 0,   // Compute -> switch: fetch page at VA (page fault path).
+  kRdmaWriteRequest,      // Compute -> switch: write-back / flush page at VA.
+  kRdmaReadResponse,      // Memory -> switch -> compute: page payload.
+  kRdmaWriteAck,          // Memory -> switch -> compute: write completion.
+  kInvalidation,          // Switch -> compute (multicast): invalidate a region.
+  kInvalidationAck,       // Compute -> switch -> requester: region invalidated.
+  kSyscallRequest,        // Compute -> switch control plane (TCP): mmap/brk/exec/...
+  kSyscallResponse,       // Control plane -> compute.
+  kReset,                 // Compute -> control plane: coherence reset for a VA (§4.4).
+};
+
+[[nodiscard]] constexpr const char* ToString(MessageKind k) {
+  switch (k) {
+    case MessageKind::kRdmaReadRequest:
+      return "rdma-read-req";
+    case MessageKind::kRdmaWriteRequest:
+      return "rdma-write-req";
+    case MessageKind::kRdmaReadResponse:
+      return "rdma-read-resp";
+    case MessageKind::kRdmaWriteAck:
+      return "rdma-write-ack";
+    case MessageKind::kInvalidation:
+      return "invalidation";
+    case MessageKind::kInvalidationAck:
+      return "invalidation-ack";
+    case MessageKind::kSyscallRequest:
+      return "syscall-req";
+    case MessageKind::kSyscallResponse:
+      return "syscall-resp";
+    case MessageKind::kReset:
+      return "reset";
+  }
+  return "?";
+}
+
+// Whether a message carries a full page payload (drives serialization cost).
+[[nodiscard]] constexpr bool CarriesPage(MessageKind k) {
+  return k == MessageKind::kRdmaReadResponse || k == MessageKind::kRdmaWriteRequest;
+}
+
+struct Message {
+  MessageKind kind = MessageKind::kRdmaReadRequest;
+  VirtAddr va = 0;                 // Virtual address the operation targets.
+  ProtDomainId pdid = 0;           // Protection domain of the issuing process (§4.2).
+  AccessType access = AccessType::kRead;
+  ComputeBladeId src_compute = kInvalidComputeBlade;
+  // Sharer list embedded in invalidations so the egress pipeline can prune multicast
+  // copies that would reach non-sharers (§4.3.2).
+  SharerMask sharer_list = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_NET_MESSAGE_H_

@@ -1,0 +1,92 @@
+// Synthetic workload generators matching the paper's evaluation set (§7).
+//
+// The original traces come from real applications (TensorFlow/ResNet-50, GraphChi/PageRank
+// on the Twitter graph, Memcached under YCSB A/C) captured with Intel PIN — unavailable
+// here. Each generator reproduces the statistical structure the paper *reports* for its
+// workload, which is what the evaluation discriminates on:
+//   TF  — streaming private activations + read-mostly shared parameters; very few shared
+//         writes; scales ~1.67x per blade doubling.
+//   GC  — random (power-law) traversal of a large shared graph; ~2.5x TF's shared-write
+//         volume; peaks at 2 blades then degrades.
+//   M_A — Memcached, YCSB-A: zipfian GET/SET 50/50 over a shared table, plus hot shared
+//         metadata (LRU lists) written on nearly every operation.
+//   M_C — Memcached, YCSB-C: 100% GET — but the LRU metadata writes remain, which is why it
+//         still fails to scale across blades in the paper.
+//   Native-KVS — partitioned KV store: threads mostly touch their own blade's partition.
+//   Micro — uniform accesses over a 400k-page working set with exact read-ratio and
+//         sharing-ratio knobs (Fig. 7 center/right).
+#ifndef MIND_SRC_WORKLOAD_GENERATORS_H_
+#define MIND_SRC_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/workload/trace.h"
+
+namespace mind {
+
+enum class Pattern : uint8_t {
+  kSequential = 0,  // Streaming scan with wraparound.
+  kUniform,
+  kZipfian,
+};
+
+struct WorkloadSpec {
+  std::string name = "custom";
+  int num_blades = 1;
+  int threads_per_blade = 1;
+  uint64_t accesses_per_thread = 50'000;
+  SimTime think_time = 200;  // ns of CPU work between accesses.
+  uint64_t seed = 1;
+
+  // Per-thread private segment.
+  uint64_t private_pages_per_thread = 0;
+  Pattern private_pattern = Pattern::kSequential;
+  double private_write_fraction = 0.5;
+
+  // Shared segment (one, visible to all threads).
+  uint64_t shared_pages = 0;
+  Pattern shared_pattern = Pattern::kUniform;
+  double shared_access_fraction = 0.0;  // P(access targets the shared segment).
+  double shared_write_fraction = 0.0;   // P(shared access is a write).
+  double zipf_theta = 0.99;
+
+  // Hot metadata segment (e.g. Memcached LRU lists): with probability
+  // metadata_touch_prob, an operation *additionally* writes a metadata page.
+  uint64_t metadata_pages = 0;
+  double metadata_touch_prob = 0.0;
+
+  // Partitioned sharing (Native-KVS): the shared segment is divided into per-blade
+  // partitions; an access stays in the issuing blade's partition with probability
+  // partition_locality, otherwise it lands uniformly anywhere in the segment.
+  bool partitioned = false;
+  double partition_locality = 0.8;
+
+  [[nodiscard]] int total_threads() const { return num_blades * threads_per_blade; }
+};
+
+// Materializes the per-thread traces for a spec. Deterministic for a given spec+seed.
+WorkloadTraces GenerateTraces(const WorkloadSpec& spec);
+
+// --- Paper workload presets. `blades` and `threads_per_blade` select the scaling point. ---
+
+WorkloadSpec TfSpec(int blades, int threads_per_blade, uint64_t accesses_per_thread = 40'000);
+WorkloadSpec GcSpec(int blades, int threads_per_blade, uint64_t accesses_per_thread = 40'000);
+WorkloadSpec MemcachedASpec(int blades, int threads_per_blade,
+                            uint64_t accesses_per_thread = 40'000);
+WorkloadSpec MemcachedCSpec(int blades, int threads_per_blade,
+                            uint64_t accesses_per_thread = 40'000);
+WorkloadSpec NativeKvsSpec(int blades, int threads_per_blade, double read_ratio,
+                           uint64_t accesses_per_thread = 40'000,
+                           uint64_t table_pages = 262'144);
+
+// Fig. 7 microbenchmark: uniform over `total_pages` (400k in the paper), with exact
+// read/sharing ratios; 1 thread per blade.
+WorkloadSpec MicroSpec(int blades, double read_ratio, double sharing_ratio,
+                       uint64_t total_pages = 400'000,
+                       uint64_t accesses_per_thread = 30'000);
+
+}  // namespace mind
+
+#endif  // MIND_SRC_WORKLOAD_GENERATORS_H_

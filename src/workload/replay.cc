@@ -1,0 +1,126 @@
+#include "src/workload/replay.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace mind {
+
+Status ReplayEngine::Setup() {
+  if (setup_done_) {
+    return Status(ErrorCode::kExists, "Setup called twice");
+  }
+  segments_.reserve(traces_->segments.size());
+  for (const auto& seg : traces_->segments) {
+    SegmentMap map;
+    for (uint64_t first = 0; first < seg.pages; first += kChunkPages) {
+      const uint64_t chunk_pages = std::min(kChunkPages, seg.pages - first);
+      auto base = system_->Alloc(chunk_pages * kPageSize);
+      if (!base.ok()) {
+        return base.status();
+      }
+      map.chunk_bases.push_back(*base);
+    }
+    segments_.push_back(std::move(map));
+  }
+  const int blades = std::min(traces_->num_blades, system_->num_compute_blades());
+  thread_ids_.reserve(traces_->threads.size());
+  thread_blades_.reserve(traces_->threads.size());
+  for (size_t t = 0; t < traces_->threads.size(); ++t) {
+    const auto blade = static_cast<ComputeBladeId>(t % static_cast<size_t>(blades));
+    auto tid = system_->RegisterThread(blade);
+    if (!tid.ok()) {
+      return tid.status();
+    }
+    thread_ids_.push_back(*tid);
+    thread_blades_.push_back(blade);
+  }
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
+  ReplayReport report;
+  report.system = system_->name();
+  report.workload = traces_->name;
+
+  const SystemCounters before = system_->counters();
+
+  struct ThreadCursor {
+    SimTime clock = 0;
+    size_t next_op = 0;
+  };
+  std::vector<ThreadCursor> cursors(traces_->threads.size());
+
+  // Min-heap keyed by thread clock: pop the earliest thread, run one access, push back.
+  using HeapItem = std::pair<SimTime, size_t>;  // (clock, thread index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (size_t t = 0; t < cursors.size(); ++t) {
+    if (!traces_->threads[t].ops.empty()) {
+      heap.emplace(0, t);
+    }
+  }
+
+  SimTime next_sample = sample_interval;
+  SimTime makespan = 0;
+  uint64_t total_ops = 0;
+  uint64_t latency_sum = 0;
+
+  while (!heap.empty()) {
+    const auto [clock, t] = heap.top();
+    heap.pop();
+    ThreadCursor& cur = cursors[t];
+
+    if (sampler != nullptr && clock >= next_sample) {
+      sampler(clock);
+      while (clock >= next_sample) {
+        next_sample += sample_interval;
+      }
+    }
+
+    const TraceOp& op = traces_->threads[t].ops[cur.next_op];
+    const VirtAddr va = AddressOf(op.segment, op.page);
+    const AccessResult res =
+        system_->Access(thread_ids_[t], thread_blades_[t], va, op.type, cur.clock);
+
+    cur.clock += res.latency + traces_->think_time;
+    makespan = std::max(makespan, cur.clock);
+    ++total_ops;
+    latency_sum += res.latency;
+    report.latency_histogram.Record(res.latency);
+
+    if (++cur.next_op < traces_->threads[t].ops.size()) {
+      heap.emplace(cur.clock, t);
+    }
+  }
+
+  report.makespan = makespan;
+  report.total_ops = total_ops;
+  if (makespan > 0) {
+    report.throughput_mops =
+        static_cast<double>(total_ops) / (ToSeconds(makespan) * 1e6);
+  }
+  if (total_ops > 0) {
+    report.avg_latency_us =
+        ToMicros(latency_sum) / static_cast<double>(total_ops);
+  }
+
+  const SystemCounters after = system_->counters();
+  report.counters.total_accesses = after.total_accesses - before.total_accesses;
+  report.counters.local_hits = after.local_hits - before.local_hits;
+  report.counters.remote_accesses = after.remote_accesses - before.remote_accesses;
+  report.counters.invalidations = after.invalidations - before.invalidations;
+  report.counters.pages_flushed = after.pages_flushed - before.pages_flushed;
+  report.counters.false_invalidations =
+      after.false_invalidations - before.false_invalidations;
+  report.counters.breakdown_sums.fault =
+      after.breakdown_sums.fault - before.breakdown_sums.fault;
+  report.counters.breakdown_sums.network =
+      after.breakdown_sums.network - before.breakdown_sums.network;
+  report.counters.breakdown_sums.inv_queue =
+      after.breakdown_sums.inv_queue - before.breakdown_sums.inv_queue;
+  report.counters.breakdown_sums.inv_tlb =
+      after.breakdown_sums.inv_tlb - before.breakdown_sums.inv_tlb;
+  return report;
+}
+
+}  // namespace mind

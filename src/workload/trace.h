@@ -1,0 +1,61 @@
+// System-independent memory-access traces.
+//
+// The paper captures workload accesses once (Intel PIN) and replays the identical stream
+// against all compared systems (§7). Traces here are expressed against logical *segments*
+// (shared heap, hot metadata, per-thread private) rather than raw VAs, so each system's own
+// allocator can place them; the replay engine materializes VAs per system. This guarantees
+// byte-identical access sequences across MIND, GAM and FastSwap.
+#ifndef MIND_SRC_WORKLOAD_TRACE_H_
+#define MIND_SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace mind {
+
+struct TraceOp {
+  uint32_t segment = 0;   // Index into WorkloadTraces::segments.
+  uint64_t page = 0;      // Page offset within the segment.
+  AccessType type = AccessType::kRead;
+};
+
+struct SegmentSpec {
+  uint64_t pages = 0;
+
+  [[nodiscard]] uint64_t bytes() const { return pages * kPageSize; }
+};
+
+struct ThreadTrace {
+  std::vector<TraceOp> ops;
+};
+
+struct WorkloadTraces {
+  std::string name;
+  std::vector<SegmentSpec> segments;
+  std::vector<ThreadTrace> threads;  // Global thread index; blade = index % num_blades.
+  int num_blades = 1;
+  SimTime think_time = 0;            // CPU work modeled between consecutive accesses.
+
+  [[nodiscard]] uint64_t TotalOps() const {
+    uint64_t n = 0;
+    for (const auto& t : threads) {
+      n += t.ops.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] uint64_t FootprintPages() const {
+    uint64_t n = 0;
+    for (const auto& s : segments) {
+      n += s.pages;
+    }
+    return n;
+  }
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,143 @@
+// Unit tests for balanced memory allocation (§4.1): least-loaded placement, first-fit
+// fragmentation behaviour, power-of-two rounding, interleaved-page comparison policy.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/controlplane/allocator.h"
+
+namespace mind {
+namespace {
+
+constexpr uint64_t kMiB = 1024 * 1024;
+
+BalancedAllocator MakeAllocator(int blades, uint64_t capacity, AllocatorConfig cfg = {}) {
+  BalancedAllocator a(cfg);
+  for (int i = 0; i < blades; ++i) {
+    EXPECT_TRUE(a.AddBlade(static_cast<MemoryBladeId>(i),
+                           static_cast<uint64_t>(i) * capacity, capacity)
+                    .ok());
+  }
+  return a;
+}
+
+TEST(Allocator, RoundsToPowerOfTwo) {
+  auto a = MakeAllocator(1, 64 * kMiB);
+  auto vma = a.Allocate(5000);
+  ASSERT_TRUE(vma.ok());
+  EXPECT_EQ(vma->size, 8192u);  // 5000 -> 8 KB.
+  EXPECT_TRUE(IsAligned(vma->base, vma->size));  // One TCAM entry.
+}
+
+TEST(Allocator, BalancedPlacementPicksLeastLoaded) {
+  auto a = MakeAllocator(4, 64 * kMiB);
+  // Allocate four equal chunks: each must land on a different blade.
+  std::vector<MemoryBladeId> used;
+  for (int i = 0; i < 4; ++i) {
+    auto vma = a.Allocate(4 * kMiB);
+    ASSERT_TRUE(vma.ok());
+    ASSERT_EQ(vma->chunks.size(), 1u);
+    used.push_back(vma->chunks[0].blade);
+  }
+  std::sort(used.begin(), used.end());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(used[static_cast<size_t>(i)], i);
+  }
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(a.PerBladeLoad()), 1.0);
+}
+
+TEST(Allocator, MixedSizesStayNearBalanced) {
+  auto a = MakeAllocator(8, 256 * kMiB);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t size = (1 + rng.NextBelow(512)) * kPageSize;
+    ASSERT_TRUE(a.Allocate(size).ok());
+  }
+  // The paper reports near-optimal balancing (Fig. 8 right, Jain index ~1.0).
+  EXPECT_GT(JainFairnessIndex(a.PerBladeLoad()), 0.95);
+}
+
+TEST(Allocator, FreeAndReuse) {
+  auto a = MakeAllocator(1, 16 * kMiB);
+  auto v1 = a.Allocate(8 * kMiB);
+  ASSERT_TRUE(v1.ok());
+  auto v2 = a.Allocate(8 * kMiB);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_FALSE(a.Allocate(8 * kMiB).ok());  // Full.
+  ASSERT_TRUE(a.Free(*v1).ok());
+  auto v3 = a.Allocate(8 * kMiB);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->base, v1->base);  // First-fit reuses the freed extent.
+}
+
+TEST(Allocator, FreeCoalescesExtents) {
+  auto a = MakeAllocator(1, 16 * kMiB);
+  auto v1 = a.Allocate(4 * kMiB);
+  auto v2 = a.Allocate(4 * kMiB);
+  auto v3 = a.Allocate(4 * kMiB);
+  ASSERT_TRUE(v1.ok() && v2.ok() && v3.ok());
+  ASSERT_TRUE(a.Free(*v1).ok());
+  ASSERT_TRUE(a.Free(*v3).ok());
+  ASSERT_TRUE(a.Free(*v2).ok());  // Middle free must coalesce with both sides.
+  auto big = a.Allocate(16 * kMiB);
+  EXPECT_TRUE(big.ok());
+}
+
+TEST(Allocator, ExhaustionReturnsNoMemory) {
+  auto a = MakeAllocator(2, 8 * kMiB);
+  EXPECT_EQ(a.Allocate(16 * kMiB).status().code(), ErrorCode::kNoMemory);
+  EXPECT_EQ(a.Allocate(0).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Allocator, SpillsToOtherBladeWhenPreferredFull) {
+  auto a = MakeAllocator(2, 8 * kMiB);
+  ASSERT_TRUE(a.Allocate(8 * kMiB).ok());  // Fills blade A.
+  ASSERT_TRUE(a.Allocate(8 * kMiB).ok());  // Fills blade B.
+  EXPECT_FALSE(a.Allocate(kPageSize * 2).ok());
+}
+
+TEST(Allocator, InterleavePolicySpreadsChunks) {
+  AllocatorConfig cfg;
+  cfg.policy = PlacementPolicy::kPageInterleave;
+  cfg.interleave_page_size = 2 * kMiB;
+  auto a = MakeAllocator(4, 64 * kMiB, cfg);
+  auto vma = a.Allocate(8 * kMiB);  // 4 chunks of 2 MB.
+  ASSERT_TRUE(vma.ok());
+  EXPECT_EQ(vma->chunks.size(), 4u);
+  // Round-robin: each chunk on a different blade.
+  std::vector<MemoryBladeId> blades;
+  for (const auto& c : vma->chunks) {
+    blades.push_back(c.blade);
+  }
+  std::sort(blades.begin(), blades.end());
+  EXPECT_EQ(std::unique(blades.begin(), blades.end()), blades.end());
+  // One translation rule per chunk — the linear growth of Fig. 8 (center).
+  EXPECT_EQ(a.placement_count(), 4u);
+}
+
+TEST(Allocator, InterleaveHugePagesImbalanceSmallAllocs) {
+  AllocatorConfig cfg;
+  cfg.policy = PlacementPolicy::kPageInterleave;
+  cfg.interleave_page_size = 64 * kMiB;  // "1 GB page" regime, scaled down.
+  auto a = MakeAllocator(4, 256 * kMiB, cfg);
+  // Many small allocations each consume a full huge page on one blade.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(a.Allocate(kMiB).ok());
+  }
+  // 3 huge chunks over 4 blades: someone has nothing.
+  EXPECT_LT(JainFairnessIndex(a.PerBladeLoad()), 0.8);
+}
+
+TEST(Allocator, BalancedHandlesInterleaveRollback) {
+  AllocatorConfig cfg;
+  cfg.policy = PlacementPolicy::kPageInterleave;
+  cfg.interleave_page_size = 8 * kMiB;
+  auto a = MakeAllocator(2, 8 * kMiB, cfg);
+  ASSERT_TRUE(a.Allocate(16 * kMiB).ok());  // Exactly fills both blades.
+  auto fail = a.Allocate(8 * kMiB);
+  EXPECT_FALSE(fail.ok());  // Nothing left; rollback must not corrupt state.
+  EXPECT_EQ(a.total_allocated(), 16 * kMiB);
+}
+
+}  // namespace
+}  // namespace mind

@@ -1,0 +1,192 @@
+// Unit tests for the control plane: process management, controller syscall surface,
+// vma bookkeeping and protection-domain grants.
+#include <gtest/gtest.h>
+
+#include "src/controlplane/controller.h"
+#include "src/controlplane/process_manager.h"
+#include "src/dataplane/protection.h"
+#include "src/dataplane/translation.h"
+
+namespace mind {
+namespace {
+
+constexpr uint64_t kGiB = 1024ull * 1024 * 1024;
+
+TEST(ProcessManager, ExecAssignsPidAsPdid) {
+  ProcessManager pm(4);
+  auto pid = pm.Exec("app");
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(*pm.PdidOf(*pid), *pid);  // §4.2: PID doubles as PDID by default.
+}
+
+TEST(ProcessManager, RoundRobinThreadPlacement) {
+  ProcessManager pm(4);
+  auto pid = pm.Exec("app");
+  std::vector<ComputeBladeId> blades;
+  for (int i = 0; i < 8; ++i) {
+    auto p = pm.SpawnThread(*pid);
+    ASSERT_TRUE(p.ok());
+    blades.push_back(p->blade);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(blades[static_cast<size_t>(i)], i % 4);
+  }
+}
+
+TEST(ProcessManager, PinnedPlacementHonored) {
+  ProcessManager pm(4);
+  auto pid = pm.Exec("app");
+  auto p = pm.SpawnThread(*pid, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->blade, 3);
+  EXPECT_EQ(*pm.BladeOfThread(p->tid), 3);
+  EXPECT_EQ(*pm.ProcessOfThread(p->tid), *pid);
+}
+
+TEST(ProcessManager, ThreadsShareAddressSpaceAcrossBlades) {
+  // The transparency core: one process's threads land on different blades with one PID.
+  ProcessManager pm(8);
+  auto pid = pm.Exec("elastic-app");
+  auto t0 = pm.SpawnThread(*pid, 0);
+  auto t7 = pm.SpawnThread(*pid, 7);
+  ASSERT_TRUE(t0.ok() && t7.ok());
+  EXPECT_EQ(*pm.ProcessOfThread(t0->tid), *pm.ProcessOfThread(t7->tid));
+}
+
+TEST(ProcessManager, ExitCleansUp) {
+  ProcessManager pm(2);
+  auto pid = pm.Exec("app");
+  auto t = pm.SpawnThread(*pid);
+  ASSERT_TRUE(pm.Exit(*pid).ok());
+  EXPECT_FALSE(pm.BladeOfThread(t->tid).ok());
+  EXPECT_FALSE(pm.Exit(*pid).ok());
+  EXPECT_EQ(pm.process_count(), 0u);
+}
+
+TEST(ProcessManager, CustomPdidPerSession) {
+  ProcessManager pm(2);
+  auto pid = pm.Exec("db-server");
+  ASSERT_TRUE(pm.SetPdid(*pid, 9001).ok());
+  EXPECT_EQ(*pm.PdidOf(*pid), 9001u);
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : tcam_(45000),
+        translator_(&tcam_),
+        protection_(&tcam_),
+        controller_(&translator_, &protection_, nullptr, 4) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(controller_.MemoryBladeOnline(static_cast<MemoryBladeId>(i), kGiB).ok());
+    }
+    pid_ = *controller_.Exec("app");
+  }
+
+  TcamCapacity tcam_;
+  AddressTranslator translator_;
+  ProtectionTable protection_;
+  Controller controller_;
+  ProcessId pid_;
+};
+
+TEST_F(ControllerTest, MmapGrantsAndTranslates) {
+  auto va = controller_.Mmap(pid_, 64 * kPageSize, PermClass::kReadWrite);
+  ASSERT_TRUE(va.ok());
+  // The vma is visible, protected and translatable.
+  const VmaRecord* vma = controller_.FindVma(*va);
+  ASSERT_NE(vma, nullptr);
+  EXPECT_EQ(vma->pid, pid_);
+  EXPECT_TRUE(protection_.Allows(pid_, *va, AccessType::kWrite));
+  EXPECT_TRUE(translator_.Translate(*va).ok());
+  EXPECT_TRUE(translator_.Translate(*va + 64 * kPageSize - 1).ok());
+}
+
+TEST_F(ControllerTest, MmapReturnsDistinctVmas) {
+  auto a = controller_.Mmap(pid_, kPageSize, PermClass::kReadWrite);
+  auto b = controller_.Mmap(pid_, kPageSize, PermClass::kReadWrite);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);  // Isolation: allocations never overlap (§4.1).
+}
+
+TEST_F(ControllerTest, MunmapRevokesEverything) {
+  auto va = controller_.Mmap(pid_, 16 * kPageSize, PermClass::kReadWrite);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(controller_.Munmap(pid_, *va).ok());
+  EXPECT_EQ(controller_.FindVma(*va), nullptr);
+  EXPECT_FALSE(protection_.Allows(pid_, *va, AccessType::kRead));
+}
+
+TEST_F(ControllerTest, MunmapWrongProcessDenied) {
+  auto va = controller_.Mmap(pid_, kPageSize, PermClass::kReadWrite);
+  const ProcessId other = *controller_.Exec("intruder");
+  EXPECT_EQ(controller_.Munmap(other, *va).code(), ErrorCode::kPermissionDenied);
+  EXPECT_NE(controller_.FindVma(*va), nullptr);  // Unharmed.
+}
+
+TEST_F(ControllerTest, MprotectDowngradesRange) {
+  auto va = controller_.Mmap(pid_, 16 * kPageSize, PermClass::kReadWrite);
+  ASSERT_TRUE(controller_.Mprotect(pid_, *va, 4 * kPageSize, PermClass::kReadOnly).ok());
+  EXPECT_FALSE(protection_.Allows(pid_, *va, AccessType::kWrite));
+  EXPECT_TRUE(protection_.Allows(pid_, *va, AccessType::kRead));
+  EXPECT_TRUE(protection_.Allows(pid_, *va + 4 * kPageSize, AccessType::kWrite));
+}
+
+TEST_F(ControllerTest, MprotectBeyondVmaRejected) {
+  auto va = controller_.Mmap(pid_, 4 * kPageSize, PermClass::kReadWrite);
+  EXPECT_EQ(controller_.Mprotect(pid_, *va, 64 * kPageSize, PermClass::kReadOnly).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ControllerTest, CrossDomainGrant) {
+  // Capability-style sharing (§4.2): owner grants a slice of its vma to another domain.
+  auto va = controller_.Mmap(pid_, 16 * kPageSize, PermClass::kReadWrite);
+  const ProtDomainId session = 777;
+  EXPECT_FALSE(protection_.Allows(session, *va, AccessType::kRead));
+  ASSERT_TRUE(controller_.GrantToDomain(pid_, session, *va, 4 * kPageSize,
+                                        PermClass::kReadOnly)
+                  .ok());
+  EXPECT_TRUE(protection_.Allows(session, *va, AccessType::kRead));
+  EXPECT_FALSE(protection_.Allows(session, *va, AccessType::kWrite));
+  EXPECT_FALSE(protection_.Allows(session, *va + 4 * kPageSize, AccessType::kRead));
+  ASSERT_TRUE(controller_.RevokeFromDomain(session, *va, 4 * kPageSize).ok());
+  EXPECT_FALSE(protection_.Allows(session, *va, AccessType::kRead));
+}
+
+TEST_F(ControllerTest, GrantRequiresOwnership) {
+  auto va = controller_.Mmap(pid_, kPageSize, PermClass::kReadWrite);
+  const ProcessId other = *controller_.Exec("other");
+  EXPECT_EQ(controller_.GrantToDomain(other, 5, *va, kPageSize, PermClass::kReadOnly).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(ControllerTest, ExitTearsDownAllVmas) {
+  auto a = controller_.Mmap(pid_, kPageSize, PermClass::kReadWrite);
+  auto b = controller_.Mmap(pid_, kPageSize, PermClass::kReadWrite);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(controller_.Exit(pid_).ok());
+  EXPECT_EQ(controller_.FindVma(*a), nullptr);
+  EXPECT_EQ(controller_.FindVma(*b), nullptr);
+  EXPECT_EQ(controller_.vma_count(), 0u);
+}
+
+TEST_F(ControllerTest, MigrationInstallsOutlier) {
+  auto va = controller_.Mmap(pid_, 16 * kPageSize, PermClass::kReadWrite);
+  auto before = translator_.Translate(*va);
+  ASSERT_TRUE(before.ok());
+  const MemoryBladeId dst = before->blade == 0 ? 1 : 0;
+  ASSERT_TRUE(controller_.MigrateRange(*va, 14, dst, 0x123000).ok());
+  auto after = translator_.Translate(*va + 0x100);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->blade, dst);
+  EXPECT_EQ(after->phys_addr, 0x123000u + 0x100);
+}
+
+TEST_F(ControllerTest, AllocationFailureIsEnomem) {
+  // Ask for more than the whole rack holds.
+  EXPECT_EQ(controller_.Mmap(pid_, 64 * kGiB, PermClass::kReadWrite).status().code(),
+            ErrorCode::kNoMemory);
+}
+
+}  // namespace
+}  // namespace mind

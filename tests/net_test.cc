@@ -1,0 +1,142 @@
+// Unit tests for src/net: fabric link contention, multicast pruning, reliability protocol.
+#include <gtest/gtest.h>
+
+#include "src/common/bitops.h"
+#include "src/net/fabric.h"
+#include "src/net/message.h"
+#include "src/net/reliability.h"
+
+namespace mind {
+namespace {
+
+LatencyModel Lat() { return LatencyModel{}; }
+
+TEST(Message, PagePayloadClassification) {
+  EXPECT_TRUE(CarriesPage(MessageKind::kRdmaReadResponse));
+  EXPECT_TRUE(CarriesPage(MessageKind::kRdmaWriteRequest));
+  EXPECT_FALSE(CarriesPage(MessageKind::kRdmaReadRequest));
+  EXPECT_FALSE(CarriesPage(MessageKind::kInvalidation));
+  EXPECT_FALSE(CarriesPage(MessageKind::kInvalidationAck));
+}
+
+TEST(Fabric, ControlTransferTiming) {
+  Fabric f(2, 2, Lat());
+  const auto d = f.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, 0);
+  // overhead(300) + serialize(64B ~ 5ns) + propagation(1000).
+  EXPECT_NEAR(static_cast<double>(d.arrival), 1305.0, 10.0);
+  EXPECT_EQ(d.link_wait, 0u);
+}
+
+TEST(Fabric, PageTransferSlowerThanControl) {
+  Fabric f(2, 2, Lat());
+  const auto ctrl = f.FromSwitch(Endpoint::Compute(0), MessageKind::kInvalidation, 0);
+  const auto page = f.FromSwitch(Endpoint::Compute(1), MessageKind::kRdmaReadResponse, 0);
+  EXPECT_GT(page.arrival, ctrl.arrival);
+}
+
+TEST(Fabric, SameLinkSerializes) {
+  Fabric f(2, 2, Lat());
+  const auto d1 = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
+  const auto d2 = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
+  EXPECT_GT(d2.arrival, d1.arrival);
+  EXPECT_GT(d2.link_wait, 0u);
+}
+
+TEST(Fabric, DistinctBladesParallel) {
+  Fabric f(2, 2, Lat());
+  const auto d1 = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
+  const auto d2 = f.FromSwitch(Endpoint::Compute(1), MessageKind::kRdmaReadResponse, 0);
+  EXPECT_EQ(d1.arrival, d2.arrival);  // Independent egress ports.
+}
+
+TEST(Fabric, TxAndRxAreFullDuplex) {
+  Fabric f(1, 1, Lat());
+  const auto up = f.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaWriteRequest, 0);
+  const auto down = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
+  EXPECT_EQ(up.arrival, down.arrival);  // No shared queue between directions.
+}
+
+TEST(Fabric, MulticastReachesExactlySharers) {
+  Fabric f(8, 1, Lat());
+  const SharerMask sharers = BladeBit(1) | BladeBit(3) | BladeBit(6);
+  const auto deliveries = f.MulticastInvalidation(sharers, 0);
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0].blade, 1);
+  EXPECT_EQ(deliveries[1].blade, 3);
+  EXPECT_EQ(deliveries[2].blade, 6);
+  // Egress-pruned multicast: copies go out in parallel on distinct ports.
+  EXPECT_EQ(deliveries[0].delivery.arrival, deliveries[2].delivery.arrival);
+  EXPECT_EQ(f.invalidations_sent(), 3u);
+  EXPECT_EQ(f.multicast_operations(), 1u);
+}
+
+TEST(Fabric, UnicastSlowerThanMulticastForFanout) {
+  Fabric fm(8, 1, Lat());
+  Fabric fu(8, 1, Lat());
+  SharerMask all = 0;
+  for (int i = 0; i < 8; ++i) {
+    all |= BladeBit(static_cast<ComputeBladeId>(i));
+  }
+  const auto mc = fm.MulticastInvalidation(all, 0);
+  const auto uc = fu.UnicastInvalidations(all, 0);
+  SimTime mc_last = 0;
+  SimTime uc_last = 0;
+  for (const auto& d : mc) {
+    mc_last = std::max(mc_last, d.delivery.arrival);
+  }
+  for (const auto& d : uc) {
+    uc_last = std::max(uc_last, d.delivery.arrival);
+  }
+  // Sequential software sends pay per-message issue cost before fan-out completes.
+  EXPECT_GT(uc_last, mc_last);
+}
+
+TEST(Fabric, EmptyMaskNoDeliveries) {
+  Fabric f(4, 1, Lat());
+  EXPECT_TRUE(f.MulticastInvalidation(0, 0).empty());
+  EXPECT_EQ(f.invalidations_sent(), 0u);
+}
+
+TEST(Reliability, LossFreeSingleAttempt) {
+  ReliabilityTracker r;
+  const auto out = r.SendWithAck(9000);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.latency, 9000u);
+  EXPECT_EQ(r.timeouts(), 0u);
+}
+
+TEST(Reliability, LossyEventuallyDelivers) {
+  ReliabilityConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.max_retransmissions = 50;
+  ReliabilityTracker r(cfg);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = r.SendWithAck(1000);
+    if (!out.delivered) {
+      ++failures;
+    } else if (out.attempts > 1) {
+      // Retried sends pay the timeout before succeeding.
+      EXPECT_GT(out.latency, 1000u);
+    }
+  }
+  EXPECT_EQ(failures, 0);  // 50 retries at p=0.5 practically never exhaust.
+  EXPECT_GT(r.timeouts(), 0u);
+  EXPECT_GT(r.retransmissions(), 0u);
+}
+
+TEST(Reliability, AlwaysLostTriggersReset) {
+  ReliabilityConfig cfg;
+  cfg.loss_probability = 1.0;
+  cfg.max_retransmissions = 3;
+  ReliabilityTracker r(cfg);
+  const auto out = r.SendWithAck(1000);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, 4);  // Initial + 3 retransmissions.
+  EXPECT_EQ(r.resets_triggered(), 1u);
+  EXPECT_EQ(out.latency, 4 * cfg.ack_timeout);
+}
+
+}  // namespace
+}  // namespace mind

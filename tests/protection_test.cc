@@ -1,0 +1,172 @@
+// Unit + property tests for domain-based memory protection (§4.2): power-of-two
+// decomposition, coalescing, per-domain isolation and TCAM rule accounting.
+#include <gtest/gtest.h>
+
+#include "src/common/bitops.h"
+#include "src/common/rng.h"
+#include "src/dataplane/protection.h"
+
+namespace mind {
+namespace {
+
+TEST(Decompose, PowerOfTwoAlignedIsOneEntry) {
+  // The control plane aligns allocations so each vma is exactly one TCAM entry (§4.2).
+  const auto pieces = ProtectionTable::DecomposeRange(0x10000, 0x10000);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].base, 0x10000u);
+  EXPECT_EQ(pieces[0].size_log2, 16u);
+}
+
+TEST(Decompose, ArbitraryRangeIsBoundedByLog) {
+  // Unaligned/odd ranges split into at most ~2*log2(size) pieces.
+  const uint64_t base = 0x12345000;
+  const uint64_t size = 0x6789000;
+  const auto pieces = ProtectionTable::DecomposeRange(base, size);
+  uint64_t covered = 0;
+  VirtAddr expect = base;
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.base, expect);  // Contiguous.
+    EXPECT_TRUE(IsAligned(p.base, uint64_t{1} << p.size_log2));  // TCAM-valid.
+    covered += uint64_t{1} << p.size_log2;
+    expect = p.base + (uint64_t{1} << p.size_log2);
+  }
+  EXPECT_EQ(covered, size);  // Exact cover.
+  EXPECT_LE(pieces.size(), 2 * (Log2Ceil(size) + 1));
+}
+
+TEST(Decompose, PropertyExactCoverRandomRanges) {
+  Rng rng(321);
+  for (int i = 0; i < 200; ++i) {
+    const VirtAddr base = (rng.Next() % (1ull << 40)) & ~0xfffull;
+    const uint64_t size = ((rng.Next() % (1ull << 24)) + 1) & ~0xfffull;
+    if (size == 0) {
+      continue;
+    }
+    const auto pieces = ProtectionTable::DecomposeRange(base, size);
+    uint64_t covered = 0;
+    VirtAddr expect = base;
+    for (const auto& p : pieces) {
+      ASSERT_EQ(p.base, expect);
+      ASSERT_TRUE(IsAligned(p.base, uint64_t{1} << p.size_log2));
+      covered += uint64_t{1} << p.size_log2;
+      expect += uint64_t{1} << p.size_log2;
+    }
+    ASSERT_EQ(covered, size);
+    ASSERT_LE(pieces.size(), 2 * (Log2Ceil(size) + 1));
+  }
+}
+
+TEST(Protection, GrantCheckRevoke) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x1000, 0x1000, PermClass::kReadWrite).ok());
+  EXPECT_TRUE(t.Allows(1, 0x1000, AccessType::kWrite));
+  EXPECT_TRUE(t.Allows(1, 0x1fff, AccessType::kRead));
+  EXPECT_FALSE(t.Allows(1, 0x2000, AccessType::kRead));
+  ASSERT_TRUE(t.Revoke(1, 0x1000, 0x1000).ok());
+  EXPECT_FALSE(t.Allows(1, 0x1000, AccessType::kRead));
+}
+
+TEST(Protection, DomainsAreIsolated) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x1000, 0x1000, PermClass::kReadWrite).ok());
+  // Domain 2 has no access to domain 1's region — the ssh-session use case of §4.2.
+  EXPECT_FALSE(t.Allows(2, 0x1000, AccessType::kRead));
+  ASSERT_TRUE(t.Grant(2, 0x1000, 0x1000, PermClass::kReadOnly).ok());
+  EXPECT_TRUE(t.Allows(2, 0x1000, AccessType::kRead));
+  EXPECT_FALSE(t.Allows(2, 0x1000, AccessType::kWrite));
+  EXPECT_TRUE(t.Allows(1, 0x1000, AccessType::kWrite));  // Unaffected.
+}
+
+TEST(Protection, ReadOnlyRejectsWrites) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x4000, 0x1000, PermClass::kReadOnly).ok());
+  EXPECT_EQ(t.Check(1, 0x4000), PermClass::kReadOnly);
+  EXPECT_FALSE(t.Allows(1, 0x4000, AccessType::kWrite));
+}
+
+TEST(Protection, CoalescingReducesRules) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x0, 0x1000, PermClass::kReadWrite).ok());
+  const uint64_t one = t.rule_count();
+  ASSERT_TRUE(t.Grant(1, 0x1000, 0x1000, PermClass::kReadWrite).ok());
+  // Two adjacent 4K grants coalesce into a single aligned 8K entry.
+  EXPECT_EQ(t.rule_count(), one);
+  EXPECT_EQ(t.Check(1, 0x1800), PermClass::kReadWrite);
+}
+
+TEST(Protection, NoCoalesceAcrossDifferentClasses) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x0, 0x1000, PermClass::kReadWrite).ok());
+  ASSERT_TRUE(t.Grant(1, 0x1000, 0x1000, PermClass::kReadOnly).ok());
+  EXPECT_EQ(t.Check(1, 0x0800), PermClass::kReadWrite);
+  EXPECT_EQ(t.Check(1, 0x1800), PermClass::kReadOnly);
+}
+
+TEST(Protection, PartialRevokeSplitsInterval) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x0, 0x4000, PermClass::kReadWrite).ok());
+  ASSERT_TRUE(t.Revoke(1, 0x1000, 0x1000).ok());  // Punch a hole.
+  EXPECT_TRUE(t.Allows(1, 0x0fff, AccessType::kWrite));
+  EXPECT_FALSE(t.Allows(1, 0x1000, AccessType::kRead));
+  EXPECT_FALSE(t.Allows(1, 0x1fff, AccessType::kRead));
+  EXPECT_TRUE(t.Allows(1, 0x2000, AccessType::kWrite));
+}
+
+TEST(Protection, OverwriteChangesClass) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x0, 0x2000, PermClass::kReadWrite).ok());
+  ASSERT_TRUE(t.Grant(1, 0x0, 0x2000, PermClass::kReadOnly).ok());
+  EXPECT_EQ(t.Check(1, 0x1000), PermClass::kReadOnly);
+}
+
+TEST(Protection, MprotectMiddleOfVma) {
+  ProtectionTable t(nullptr);
+  ASSERT_TRUE(t.Grant(1, 0x0, 0x10000, PermClass::kReadWrite).ok());
+  // Make one interior page read-only (guard-page style).
+  ASSERT_TRUE(t.Grant(1, 0x3000, 0x1000, PermClass::kReadOnly).ok());
+  EXPECT_EQ(t.Check(1, 0x2fff), PermClass::kReadWrite);
+  EXPECT_EQ(t.Check(1, 0x3000), PermClass::kReadOnly);
+  EXPECT_EQ(t.Check(1, 0x4000), PermClass::kReadWrite);
+}
+
+TEST(Protection, CapacityExhaustionSurfaces) {
+  TcamCapacity cap(2);
+  ProtectionTable t(&cap);
+  ASSERT_TRUE(t.Grant(1, 0x0, 0x1000, PermClass::kReadWrite).ok());
+  ASSERT_TRUE(t.Grant(2, 0x8000, 0x1000, PermClass::kReadWrite).ok());
+  // Third rule cannot fit: 0x4000 doesn't coalesce with either.
+  EXPECT_EQ(t.Grant(3, 0x4000, 0x1000, PermClass::kReadWrite).code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(Protection, PropertyRandomGrantsMatchReferenceModel) {
+  // Property test: the TCAM-backed table must agree with a naive per-page map.
+  ProtectionTable t(nullptr);
+  Rng rng(777);
+  constexpr uint64_t kPages = 256;
+  std::vector<PermClass> reference(kPages, PermClass::kNone);
+  for (int step = 0; step < 300; ++step) {
+    const uint64_t start = rng.NextBelow(kPages);
+    const uint64_t len = 1 + rng.NextBelow(kPages - start);
+    const bool revoke = rng.NextBool(0.3);
+    if (revoke) {
+      (void)t.Revoke(1, start * kPageSize, len * kPageSize);
+      for (uint64_t p = start; p < start + len; ++p) {
+        reference[p] = PermClass::kNone;
+      }
+    } else {
+      const PermClass pc = rng.NextBool(0.5) ? PermClass::kReadWrite : PermClass::kReadOnly;
+      ASSERT_TRUE(t.Grant(1, start * kPageSize, len * kPageSize, pc).ok());
+      for (uint64_t p = start; p < start + len; ++p) {
+        reference[p] = pc;
+      }
+    }
+    for (uint64_t p = 0; p < kPages; ++p) {
+      ASSERT_EQ(t.Check(1, p * kPageSize + (p % kPageSize)), reference[p])
+          << "page " << p << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind

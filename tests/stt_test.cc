@@ -1,0 +1,155 @@
+// Tests for the materialized MSI state-transition table (§6.3): every row of the table is
+// enumerated and checked against the protocol definition.
+#include <gtest/gtest.h>
+
+#include "src/dataplane/stt.h"
+
+namespace mind {
+namespace {
+
+class SttTest : public ::testing::Test {
+ protected:
+  StateTransitionTable stt_;
+};
+
+TEST_F(SttTest, TableIsFullyMaterialized) {
+  // 4 states x 2 access types x 3 roles (E rows are installed defensively even under MSI,
+  // where they are unreachable), exactly as stored in the second MAU.
+  EXPECT_EQ(stt_.rows().size(), 24u);
+  EXPECT_EQ(stt_.rule_count(), 24u);
+}
+
+TEST_F(SttTest, InvalidReadBecomesShared) {
+  const auto& e = stt_.Lookup(MsiState::kInvalid, AccessType::kRead, RequestorRole::kNone);
+  EXPECT_EQ(e.next_state, MsiState::kShared);
+  EXPECT_EQ(e.invalidate, InvalidateTargets::kNone);
+  EXPECT_FALSE(e.sequential_fetch);
+  EXPECT_TRUE(e.joins_sharers);
+  EXPECT_FALSE(e.becomes_owner);
+}
+
+TEST_F(SttTest, InvalidWriteBecomesModified) {
+  const auto& e = stt_.Lookup(MsiState::kInvalid, AccessType::kWrite, RequestorRole::kNone);
+  EXPECT_EQ(e.next_state, MsiState::kModified);
+  EXPECT_EQ(e.invalidate, InvalidateTargets::kNone);
+  EXPECT_TRUE(e.becomes_owner);
+}
+
+TEST_F(SttTest, SharedReadStaysSharedNoInvalidation) {
+  for (auto role : {RequestorRole::kNone, RequestorRole::kSharer}) {
+    const auto& e = stt_.Lookup(MsiState::kShared, AccessType::kRead, role);
+    EXPECT_EQ(e.next_state, MsiState::kShared);
+    EXPECT_EQ(e.invalidate, InvalidateTargets::kNone);
+    EXPECT_TRUE(e.joins_sharers);
+  }
+}
+
+TEST_F(SttTest, SharedWriteUpgradesAndInvalidatesOthers) {
+  const auto& e = stt_.Lookup(MsiState::kShared, AccessType::kWrite, RequestorRole::kSharer);
+  EXPECT_EQ(e.next_state, MsiState::kModified);
+  EXPECT_EQ(e.invalidate, InvalidateTargets::kOtherSharers);
+  // Parallel fetch: data comes from memory (clean in S), overlapping the invalidations —
+  // the ~9us S->M path of Fig. 7 (left).
+  EXPECT_FALSE(e.sequential_fetch);
+  EXPECT_TRUE(e.becomes_owner);
+  EXPECT_TRUE(e.clears_sharers);
+}
+
+TEST_F(SttTest, OwnerFaultsStayModifiedWithoutInvalidation) {
+  for (auto access : {AccessType::kRead, AccessType::kWrite}) {
+    const auto& e = stt_.Lookup(MsiState::kModified, access, RequestorRole::kOwner);
+    EXPECT_EQ(e.next_state, MsiState::kModified);
+    EXPECT_EQ(e.invalidate, InvalidateTargets::kNone);
+    EXPECT_FALSE(e.sequential_fetch);
+  }
+}
+
+TEST_F(SttTest, RemoteReadOfModifiedIsSequential) {
+  const auto& e = stt_.Lookup(MsiState::kModified, AccessType::kRead, RequestorRole::kNone);
+  EXPECT_EQ(e.next_state, MsiState::kShared);
+  EXPECT_EQ(e.invalidate, InvalidateTargets::kOwner);
+  // The owner must flush before the fetch — the 2-RTT, ~18us path of Fig. 7 (left).
+  EXPECT_TRUE(e.sequential_fetch);
+  EXPECT_TRUE(e.clears_sharers);  // The old owner drops all PTEs (§6.1).
+  EXPECT_TRUE(e.joins_sharers);
+}
+
+TEST_F(SttTest, RemoteWriteOfModifiedHandsOffOwnership) {
+  const auto& e = stt_.Lookup(MsiState::kModified, AccessType::kWrite, RequestorRole::kNone);
+  EXPECT_EQ(e.next_state, MsiState::kModified);
+  EXPECT_EQ(e.invalidate, InvalidateTargets::kOwner);
+  EXPECT_TRUE(e.sequential_fetch);
+  EXPECT_TRUE(e.becomes_owner);
+}
+
+TEST_F(SttTest, EveryRowPreservesMsiInvariants) {
+  auto owner_held = [](MsiState st) {
+    return st == MsiState::kModified || st == MsiState::kExclusive;
+  };
+  for (const auto& row : stt_.rows()) {
+    // A region never needs both owner- and sharer-targeted invalidations at once.
+    // Writes always end owner-held; reads never end owner-held unless the requestor
+    // already owned it (MSI) or takes cold exclusivity (MESI's I->E, absent under MSI).
+    if (row.access == AccessType::kWrite) {
+      EXPECT_TRUE(owner_held(row.next_state));
+      EXPECT_TRUE(row.becomes_owner);
+    } else {
+      if (row.next_state == MsiState::kModified) {
+        EXPECT_EQ(row.role, RequestorRole::kOwner);
+      }
+    }
+    // Invalidations only ever arise from S (other sharers) or owner-held states.
+    if (row.invalidate == InvalidateTargets::kOtherSharers) {
+      EXPECT_EQ(row.state, MsiState::kShared);
+    }
+    if (row.invalidate == InvalidateTargets::kOwner) {
+      EXPECT_TRUE(owner_held(row.state));
+    }
+    // Sequential (flush-then-fetch) only when leaving an owner-held state someone else has.
+    if (row.sequential_fetch) {
+      EXPECT_TRUE(owner_held(row.state));
+      EXPECT_NE(row.role, RequestorRole::kOwner);
+    }
+  }
+}
+
+TEST(SttMesi, ColdReadTakesExclusive) {
+  StateTransitionTable mesi(CoherenceProtocol::kMesi);
+  const auto& e = mesi.Lookup(MsiState::kInvalid, AccessType::kRead, RequestorRole::kNone);
+  EXPECT_EQ(e.next_state, MsiState::kExclusive);
+  EXPECT_TRUE(e.becomes_owner);
+  EXPECT_EQ(e.invalidate, InvalidateTargets::kNone);
+}
+
+TEST(SttMesi, ExclusiveRemoteAccessesInvalidateHolder) {
+  StateTransitionTable mesi(CoherenceProtocol::kMesi);
+  const auto& rd = mesi.Lookup(MsiState::kExclusive, AccessType::kRead, RequestorRole::kNone);
+  EXPECT_EQ(rd.next_state, MsiState::kShared);
+  EXPECT_EQ(rd.invalidate, InvalidateTargets::kOwner);
+  EXPECT_TRUE(rd.sequential_fetch);  // The holder may have silently written.
+  const auto& wr = mesi.Lookup(MsiState::kExclusive, AccessType::kWrite, RequestorRole::kNone);
+  EXPECT_EQ(wr.next_state, MsiState::kModified);
+  EXPECT_TRUE(wr.becomes_owner);
+}
+
+TEST(SttMesi, MsiNeverEntersExclusive) {
+  StateTransitionTable msi(CoherenceProtocol::kMsi);
+  for (const auto& row : msi.rows()) {
+    if (row.state != MsiState::kExclusive) {  // E rows exist but are unreachable under MSI.
+      EXPECT_NE(row.next_state, MsiState::kExclusive);
+    }
+  }
+}
+
+TEST_F(SttTest, LookupMatchesRowsExhaustively) {
+  // The array-indexed lookup and the row list must be the same table.
+  for (const auto& row : stt_.rows()) {
+    const auto& via_lookup = stt_.Lookup(row.state, row.access, row.role);
+    EXPECT_EQ(via_lookup.next_state, row.next_state);
+    EXPECT_EQ(via_lookup.invalidate, row.invalidate);
+    EXPECT_EQ(via_lookup.sequential_fetch, row.sequential_fetch);
+  }
+}
+
+}  // namespace
+}  // namespace mind

@@ -1,0 +1,96 @@
+// Unit tests for the TCAM model: LPM semantics, range alignment, capacity accounting.
+#include <gtest/gtest.h>
+
+#include "src/dataplane/tcam.h"
+
+namespace mind {
+namespace {
+
+TEST(TcamCapacity, ReserveAndRelease) {
+  TcamCapacity cap(2);
+  EXPECT_TRUE(cap.TryReserve());
+  EXPECT_TRUE(cap.TryReserve());
+  EXPECT_FALSE(cap.TryReserve());
+  EXPECT_EQ(cap.used(), 2u);
+  EXPECT_EQ(cap.high_water(), 2u);
+  cap.Release();
+  EXPECT_TRUE(cap.TryReserve());
+  EXPECT_EQ(cap.high_water(), 2u);
+  EXPECT_DOUBLE_EQ(cap.utilization(), 1.0);
+}
+
+TEST(Tcam, ExactMatch) {
+  Tcam<int> t(nullptr);
+  ASSERT_TRUE(t.InsertRange(0x1000, 0, 7).ok());  // 1-byte "range" = exact key.
+  EXPECT_EQ(t.Lookup(0x1000).value(), 7);
+  EXPECT_FALSE(t.Lookup(0x1001).has_value());
+}
+
+TEST(Tcam, RangeMatch) {
+  Tcam<int> t(nullptr);
+  ASSERT_TRUE(t.InsertRange(0x2000, 12, 9).ok());  // [0x2000, 0x3000).
+  EXPECT_EQ(t.Lookup(0x2000).value(), 9);
+  EXPECT_EQ(t.Lookup(0x2fff).value(), 9);
+  EXPECT_FALSE(t.Lookup(0x3000).has_value());
+  EXPECT_FALSE(t.Lookup(0x1fff).has_value());
+}
+
+TEST(Tcam, LongestPrefixWins) {
+  Tcam<int> t(nullptr);
+  ASSERT_TRUE(t.InsertRange(0x0, 20, 1).ok());     // [0, 1M): value 1.
+  ASSERT_TRUE(t.InsertRange(0x4000, 12, 2).ok());  // [16K, 20K): value 2 — more specific.
+  EXPECT_EQ(t.Lookup(0x4000).value(), 2);
+  EXPECT_EQ(t.Lookup(0x4abc).value(), 2);
+  EXPECT_EQ(t.Lookup(0x5000).value(), 1);  // Outside the inner range.
+  EXPECT_EQ(t.Lookup(0x0).value(), 1);
+}
+
+TEST(Tcam, RejectsUnalignedRange) {
+  Tcam<int> t(nullptr);
+  EXPECT_EQ(t.InsertRange(0x1001, 12, 5).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Tcam, OverwriteInPlaceKeepsCapacity) {
+  TcamCapacity cap(1);
+  Tcam<int> t(&cap);
+  ASSERT_TRUE(t.InsertRange(0x1000, 12, 1).ok());
+  ASSERT_TRUE(t.InsertRange(0x1000, 12, 2).ok());  // Same range: overwrite, no new slot.
+  EXPECT_EQ(t.Lookup(0x1800).value(), 2);
+  EXPECT_EQ(cap.used(), 1u);
+}
+
+TEST(Tcam, CapacityExhaustion) {
+  TcamCapacity cap(1);
+  Tcam<int> t(&cap);
+  ASSERT_TRUE(t.InsertRange(0x1000, 12, 1).ok());
+  EXPECT_EQ(t.InsertRange(0x2000, 12, 2).code(), ErrorCode::kResourceExhausted);
+  ASSERT_TRUE(t.RemoveRange(0x1000, 12).ok());
+  EXPECT_TRUE(t.InsertRange(0x2000, 12, 2).ok());
+}
+
+TEST(Tcam, RemoveMissing) {
+  Tcam<int> t(nullptr);
+  EXPECT_EQ(t.RemoveRange(0x1000, 12).code(), ErrorCode::kNotFound);
+}
+
+TEST(Tcam, ClearReleasesCapacity) {
+  TcamCapacity cap(4);
+  Tcam<int> t(&cap);
+  ASSERT_TRUE(t.InsertRange(0x1000, 12, 1).ok());
+  ASSERT_TRUE(t.InsertRange(0x2000, 12, 2).ok());
+  EXPECT_EQ(cap.used(), 2u);
+  t.Clear();
+  EXPECT_EQ(cap.used(), 0u);
+  EXPECT_EQ(t.entries(), 0u);
+  EXPECT_FALSE(t.Lookup(0x1000).has_value());
+}
+
+TEST(Tcam, FullAddressSpaceEntry) {
+  Tcam<int> t(nullptr);
+  ASSERT_TRUE(t.InsertRange(0, 63, 42).ok());  // Half the 64-bit space.
+  EXPECT_EQ(t.Lookup(0x7fff'ffff'ffff'ffffull).value(), 42);
+  EXPECT_FALSE(t.Lookup(0x8000'0000'0000'0000ull).has_value());
+}
+
+}  // namespace
+}  // namespace mind

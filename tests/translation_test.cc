@@ -1,0 +1,103 @@
+// Unit tests for in-network address translation (§4.1): blade ranges, outlier LPM entries,
+// rule-count accounting.
+#include <gtest/gtest.h>
+
+#include "src/dataplane/translation.h"
+
+namespace mind {
+namespace {
+
+constexpr uint64_t kGiB = 1024ull * 1024 * 1024;
+
+TEST(Translation, OneRulePerBlade) {
+  AddressTranslator t(nullptr);
+  ASSERT_TRUE(t.AddBladeRange(0, 0x0, kGiB).ok());
+  ASSERT_TRUE(t.AddBladeRange(1, kGiB, kGiB).ok());
+  // The headline storage property: translation entries scale with blades, not pages.
+  EXPECT_EQ(t.rule_count(), 2u);
+
+  auto r0 = t.Translate(0x1234);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0->blade, 0);
+  EXPECT_EQ(r0->phys_addr, 0x1234u);
+
+  auto r1 = t.Translate(kGiB + 0x5000);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->blade, 1);
+  EXPECT_EQ(r1->phys_addr, 0x5000u);  // 1:1 within the partition.
+}
+
+TEST(Translation, UnmappedAddressFaults) {
+  AddressTranslator t(nullptr);
+  ASSERT_TRUE(t.AddBladeRange(0, kGiB, kGiB).ok());
+  EXPECT_EQ(t.Translate(0x100).status().code(), ErrorCode::kFault);       // Below.
+  EXPECT_EQ(t.Translate(3 * kGiB).status().code(), ErrorCode::kFault);    // Above.
+  EXPECT_TRUE(t.Translate(kGiB).ok());                                    // Boundary.
+  EXPECT_TRUE(t.Translate(2 * kGiB - 1).ok());
+  EXPECT_EQ(t.Translate(2 * kGiB).status().code(), ErrorCode::kFault);
+}
+
+TEST(Translation, OverlappingBladeRangeRejected) {
+  AddressTranslator t(nullptr);
+  ASSERT_TRUE(t.AddBladeRange(0, 0, kGiB).ok());
+  EXPECT_EQ(t.AddBladeRange(1, kGiB / 2, kGiB).code(), ErrorCode::kExists);
+}
+
+TEST(Translation, OutlierOverridesBladeRange) {
+  AddressTranslator t(nullptr);
+  ASSERT_TRUE(t.AddBladeRange(0, 0, kGiB).ok());
+  // Migrate an aligned 64 KB range to blade 3 at physical 0x9000000 (§4.1 outliers).
+  ASSERT_TRUE(t.AddOutlier(0x100000, 16, 3, 0x9000000).ok());
+
+  auto migrated = t.Translate(0x100000 + 0x42);
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_EQ(migrated->blade, 3);
+  EXPECT_EQ(migrated->phys_addr, 0x9000000u + 0x42);
+
+  // Just outside the outlier: the blade range applies again.
+  auto normal = t.Translate(0x110000);
+  ASSERT_TRUE(normal.ok());
+  EXPECT_EQ(normal->blade, 0);
+}
+
+TEST(Translation, NestedOutliersLongestPrefixWins) {
+  AddressTranslator t(nullptr);
+  ASSERT_TRUE(t.AddBladeRange(0, 0, kGiB).ok());
+  ASSERT_TRUE(t.AddOutlier(0x200000, 20, 1, 0x0).ok());     // 1 MB to blade 1.
+  ASSERT_TRUE(t.AddOutlier(0x210000, 16, 2, 0x7000).ok());  // Inner 64 KB to blade 2.
+  EXPECT_EQ(t.Translate(0x210000)->blade, 2);
+  EXPECT_EQ(t.Translate(0x220000)->blade, 1);
+  EXPECT_EQ(t.Translate(0x2ff000)->blade, 1);              // Last page of the 1MB outlier.
+  EXPECT_EQ(t.Translate(0x281000)->phys_addr, 0x81000u);   // Offset within the 1MB outlier.
+  EXPECT_EQ(t.Translate(0x300000)->blade, 0);              // Past the outlier: blade range.
+}
+
+TEST(Translation, RemoveOutlierRestoresRange) {
+  AddressTranslator t(nullptr);
+  ASSERT_TRUE(t.AddBladeRange(0, 0, kGiB).ok());
+  ASSERT_TRUE(t.AddOutlier(0x100000, 16, 3, 0x0).ok());
+  EXPECT_EQ(t.rule_count(), 2u);
+  ASSERT_TRUE(t.RemoveOutlier(0x100000, 16).ok());
+  EXPECT_EQ(t.rule_count(), 1u);
+  EXPECT_EQ(t.Translate(0x100000)->blade, 0);
+}
+
+TEST(Translation, RuleCapacitySharedWithPool) {
+  TcamCapacity cap(2);
+  AddressTranslator t(&cap);
+  ASSERT_TRUE(t.AddBladeRange(0, 0, kGiB).ok());
+  ASSERT_TRUE(t.AddOutlier(0x0, 16, 1, 0).ok());
+  EXPECT_EQ(t.AddOutlier(0x100000, 16, 1, 0).code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(t.AddBladeRange(1, kGiB, kGiB).code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(Translation, RemoveBladeRange) {
+  AddressTranslator t(nullptr);
+  ASSERT_TRUE(t.AddBladeRange(0, 0, kGiB).ok());
+  ASSERT_TRUE(t.RemoveBladeRange(0).ok());
+  EXPECT_EQ(t.Translate(0x1000).status().code(), ErrorCode::kFault);
+  EXPECT_EQ(t.RemoveBladeRange(0).code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mind
