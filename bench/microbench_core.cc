@@ -2,7 +2,20 @@
 // the hot operations on the simulated switch's critical path. These are *implementation*
 // benchmarks (how fast this library executes), complementing the figure benches (what the
 // modeled system would measure).
+//
+// Besides the console table, every run appends an entry to BENCH_microbench.json (path
+// overridable via MIND_BENCH_JSON, entry label via MIND_BENCH_LABEL) so the perf
+// trajectory of the O(1) access pipeline is recorded across PRs. Schema documented in
+// bench/README.md.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "src/blade/dram_cache.h"
 #include "src/common/rng.h"
@@ -29,6 +42,29 @@ void BM_TcamLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TcamLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+// LPM over a realistic mix of prefix lengths: a few blade-scale ranges, many 16 KB region
+// entries, page-sized migration outliers, plus nested outliers overriding broader ranges —
+// the population the switch TCAM actually holds. Exercises the active-prefix bit-scan path.
+void BM_TcamLpmMixedPrefixes(benchmark::State& state) {
+  Tcam<int> tcam(nullptr);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < 4; ++i) {  // Blade-scale 1 GB ranges.
+    (void)tcam.InsertRange(static_cast<uint64_t>(i) << 30, 30, 1000 + i);
+  }
+  for (int i = 0; i < n; ++i) {  // 16 KB region entries spread across the blades.
+    (void)tcam.InsertRange(static_cast<uint64_t>(i) << 14, 14, i);
+  }
+  for (int i = 0; i < n / 8; ++i) {  // 4 KB outliers nested inside every 8th region.
+    (void)tcam.InsertRange(static_cast<uint64_t>(i) << 17, 12, 2000 + i);
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    key = (key + 0x9137) % (static_cast<uint64_t>(n) << 14);
+    benchmark::DoNotOptimize(tcam.Lookup(key));
+  }
+}
+BENCHMARK(BM_TcamLpmMixedPrefixes)->Arg(1024)->Arg(16384);
 
 void BM_TranslationLookup(benchmark::State& state) {
   AddressTranslator t(nullptr);
@@ -161,7 +197,150 @@ void BM_RackRemoteMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_RackRemoteMiss);
 
+// ---------------------------------------------------------------------------
+// BENCH_microbench.json emitter: appends one labeled entry per run so the perf
+// trajectory of the access-pipeline structures accumulates across PRs.
+// ---------------------------------------------------------------------------
+
+struct BenchResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  uint64_t iterations = 0;
+};
+
+// google-benchmark renamed Run::error_occurred to the Run::skipped enum in 1.8.0; probe
+// whichever member this library version has (overload on int is preferred, so the
+// error_occurred spelling wins where both could resolve).
+template <typename R>
+auto RunFailed(const R& run, int) -> decltype(static_cast<bool>(run.error_occurred)) {
+  return run.error_occurred;
+}
+template <typename R>
+auto RunFailed(const R& run, long) -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);  // Any skip (message or error) excludes the run.
+}
+
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      if (RunFailed(run, 0)) {
+        continue;
+      }
+      results.push_back(
+          BenchResult{run.benchmark_name(), run.GetAdjustedRealTime(),
+                      static_cast<uint64_t>(run.iterations)});
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<BenchResult> results;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {  // Control characters are illegal inside JSON strings.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Serializes one trajectory entry, indented to sit inside the "entries" array.
+std::string SerializeEntry(const std::string& label, const std::vector<BenchResult>& results) {
+  std::ostringstream os;
+  os << "    {\n";
+  os << "      \"label\": \"" << JsonEscape(label) << "\",\n";
+  os << "      \"unix_time\": " << static_cast<long long>(std::time(nullptr)) << ",\n";
+  os << "      \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    char ns[64];
+    std::snprintf(ns, sizeof(ns), "%.3f", results[i].ns_per_op);
+    os << "        {\"name\": \"" << JsonEscape(results[i].name) << "\", \"ns_per_op\": " << ns
+       << ", \"iterations\": " << results[i].iterations << "}"
+       << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "      ]\n";
+  os << "    }";
+  return os.str();
+}
+
+// Appends the entry to the trajectory file, creating it when absent. The writer always
+// emits the same shape (see bench/README.md), so the merge is a suffix splice.
+void AppendTrajectoryEntry(const std::vector<BenchResult>& results) {
+  if (results.empty()) {
+    return;
+  }
+  const char* path_env = std::getenv("MIND_BENCH_JSON");
+  std::string path = path_env != nullptr ? path_env : "BENCH_microbench.json";
+  if (path_env == nullptr && !std::ifstream(path).good() &&
+      std::ifstream("../BENCH_microbench.json").good()) {
+    // The usual workflow runs from build/ (gitignored): when no trajectory file exists
+    // here but the committed one sits in the parent directory, append there instead of
+    // silently growing an invisible copy.
+    path = "../BENCH_microbench.json";
+  }
+  const char* label_env = std::getenv("MIND_BENCH_LABEL");
+  const std::string label = label_env != nullptr ? label_env : "run";
+  const std::string entry = SerializeEntry(label, results);
+
+  std::string existing;
+  if (std::ifstream in(path); in.good()) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    existing = buf.str();
+  }
+
+  std::string out;
+  const std::string suffix = "\n  ]\n}";
+  if (existing.empty()) {
+    out = "{\n  \"schema\": \"mind-microbench-v1\",\n  \"entries\": [\n" + entry + "\n  ]\n}\n";
+  } else {
+    const size_t splice = existing.rfind(suffix);
+    if (splice == std::string::npos) {
+      // Never truncate a file we cannot parse — it may hold the committed multi-PR
+      // trajectory with line endings or formatting this writer did not produce.
+      std::fprintf(stderr,
+                   "microbench: %s does not end with the mind-microbench-v1 shape; "
+                   "refusing to overwrite (entry not recorded)\n",
+                   path.c_str());
+      return;
+    }
+    const std::string prefix = existing.substr(0, splice);
+    const bool empty_array = !prefix.empty() && prefix.back() == '[';
+    out = prefix + (empty_array ? "\n" : ",\n") + entry + "\n  ]\n}\n";
+  }
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.good()) {
+    std::fprintf(stderr, "microbench: cannot write %s\n", path.c_str());
+    return;
+  }
+  f << out;
+  std::fprintf(stderr, "microbench: appended entry \"%s\" (%zu benchmarks) to %s\n",
+               label.c_str(), results.size(), path.c_str());
+}
+
 }  // namespace
 }  // namespace mind
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  mind::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  mind::AppendTrajectoryEntry(reporter.results);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,120 +1,241 @@
 #include "src/blade/dram_cache.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace mind {
 
+void DramCache::LruUnlink(Frame& frame) {
+  if (frame.lru_prev != kNilFrame) {
+    FrameAt(frame.lru_prev).lru_next = frame.lru_next;
+  } else {
+    lru_head_ = frame.lru_next;
+  }
+  if (frame.lru_next != kNilFrame) {
+    FrameAt(frame.lru_next).lru_prev = frame.lru_prev;
+  } else {
+    lru_tail_ = frame.lru_prev;
+  }
+}
+
+void DramCache::LruPushFront(Frame& frame) {
+  frame.lru_prev = kNilFrame;
+  frame.lru_next = lru_head_;
+  if (lru_head_ != kNilFrame) {
+    FrameAt(lru_head_).lru_prev = frame.self;
+  } else {
+    lru_tail_ = frame.self;
+  }
+  lru_head_ = frame.self;
+}
+
+void DramCache::IndexSetPage(uint64_t page) {
+  Region& region = regions_[page / kRegionPages];
+  const uint64_t bit = page % kRegionPages;
+  region.bits[bit >> 6] |= uint64_t{1} << (bit & 63);
+  ++region.count;
+}
+
+void DramCache::IndexClearPage(uint64_t page) {
+  auto it = regions_.find(page / kRegionPages);
+  assert(it != regions_.end());
+  const uint64_t bit = page % kRegionPages;
+  it->second.bits[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+  if (--it->second.count == 0) {
+    regions_.erase(it);
+  }
+}
+
 DramCache::Frame* DramCache::Lookup(uint64_t page) {
-  auto it = frames_.find(page);
-  if (it == frames_.end()) {
+  const uint32_t* idxp = index_.Find(page);
+  if (idxp == nullptr) {
     return nullptr;
   }
-  TouchLru(page, it->second);
-  return &it->second;
+  Frame& frame = FrameAt(*idxp);
+  Touch(&frame);
+  return &frame;
+}
+
+DramCache::Frame* DramCache::Find(uint64_t page) {
+  const uint32_t* idxp = index_.Find(page);
+  return idxp == nullptr ? nullptr : &FrameAt(*idxp);
 }
 
 const DramCache::Frame* DramCache::Peek(uint64_t page) const {
-  auto it = frames_.find(page);
-  return it == frames_.end() ? nullptr : &it->second;
+  const uint32_t* idxp = index_.Find(page);
+  return idxp == nullptr ? nullptr : &FrameAt(*idxp);
 }
 
-void DramCache::TouchLru(uint64_t page, Frame& frame) {
-  lru_.erase(frame.lru_it);
-  lru_.push_front(page);
-  frame.lru_it = lru_.begin();
+void DramCache::Touch(Frame* frame) {
+  if (lru_head_ == frame->self) {
+    return;  // Already most recent.
+  }
+  LruUnlink(*frame);
+  LruPushFront(*frame);
+}
+
+DramCache::Eviction DramCache::RemoveFrame(uint32_t idx) {
+  Frame& frame = FrameAt(idx);
+  Eviction ev{frame.page, frame.dirty, std::move(frame.data)};
+  LruUnlink(frame);
+  index_.Erase(frame.page);
+  IndexClearPage(frame.page);
+  arena_.Free(idx);
+  return ev;
 }
 
 std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writable,
                                                      std::unique_ptr<PageData> data,
                                                      ProtDomainId pdid) {
-  if (auto it = frames_.find(page); it != frames_.end()) {
+  if (Frame* existing = Find(page); existing != nullptr) {
     // Re-insert: permission upgrade and/or fresh data.
-    it->second.writable = it->second.writable || writable;
-    it->second.pdid = pdid;
+    existing->writable = existing->writable || writable;
+    existing->pdid = pdid;
     if (data != nullptr) {
-      it->second.data = std::move(data);
+      existing->data = std::move(data);
     }
-    TouchLru(page, it->second);
+    Touch(existing);
     return std::nullopt;
   }
 
   std::optional<Eviction> evicted;
-  if (frames_.size() >= capacity_ && capacity_ > 0) {
-    assert(!lru_.empty());
-    const uint64_t victim = lru_.back();
-    lru_.pop_back();
-    auto vit = frames_.find(victim);
-    assert(vit != frames_.end());
-    evicted = Eviction{victim, vit->second.dirty, std::move(vit->second.data)};
-    frames_.erase(vit);
+  if (index_.size() >= capacity_ && capacity_ > 0) {
+    assert(lru_tail_ != kNilFrame);
+    evicted = RemoveFrame(lru_tail_);
   }
 
-  Frame frame;
+  const uint32_t idx = arena_.Alloc();
+  Frame& frame = FrameAt(idx);
   frame.writable = writable;
   frame.dirty = false;
   frame.pdid = pdid;
+  frame.page = page;
+  frame.self = idx;
   if (store_data_) {
     frame.data = data != nullptr ? std::move(data) : std::make_unique<PageData>();
+  } else {
+    frame.data = nullptr;
   }
-  lru_.push_front(page);
-  frame.lru_it = lru_.begin();
-  frames_.emplace(page, std::move(frame));
+  LruPushFront(frame);
+  index_.Upsert(page, idx);
+  IndexSetPage(page);
   return evicted;
 }
 
 void DramCache::MakeWritable(uint64_t page) {
-  if (auto it = frames_.find(page); it != frames_.end()) {
-    it->second.writable = true;
+  if (Frame* frame = Find(page); frame != nullptr) {
+    frame->writable = true;
   }
 }
 
 void DramCache::MarkDirty(uint64_t page) {
-  if (auto it = frames_.find(page); it != frames_.end()) {
-    it->second.dirty = true;
+  if (Frame* frame = Find(page); frame != nullptr) {
+    frame->dirty = true;
+  }
+}
+
+template <bool kMutates, typename Fn>
+void DramCache::ForEachPageInRange(uint64_t page_begin, uint64_t page_end, Fn&& fn) const {
+  if (page_begin >= page_end || regions_.empty()) {
+    return;
+  }
+  const uint64_t region_begin = page_begin / kRegionPages;
+  const uint64_t region_last = (page_end - 1) / kRegionPages;
+
+  auto process_region = [&](uint64_t r) {
+    auto rit = regions_.find(r);
+    if (rit == regions_.end()) {
+      return;
+    }
+    for (uint64_t w = 0; w < kRegionPages / 64; ++w) {
+      const uint64_t word_base = r * kRegionPages + w * 64;
+      if (word_base >= page_end) {
+        break;
+      }
+      if (word_base + 64 <= page_begin) {
+        continue;
+      }
+      // Snapshot the word with the range boundaries masked off, then visit set bits
+      // ascending; fn may mutate the region (kMutates) without disturbing the snapshot.
+      uint64_t bits = rit->second.bits[w];
+      if (page_begin > word_base) {
+        bits &= ~uint64_t{0} << (page_begin - word_base);
+      }
+      if (page_end < word_base + 64) {
+        bits &= (uint64_t{1} << (page_end - word_base)) - 1;
+      }
+      while (bits != 0) {
+        fn(word_base + static_cast<uint64_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+      if constexpr (kMutates) {
+        // fn may have removed pages and thereby erased the region once empty.
+        rit = regions_.find(r);
+        if (rit == regions_.end()) {
+          break;
+        }
+      }
+    }
+  };
+
+  if (region_last - region_begin >= regions_.size()) {
+    // Sparse range (e.g. a whole-VMA shoot-down over a huge mapping): visiting the live
+    // regions that intersect it beats probing every region number in the span.
+    std::vector<uint64_t> keys;
+    keys.reserve(regions_.size());
+    for (const auto& [r, region] : regions_) {
+      if (r >= region_begin && r <= region_last) {
+        keys.push_back(r);
+      }
+    }
+    std::sort(keys.begin(), keys.end());  // fn must still see ascending page order.
+    for (uint64_t r : keys) {
+      process_region(r);
+    }
+  } else {
+    for (uint64_t r = region_begin; r <= region_last; ++r) {
+      process_region(r);
+    }
   }
 }
 
 DramCache::RangeInvalidation DramCache::InvalidateRange(uint64_t page_begin,
                                                         uint64_t page_end) {
   RangeInvalidation result;
-  auto it = frames_.lower_bound(page_begin);
-  while (it != frames_.end() && it->first < page_end) {
-    if (it->second.dirty) {
-      result.flushed.push_back(Eviction{it->first, true, std::move(it->second.data)});
+  ForEachPageInRange<true>(page_begin, page_end, [&](uint64_t page) {
+    Eviction ev = RemoveFrame(*index_.Find(page));
+    if (ev.dirty) {
+      result.flushed.push_back(std::move(ev));
     } else {
       ++result.dropped_clean;
     }
-    lru_.erase(it->second.lru_it);
-    it = frames_.erase(it);
-  }
+  });
   return result;
 }
 
 DramCache::RangeInvalidation DramCache::DowngradeRange(uint64_t page_begin,
                                                        uint64_t page_end) {
   RangeInvalidation result;
-  for (auto it = frames_.lower_bound(page_begin); it != frames_.end() && it->first < page_end;
-       ++it) {
-    if (it->second.dirty) {
+  ForEachPageInRange<false>(page_begin, page_end, [&](uint64_t page) {
+    Frame& frame = FrameAt(*index_.Find(page));
+    if (frame.dirty) {
       // Flush a copy; the page stays cached read-only.
-      Eviction flushed{it->first, true, nullptr};
-      if (it->second.data != nullptr) {
-        flushed.data = std::make_unique<PageData>(*it->second.data);
+      Eviction flushed{page, true, nullptr};
+      if (frame.data != nullptr) {
+        flushed.data = std::make_unique<PageData>(*frame.data);
       }
       result.flushed.push_back(std::move(flushed));
-      it->second.dirty = false;
+      frame.dirty = false;
     }
-    it->second.writable = false;
-  }
+    frame.writable = false;
+  });
   return result;
 }
 
 uint64_t DramCache::CountRange(uint64_t page_begin, uint64_t page_end) const {
   uint64_t count = 0;
-  for (auto it = frames_.lower_bound(page_begin); it != frames_.end() && it->first < page_end;
-       ++it) {
-    ++count;
-  }
+  ForEachPageInRange<false>(page_begin, page_end, [&](uint64_t) { ++count; });
   return count;
 }
 

@@ -6,6 +6,13 @@
 // for a region it must flush every writable (dirty) page in that region and drop all local
 // PTEs for it (§6.1). Eviction is LRU with write-back of dirty pages.
 //
+// The hit path — the single hottest operation in the whole simulation — is one flat-hash
+// probe plus an intrusive LRU relink: frames live in a chunked arena (stable pointers, no
+// per-node allocation) linked by 32-bit indices, and a flat open-addressed map takes page
+// number to arena slot. Ordered range invalidation is preserved without an ordered map via
+// a compact per-region page index: one presence bitmap per aligned 512-page (2 MB) region,
+// walked region-by-region, word-by-word, in ascending page order.
+//
 // Page payloads are optional: correctness tests and the examples move real bytes, while the
 // figure benches run metadata-only to keep memory use flat.
 #ifndef MIND_SRC_BLADE_DRAM_CACHE_H_
@@ -13,12 +20,13 @@
 
 #include <array>
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/chunked_arena.h"
+#include "src/common/flat_map.h"
 #include "src/common/types.h"
 
 namespace mind {
@@ -38,12 +46,24 @@ class DramCache {
     // session can never ride another session's cached pages (§4.2).
     ProtDomainId pdid = 0;
     std::unique_ptr<PageData> data;  // Null when the cache is metadata-only.
-    std::list<uint64_t>::iterator lru_it;
+    // Intrusive LRU bookkeeping: the cached page number, this frame's arena slot, and the
+    // neighbouring slots in recency order (kNilFrame-terminated).
+    uint64_t page = 0;
+    uint32_t self = 0;
+    uint32_t lru_prev = 0;
+    uint32_t lru_next = 0;
   };
 
   // Returns the frame caching `page` (a page number), or nullptr. Bumps LRU recency.
   Frame* Lookup(uint64_t page);
-  [[nodiscard]] const Frame* Peek(uint64_t page) const;  // No LRU side effects.
+  // No LRU side effects; `Find` is the mutable flavor used by memoizing fast paths.
+  [[nodiscard]] Frame* Find(uint64_t page);
+  [[nodiscard]] const Frame* Peek(uint64_t page) const;
+
+  // Moves a frame (obtained from Lookup/Find) to the MRU position. O(1); no-op when the
+  // frame is already most recent. Lets a caller that memoized the frame pointer keep LRU
+  // order exact without re-probing the hash.
+  void Touch(Frame* frame);
 
   // Inserts (or updates) a page. If the cache is full, evicts the LRU page first and
   // returns it so the caller can write back dirty data. `data` may be null.
@@ -75,17 +95,42 @@ class DramCache {
 
   [[nodiscard]] uint64_t CountRange(uint64_t page_begin, uint64_t page_end) const;
 
-  [[nodiscard]] uint64_t size() const { return frames_.size(); }
+  [[nodiscard]] uint64_t size() const { return index_.size(); }
   [[nodiscard]] uint64_t capacity() const { return capacity_; }
   [[nodiscard]] bool store_data() const { return store_data_; }
 
  private:
-  void TouchLru(uint64_t page, Frame& frame);
+  static constexpr uint32_t kNilFrame = UINT32_MAX;
+  // Per-region page index: one bitmap per aligned 512-page (2 MB) region.
+  static constexpr uint64_t kRegionPages = 512;
+  struct Region {
+    std::array<uint64_t, kRegionPages / 64> bits{};
+    uint32_t count = 0;
+  };
+
+  [[nodiscard]] Frame& FrameAt(uint32_t idx) { return arena_.At(idx); }
+  [[nodiscard]] const Frame& FrameAt(uint32_t idx) const { return arena_.At(idx); }
+
+  void LruUnlink(Frame& frame);
+  void LruPushFront(Frame& frame);
+  void IndexSetPage(uint64_t page);
+  void IndexClearPage(uint64_t page);
+  // Removes the frame at `idx` from every structure; returns its eviction record.
+  Eviction RemoveFrame(uint32_t idx);
+
+  // Calls fn(page) for every cached page in [page_begin, page_end) in ascending order,
+  // walking the per-region bitmaps word by word with the range boundaries masked off.
+  // `kMutates` permits fn to remove the visited page (and thus its region).
+  template <bool kMutates, typename Fn>
+  void ForEachPageInRange(uint64_t page_begin, uint64_t page_end, Fn&& fn) const;
 
   uint64_t capacity_;
   bool store_data_;
-  std::map<uint64_t, Frame> frames_;  // Ordered by page number for range invalidations.
-  std::list<uint64_t> lru_;           // Front = most recently used.
+  FlatMap64<uint32_t> index_;  // Page number -> arena slot.
+  ChunkedArena<Frame, /*kChunkShift=*/12> arena_;
+  uint32_t lru_head_ = kNilFrame;  // Most recently used.
+  uint32_t lru_tail_ = kNilFrame;  // Least recently used.
+  std::unordered_map<uint64_t, Region> regions_;  // Region number -> presence bitmap.
 };
 
 }  // namespace mind

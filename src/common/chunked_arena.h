@@ -1,0 +1,57 @@
+// Chunked object arena with a free list: stable pointers, index-addressed, no per-object
+// allocation on the hot path.
+//
+// The flat data-plane structures (CacheDirectory, DramCache) keep their records in one of
+// these and index them by 32-bit slot from a FlatMap64: chunks never move once allocated,
+// so record pointers stay valid across insert/remove/rehash, while the free list recycles
+// slots in LIFO order. Slots are default-constructed once per chunk and *reused as-is* —
+// callers reset whatever fields matter when they claim a slot.
+#ifndef MIND_SRC_COMMON_CHUNKED_ARENA_H_
+#define MIND_SRC_COMMON_CHUNKED_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mind {
+
+template <typename T, uint32_t kChunkShift>
+class ChunkedArena {
+ public:
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+
+  // Claims a slot (recycling a freed one when available) and returns its index.
+  uint32_t Alloc() {
+    if (!free_.empty()) {
+      const uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    if ((size_ & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    }
+    return size_++;
+  }
+
+  void Free(uint32_t idx) { free_.push_back(idx); }
+
+  [[nodiscard]] T& At(uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const T& At(uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  // Total slots ever claimed (the high-water index bound); freed slots stay counted until
+  // reused. Callers sweeping the arena must skip slots they know to be free.
+  [[nodiscard]] uint32_t size() const { return size_; }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<uint32_t> free_;
+  uint32_t size_ = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_COMMON_CHUNKED_ARENA_H_

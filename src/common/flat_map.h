@@ -1,0 +1,185 @@
+// Open-addressed hash map from 64-bit keys to small values — the flat, cache-friendly
+// building block of the simulated switch's O(1) access pipeline.
+//
+// The data-plane hot paths (directory lookup, TCAM LPM probe, DRAM-cache hit) model
+// match-action table lookups that execute in a constant number of SRAM reads on the ASIC.
+// A red-black tree's pointer-chasing descent is the wrong cost model for that; this map
+// does a hash, a masked index and a short linear probe over three parallel arrays, which
+// is as close as portable C++ gets to the hardware's behavior.
+//
+// Semantics: linear probing with tombstones, power-of-two capacity, max load factor 3/4
+// (including tombstones) before an amortized rehash. Value pointers returned by Find or
+// Upsert are invalidated by any subsequent mutation; callers needing stable storage keep
+// indices into an external arena instead (see CacheDirectory, DramCache).
+#ifndef MIND_SRC_COMMON_FLAT_MAP_H_
+#define MIND_SRC_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mind {
+
+template <typename Value>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  [[nodiscard]] Value* Find(uint64_t key) {
+    return const_cast<Value*>(static_cast<const FlatMap64*>(this)->Find(key));
+  }
+
+  [[nodiscard]] const Value* Find(uint64_t key) const {
+    if (state_.empty()) {
+      return nullptr;
+    }
+    size_t idx = Hash(key) & mask_;
+    while (true) {
+      const uint8_t s = state_[idx];
+      if (s == kEmpty) {
+        return nullptr;
+      }
+      if (s == kFull && keys_[idx] == key) {
+        return &values_[idx];
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  // Inserts `value` under `key`, or assigns it to the existing entry. Returns the value
+  // slot and whether a new entry was created.
+  std::pair<Value*, bool> Upsert(uint64_t key, Value value) {
+    if (state_.empty() || (occupied_ + 1) * 4 >= (mask_ + 1) * 3) {
+      Grow();
+    }
+    size_t idx = Hash(key) & mask_;
+    size_t insert_at = SIZE_MAX;  // First tombstone seen, reusable on insert.
+    while (true) {
+      const uint8_t s = state_[idx];
+      if (s == kFull && keys_[idx] == key) {
+        values_[idx] = std::move(value);
+        return {&values_[idx], false};
+      }
+      if (s == kTombstone && insert_at == SIZE_MAX) {
+        insert_at = idx;
+      }
+      if (s == kEmpty) {
+        if (insert_at == SIZE_MAX) {
+          insert_at = idx;
+          ++occupied_;  // Tombstone reuse keeps the occupied count unchanged.
+        }
+        state_[insert_at] = kFull;
+        keys_[insert_at] = key;
+        values_[insert_at] = std::move(value);
+        ++size_;
+        return {&values_[insert_at], true};
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  bool Erase(uint64_t key) {
+    if (state_.empty()) {
+      return false;
+    }
+    size_t idx = Hash(key) & mask_;
+    while (true) {
+      const uint8_t s = state_[idx];
+      if (s == kEmpty) {
+        return false;
+      }
+      if (s == kFull && keys_[idx] == key) {
+        state_[idx] = kTombstone;
+        values_[idx] = Value{};  // Release value-held resources eagerly.
+        --size_;
+        return true;
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  // Unordered iteration; fn(key, value&). The map must not be mutated during iteration.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < state_.size(); ++i) {
+      if (state_[i] == kFull) {
+        fn(keys_[i], values_[i]);
+      }
+    }
+  }
+
+  void Clear() {
+    state_.clear();
+    keys_.clear();
+    values_.clear();
+    size_ = 0;
+    occupied_ = 0;
+    mask_ = 0;
+  }
+
+  void Reserve(size_t n) {
+    size_t cap = 16;
+    while (n * 3 >= cap * 2) {
+      cap <<= 1;
+    }
+    if (cap > state_.size()) {
+      Rehash(cap);
+    }
+  }
+
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_t capacity() const { return state_.size(); }
+
+ private:
+  enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+  [[nodiscard]] static size_t Hash(uint64_t key) {
+    uint64_t h = key * 0x9E3779B97F4A7C15ull;  // Fibonacci multiplier.
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+
+  void Grow() {
+    size_t cap = 16;
+    while ((size_ + 1) * 2 >= cap) {
+      cap <<= 1;  // Rehash to load factor <= 1/2, clearing tombstones.
+    }
+    Rehash(cap);
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint8_t> old_state = std::move(state_);
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    state_.assign(new_cap, kEmpty);
+    keys_.assign(new_cap, 0);
+    values_.assign(new_cap, Value{});
+    mask_ = new_cap - 1;
+    occupied_ = size_;
+    for (size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) {
+        continue;
+      }
+      size_t idx = Hash(old_keys[i]) & mask_;
+      while (state_[idx] == kFull) {
+        idx = (idx + 1) & mask_;
+      }
+      state_[idx] = kFull;
+      keys_[idx] = old_keys[i];
+      values_[idx] = std::move(old_values[i]);
+    }
+  }
+
+  std::vector<uint8_t> state_;
+  std::vector<uint64_t> keys_;
+  std::vector<Value> values_;
+  size_t size_ = 0;
+  size_t occupied_ = 0;  // Full + tombstone slots.
+  size_t mask_ = 0;      // capacity - 1 (0 when unallocated).
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_COMMON_FLAT_MAP_H_

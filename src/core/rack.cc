@@ -41,20 +41,41 @@ Rack::Rack(RackConfig config)
 // Data-path helpers.
 // ---------------------------------------------------------------------------
 
+bool Rack::TranslatePage(VirtAddr va, Translation* out) {
+  const uint64_t page = PageNumber(va);
+  TranslationSlot& slot = translation_cache_[page & (kPipelineSlots - 1)];
+  const uint64_t version = translator_.version();
+  if (slot.page == page && slot.version == version) {
+    *out = slot.tr;
+    return true;
+  }
+  auto tr = translator_.Translate(PageBase(va));
+  if (!tr.ok()) {
+    return false;  // Negative results are not memoized.
+  }
+  slot.page = page;
+  slot.version = version;
+  slot.tr = *tr;
+  *out = *tr;
+  return true;
+}
+
 SimTime Rack::FetchPageFromMemory(VirtAddr va, ComputeBladeId requester, SimTime start,
                                   const PageData** bytes) {
-  auto tr = translator_.Translate(PageBase(va));
-  assert(tr.ok() && "translation must exist for an allocated vma");
+  Translation tr;
+  const bool translated = TranslatePage(va, &tr);
+  assert(translated && "translation must exist for an allocated vma");
+  (void)translated;
   // Switch egress -> memory blade NIC (header-rewritten one-sided RDMA read, §6.3).
-  auto to_mem = fabric_.FromSwitch(Endpoint::Memory(tr->blade), MessageKind::kRdmaReadRequest,
+  auto to_mem = fabric_.FromSwitch(Endpoint::Memory(tr.blade), MessageKind::kRdmaReadRequest,
                                    start);
   SimTime t = to_mem.arrival + lat_.memory_blade_service;
-  const PageData* payload = memory_blades_[tr->blade]->ReadPage(PageNumber(tr->phys_addr));
+  const PageData* payload = memory_blades_[tr.blade]->ReadPage(PageNumber(tr.phys_addr));
   if (bytes != nullptr) {
     *bytes = payload;
   }
   // Memory blade -> switch -> requesting compute blade (page payload).
-  auto to_switch = fabric_.ToSwitch(Endpoint::Memory(tr->blade),
+  auto to_switch = fabric_.ToSwitch(Endpoint::Memory(tr.blade),
                                     MessageKind::kRdmaReadResponse, t);
   t = to_switch.arrival + lat_.switch_pipeline;
   auto to_blade = fabric_.FromSwitch(Endpoint::Compute(requester),
@@ -64,16 +85,15 @@ SimTime Rack::FetchPageFromMemory(VirtAddr va, ComputeBladeId requester, SimTime
 
 SimTime Rack::WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* data,
                             SimTime start) {
-  const VirtAddr va = PageToAddr(page);
-  auto tr = translator_.Translate(va);
-  if (!tr.ok()) {
+  Translation tr;
+  if (!TranslatePage(PageToAddr(page), &tr)) {
     return start;  // vma was unmapped concurrently; drop the write-back.
   }
   auto h1 = fabric_.ToSwitch(Endpoint::Compute(from), MessageKind::kRdmaWriteRequest, start);
   SimTime t = h1.arrival + lat_.switch_pipeline;
-  auto h2 = fabric_.FromSwitch(Endpoint::Memory(tr->blade), MessageKind::kRdmaWriteRequest, t);
+  auto h2 = fabric_.FromSwitch(Endpoint::Memory(tr.blade), MessageKind::kRdmaWriteRequest, t);
   t = h2.arrival + lat_.memory_blade_service;
-  memory_blades_[tr->blade]->WritePage(PageNumber(tr->phys_addr), data);
+  memory_blades_[tr.blade]->WritePage(PageNumber(tr.phys_addr), data);
   return t;
 }
 
@@ -90,6 +110,9 @@ void Rack::InsertIntoCache(ComputeBladeId blade_id, uint64_t page, bool writable
     }
   }
   auto evicted = cache.Insert(page, writable, std::move(data), pdid);
+  if (evicted.has_value()) {
+    ++cache_epoch_;  // A frame left a cache; memoized frame pointers may now dangle.
+  }
   if (evicted.has_value() && evicted->dirty) {
     // Write-back on eviction keeps memory the source of truth for uncached pages — the
     // invariant that lets M-state owner faults fetch from memory in one RTT.
@@ -105,6 +128,7 @@ Rack::InvalidationWave Rack::InvalidateBlades(SharerMask targets, const Director
   if (targets == 0) {
     return wave;
   }
+  ++cache_epoch_;  // Invalidation wave: every pipeline-cache slot must revalidate.
   const auto deliveries = config_.use_multicast ? fabric_.MulticastInvalidation(targets, t)
                                                 : fabric_.UnicastInvalidations(targets, t);
   stats_.invalidations_sent += deliveries.size();
@@ -240,6 +264,30 @@ void Rack::PsoRecordWrite(ThreadId tid, VirtAddr va, SimTime completion) {
 // The MIND access path (Fig. 2 right, Fig. 4).
 // ---------------------------------------------------------------------------
 
+void Rack::PopulatePipeline(const AccessRequest& req, uint64_t page, DramCache::Frame* frame,
+                            DirectoryEntry* dir_entry) {
+  PipelineSlot& slot = pipeline_[req.tid & (kPipelineSlots - 1)];
+  slot.generation = PipelineGeneration();
+  slot.page = page;
+  slot.tid = req.tid;
+  slot.blade = req.blade;
+  slot.pdid = req.pdid;
+  slot.frame = frame;
+  slot.dir_entry = dir_entry;
+  if (frame != nullptr && frame->pdid == req.pdid) {
+    // Same-domain frame: the seed hit path trusts the frame's own permission bits, so the
+    // memoized verdict can too. Writes stay gated on frame->writable at use time.
+    slot.read_ok = true;
+    slot.write_ok = true;
+  } else {
+    // Cross-domain (or no frame): only the access type that was actually checked against
+    // the protection table is known-allowed; the other stays conservative and will take
+    // the full path once, repopulating the slot.
+    slot.read_ok = req.type == AccessType::kRead;
+    slot.write_ok = req.type == AccessType::kWrite;
+  }
+}
+
 AccessResult Rack::Access(const AccessRequest& req) {
   splitting_.MaybeRunEpoch(req.now);
   ++stats_.total_accesses;
@@ -251,6 +299,32 @@ AccessResult Rack::Access(const AccessRequest& req) {
   SimTime now = req.now;
   if (config_.consistency == ConsistencyModel::kPso && req.type == AccessType::kRead) {
     now = PsoReadBarrier(req.tid, req.va, now);
+  }
+
+  // 0. Fused pipeline cache: one validity check replays the whole translation ->
+  // protection -> PTE traversal for the thread's last page, modeling the ASIC's
+  // single-pass match-action pipeline. Valid only while no structure the memo depends on
+  // has mutated (see PipelineGeneration); anything short of a clean same-page local hit
+  // falls through to the full path below.
+  PipelineSlot& pslot = pipeline_[req.tid & (kPipelineSlots - 1)];
+  const bool pslot_valid = pslot.generation == PipelineGeneration() && pslot.page == page &&
+                           pslot.tid == req.tid && pslot.blade == req.blade &&
+                           pslot.pdid == req.pdid;
+  if (pslot_valid && pslot.frame != nullptr) {
+    const bool allowed = req.type == AccessType::kRead
+                             ? pslot.read_ok
+                             : (pslot.write_ok && pslot.frame->writable);
+    if (allowed) {
+      blade.cache().Touch(pslot.frame);  // Keep LRU order exactly as the slow path would.
+      ++stats_.local_hits;
+      if (req.type == AccessType::kWrite) {
+        pslot.frame->dirty = true;
+      }
+      res.local_hit = true;
+      res.latency = (now - req.now) + lat_.local_cache_hit;
+      res.completion = req.now + res.latency;
+      return res;
+    }
   }
 
   // 1. Local DRAM cache, through the hardware MMU: the fast path. A hit from a different
@@ -267,6 +341,7 @@ AccessResult Rack::Access(const AccessRequest& req) {
     if (req.type == AccessType::kWrite) {
       frame->dirty = true;
     }
+    PopulatePipeline(req, page, frame, pslot_valid ? pslot.dir_entry : nullptr);
     res.local_hit = true;
     res.latency = (now - req.now) + lat_.local_cache_hit;
     res.completion = req.now + res.latency;
@@ -296,14 +371,19 @@ AccessResult Rack::Access(const AccessRequest& req) {
     return res;
   }
 
-  // 4. Directory lookup (first MAU); lazily create the region entry if absent.
-  Status dir_error;
-  DirectoryEntry* entry = EnsureDirectoryEntry(req.va, t, &dir_error);
+  // 4. Directory lookup (first MAU); lazily create the region entry if absent. A still-
+  // valid pipeline slot short-circuits the lookup: the memoized entry cannot have been
+  // removed, split or merged without bumping the generation.
+  DirectoryEntry* entry = pslot_valid ? pslot.dir_entry : nullptr;
   if (entry == nullptr) {
-    res.status = dir_error;
-    res.latency = t - req.now;
-    res.completion = t;
-    return res;
+    Status dir_error;
+    entry = EnsureDirectoryEntry(req.va, t, &dir_error);
+    if (entry == nullptr) {
+      res.status = dir_error;
+      res.latency = t - req.now;
+      res.completion = t;
+      return res;
+    }
   }
 
   // Transient-state blocking: wait out any in-flight transition on this region.
@@ -415,6 +495,10 @@ AccessResult Rack::Access(const AccessRequest& req) {
   if (req.type == AccessType::kWrite) {
     blade.cache().MarkDirty(page);
   }
+  // Prime the pipeline cache for the thread's next access to this page. The generation is
+  // snapshotted *after* all of this access's mutations (insert/evict/invalidate), so the
+  // memo is valid exactly until the next conflicting event.
+  PopulatePipeline(req, page, blade.cache().Find(page), entry);
 
   // 10. Bookkeeping: transition counters and the Fig. 7 (right) latency decomposition.
   switch (res.prev_state) {
@@ -599,6 +683,7 @@ Status Rack::ResetAddress(VirtAddr va, SimTime now) {
 }
 
 void Rack::ShootDownRange(VirtAddr base, uint64_t size, bool write_back) {
+  ++cache_epoch_;
   const uint64_t first = PageNumber(base);
   const uint64_t last = PageNumber(base + size - 1) + 1;
   for (auto& blade : compute_blades_) {
@@ -640,6 +725,7 @@ Status Rack::Munmap(ProcessId pid, VirtAddr base) {
   const VirtAddr end = vma->end();
   // Drop cached pages everywhere (no write-back — the mapping is going away) and remove the
   // covered directory entries.
+  ++cache_epoch_;
   for (auto& blade : compute_blades_) {
     (void)blade->cache().InvalidateRange(PageNumber(begin), PageNumber(end - 1) + 1);
   }

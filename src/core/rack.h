@@ -12,6 +12,7 @@
 #ifndef MIND_SRC_CORE_RACK_H_
 #define MIND_SRC_CORE_RACK_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -158,6 +159,47 @@ class Rack {
   SimTime PsoReadBarrier(ThreadId tid, VirtAddr va, SimTime now);
   void PsoRecordWrite(ThreadId tid, VirtAddr va, SimTime completion);
 
+  // --- Fused pipeline cache (the ASIC's single-pass match-action traversal) ---
+  //
+  // Per-thread memo of {protection verdict, cached frame, directory entry} for the last
+  // page the thread touched. A slot is valid only while the generation it snapshotted
+  // still equals PipelineGeneration(), which is the sum of monotonic mutation counters of
+  // every structure the verdict depends on: the directory (create/remove/split/merge and
+  // capacity evictions), the protection table (mmap/mprotect/grant/revoke/munmap), the
+  // translator (blade ranges, migration outliers) and `cache_epoch_` (bumped whenever any
+  // blade's DRAM cache drops or evicts frames: invalidation waves, shoot-downs, LRU
+  // evictions). Any control-plane mutation, invalidation wave, split/merge or migration
+  // therefore invalidates every slot at once — stale translations, permissions, directory
+  // pointers and frame pointers can never be replayed.
+  static constexpr uint32_t kPipelineSlots = 256;  // Power of two; direct-mapped by tid.
+  struct PipelineSlot {
+    uint64_t generation = UINT64_MAX;
+    uint64_t page = UINT64_MAX;
+    ThreadId tid = 0;
+    ComputeBladeId blade = kInvalidComputeBlade;
+    ProtDomainId pdid = 0;
+    bool read_ok = false;   // Protection verdict known-allowed for reads.
+    bool write_ok = false;  // Protection verdict known-allowed for writes.
+    DramCache::Frame* frame = nullptr;
+    DirectoryEntry* dir_entry = nullptr;
+  };
+  [[nodiscard]] uint64_t PipelineGeneration() const {
+    return directory_.version() + protection_.version() + translator_.version() +
+           cache_epoch_;
+  }
+  void PopulatePipeline(const AccessRequest& req, uint64_t page, DramCache::Frame* frame,
+                        DirectoryEntry* dir_entry);
+
+  // Direct-mapped translation memo (the switch's translation MAU result for a page),
+  // validated against the translator's mutation counter.
+  struct TranslationSlot {
+    uint64_t page = UINT64_MAX;
+    uint64_t version = UINT64_MAX;
+    Translation tr;
+  };
+  // Translates the page containing `va` through the memo; false on kFault.
+  bool TranslatePage(VirtAddr va, Translation* out);
+
   RackConfig config_;
   LatencyModel lat_;
 
@@ -180,6 +222,10 @@ class Rack {
 
   RackStats stats_;
   std::unordered_map<ThreadId, std::vector<PendingWrite>> pending_writes_;
+  std::array<PipelineSlot, kPipelineSlots> pipeline_{};
+  std::array<TranslationSlot, kPipelineSlots> translation_cache_{};
+  // Bumped whenever frames leave any blade's DRAM cache (see PipelineGeneration above).
+  uint64_t cache_epoch_ = 0;
   // Physical arena on destination blades for migrated ranges; grows monotonically. A full
   // implementation would reuse the balanced allocator; a bump cursor suffices for the
   // migration feature and keeps PAs disjoint from the identity-mapped partitions.

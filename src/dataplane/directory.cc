@@ -5,37 +5,47 @@
 
 namespace mind {
 
-DirectoryEntry* CacheDirectory::Lookup(VirtAddr va) {
-  auto it = entries_.upper_bound(va);
-  if (it == entries_.begin()) {
-    return nullptr;
+uint32_t CacheDirectory::AllocIndex() {
+  const uint32_t idx = arena_.Alloc();
+  if (live_.size() * 64 <= idx) {
+    live_.resize(static_cast<size_t>(idx) / 64 + 1, 0);
   }
-  --it;
-  return it->second.Contains(va) ? &it->second : nullptr;
+  live_[idx >> 6] |= uint64_t{1} << (idx & 63);
+  return idx;
 }
 
-const DirectoryEntry* CacheDirectory::Lookup(VirtAddr va) const {
-  auto it = entries_.upper_bound(va);
-  if (it == entries_.begin()) {
-    return nullptr;
+void CacheDirectory::FreeIndex(uint32_t idx) {
+  live_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+  arena_.Free(idx);
+}
+
+void CacheDirectory::AddToClass(uint32_t size_log2) {
+  if (class_counts_[size_log2]++ == 0) {
+    active_classes_ |= uint64_t{1} << size_log2;
   }
-  --it;
-  return it->second.Contains(va) ? &it->second : nullptr;
+}
+
+void CacheDirectory::RemoveFromClass(uint32_t size_log2) {
+  assert(class_counts_[size_log2] > 0);
+  if (--class_counts_[size_log2] == 0) {
+    active_classes_ &= ~(uint64_t{1} << size_log2);
+  }
 }
 
 Result<DirectoryEntry*> CacheDirectory::Create(VirtAddr base, uint32_t size_log2) {
-  if (size_log2 < kPageShift || !IsAligned(base, uint64_t{1} << size_log2)) {
+  if (size_log2 < kPageShift || size_log2 > 63 ||
+      !IsAligned(base, uint64_t{1} << size_log2)) {
     return Status(ErrorCode::kInvalidArgument, "bad region geometry");
   }
   const VirtAddr end = base + (uint64_t{1} << size_log2);
-  // Overlap check against neighbours.
-  auto it = entries_.upper_bound(base);
-  if (it != entries_.end() && it->second.base < end) {
+  // Overlap check against neighbours in the ordered side-index.
+  auto it = ordered_.upper_bound(base);
+  if (it != ordered_.end() && it->first < end) {
     return Status(ErrorCode::kExists, "region overlaps successor");
   }
-  if (it != entries_.begin()) {
+  if (it != ordered_.begin()) {
     auto prev = std::prev(it);
-    if (prev->second.end() > base) {
+    if (EntryAt(prev->second).end() > base) {
       return Status(ErrorCode::kExists, "region overlaps predecessor");
     }
   }
@@ -43,29 +53,38 @@ Result<DirectoryEntry*> CacheDirectory::Create(VirtAddr base, uint32_t size_log2
   if (!slot.ok()) {
     return slot.status();
   }
-  DirectoryEntry entry;
+  const uint32_t idx = AllocIndex();
+  DirectoryEntry& entry = EntryAt(idx);
+  entry = DirectoryEntry{};  // Arena slots are reused; reset every field.
   entry.base = base;
   entry.size_log2 = size_log2;
-  auto [pos, inserted] = entries_.emplace(base, entry);
-  assert(inserted);
-  return &pos->second;
+  by_base_.Upsert(base, idx);
+  ordered_.emplace_hint(it, base, idx);
+  AddToClass(size_log2);
+  ++version_;
+  return &entry;
 }
 
 Status CacheDirectory::Remove(VirtAddr base) {
-  auto it = entries_.find(base);
-  if (it == entries_.end()) {
+  const uint32_t* idxp = by_base_.Find(base);
+  if (idxp == nullptr) {
     return Status(ErrorCode::kNotFound);
   }
-  entries_.erase(it);
+  const uint32_t idx = *idxp;
+  RemoveFromClass(EntryAt(idx).size_log2);
+  by_base_.Erase(base);
+  ordered_.erase(base);
+  FreeIndex(idx);
+  ++version_;
   return slots_.Free(base);
 }
 
 Status CacheDirectory::Split(VirtAddr base) {
-  auto it = entries_.find(base);
-  if (it == entries_.end()) {
+  const uint32_t* idxp = by_base_.Find(base);
+  if (idxp == nullptr) {
     return Status(ErrorCode::kNotFound);
   }
-  DirectoryEntry& parent = it->second;
+  DirectoryEntry& parent = EntryAt(*idxp);
   if (parent.size_log2 <= kPageShift) {
     return Status(ErrorCode::kInvalidArgument, "region already at 4KB floor");
   }
@@ -77,15 +96,22 @@ Status CacheDirectory::Split(VirtAddr base) {
     return slot.status();
   }
 
-  DirectoryEntry upper = parent;  // Children inherit coherence state conservatively.
+  const uint32_t upper_idx = AllocIndex();
+  DirectoryEntry& upper = EntryAt(upper_idx);
+  upper = parent;  // Children inherit coherence state conservatively.
   upper.base = upper_base;
   upper.size_log2 = child_log2;
   upper.ResetEpochCounters();
 
+  RemoveFromClass(parent.size_log2);
   parent.size_log2 = child_log2;
   parent.ResetEpochCounters();
+  AddToClass(child_log2);
+  AddToClass(child_log2);
 
-  entries_.emplace(upper_base, upper);
+  by_base_.Upsert(upper_base, upper_idx);
+  ordered_.emplace(upper_base, upper_idx);
+  ++version_;
   return Status::Ok();
 }
 
@@ -108,27 +134,30 @@ bool CacheDirectory::StatesCompatible(const DirectoryEntry& a, const DirectoryEn
 }
 
 Status CacheDirectory::MergeWithBuddy(VirtAddr base, uint32_t max_size_log2) {
-  auto it = entries_.find(base);
-  if (it == entries_.end()) {
+  const uint32_t* idxp = by_base_.Find(base);
+  if (idxp == nullptr) {
     return Status(ErrorCode::kNotFound);
   }
-  DirectoryEntry& entry = it->second;
+  const uint32_t idx = *idxp;
+  DirectoryEntry& entry = EntryAt(idx);
   if (entry.size_log2 >= max_size_log2) {
     return Status(ErrorCode::kInvalidArgument, "at maximum region size");
   }
   const uint64_t size = entry.size();
   const VirtAddr buddy_base = base ^ size;
-  auto buddy_it = entries_.find(buddy_base);
-  if (buddy_it == entries_.end() || buddy_it->second.size_log2 != entry.size_log2) {
+  const uint32_t* buddy_idxp = by_base_.Find(buddy_base);
+  if (buddy_idxp == nullptr || EntryAt(*buddy_idxp).size_log2 != entry.size_log2) {
     return Status(ErrorCode::kNotFound, "no same-size buddy");
   }
-  DirectoryEntry& buddy = buddy_it->second;
+  const uint32_t buddy_idx = *buddy_idxp;
+  DirectoryEntry& buddy = EntryAt(buddy_idx);
   if (!StatesCompatible(entry, buddy)) {
     return Status(ErrorCode::kInvalidArgument, "incompatible coherence states");
   }
 
   DirectoryEntry& lower = base < buddy_base ? entry : buddy;
   DirectoryEntry& upper = base < buddy_base ? buddy : entry;
+  const uint32_t upper_idx = base < buddy_base ? buddy_idx : idx;
 
   // Merged state: M > E > S > I; sharer lists union; owner follows the dominant state.
   auto rank = [](MsiState st) {
@@ -154,43 +183,50 @@ Status CacheDirectory::MergeWithBuddy(VirtAddr base, uint32_t max_size_log2) {
   lower.epoch_false_invalidations += upper.epoch_false_invalidations;
   lower.epoch_invalidations += upper.epoch_invalidations;
   lower.epoch_accesses += upper.epoch_accesses;
+
+  RemoveFromClass(lower.size_log2);
+  RemoveFromClass(upper.size_log2);
   lower.size_log2 += 1;
+  AddToClass(lower.size_log2);
 
   const VirtAddr upper_key = upper.base;
-  entries_.erase(upper_key);
+  by_base_.Erase(upper_key);
+  ordered_.erase(upper_key);
+  FreeIndex(upper_idx);
+  ++version_;
   return slots_.Free(upper_key);
 }
 
 std::optional<VirtAddr> CacheDirectory::FindEvictionVictim(SimTime now, int scan_limit) {
-  if (entries_.empty()) {
+  const uint64_t count = by_base_.size();
+  if (count == 0) {
     return std::nullopt;
   }
-  auto it = entries_.lower_bound(clock_cursor_);
+  if (clock_idx_ >= arena_.size()) {
+    clock_idx_ = 0;
+  }
+  const uint64_t to_scan =
+      std::min<uint64_t>(static_cast<uint64_t>(std::max(scan_limit, 0)), count);
   std::optional<VirtAddr> best;
   SimTime best_age = 0;
-  for (int i = 0; i < scan_limit; ++i) {
-    if (it == entries_.end()) {
-      it = entries_.begin();
-    }
-    const DirectoryEntry& e = it->second;
-    if (e.busy_until <= now) {
-      const SimTime age = now >= e.last_active ? now - e.last_active : 0;
-      if (!best.has_value() || age > best_age) {
-        best = e.base;
-        best_age = age;
+  uint64_t scanned = 0;
+  uint32_t idx = clock_idx_;
+  // One pass over the arena suffices: every live entry is visited at most once.
+  for (uint32_t steps = 0; steps < arena_.size() && scanned < to_scan; ++steps) {
+    if (LiveAt(idx)) {
+      const DirectoryEntry& e = EntryAt(idx);
+      ++scanned;
+      if (e.busy_until <= now) {
+        const SimTime age = now >= e.last_active ? now - e.last_active : 0;
+        if (!best.has_value() || age > best_age) {
+          best = e.base;
+          best_age = age;
+        }
       }
     }
-    ++it;
-    if (it == entries_.end()) {
-      it = entries_.begin();
-    }
-    if (static_cast<uint64_t>(i + 1) >= entries_.size()) {
-      break;
-    }
+    idx = (idx + 1 == arena_.size()) ? 0 : idx + 1;
   }
-  if (it != entries_.end()) {
-    clock_cursor_ = it->first;
-  }
+  clock_idx_ = idx;
   return best;
 }
 

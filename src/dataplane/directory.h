@@ -6,15 +6,28 @@
 // algorithm (§5) consumes. Entries are created lazily at the configured initial region size
 // when a region is first cached, split/merged by the control plane between epochs, and
 // evicted (with a forced invalidation, performed by the caller) under capacity pressure.
+//
+// Lookup is the per-access hot path and models one match-action stage: an active-size-class
+// bitmap names the region sizes currently present; for each live class (bit-scan, cheapest
+// first) the address is aligned down to that class and probed in a flat open-addressed hash
+// keyed by region base. Regions never overlap, so at most one class can contain the address
+// and the first containing probe wins — O(popcount(active classes)) probes, no tree descent.
+// Entries live in a chunked arena so pointers stay stable across create/remove/rehash. An
+// ordered side-index (base -> arena slot) is maintained off the hot path for ForEach, the
+// Create overlap check and buddy merges; the CLOCK eviction sweep walks arena slots directly.
 #ifndef MIND_SRC_DATAPLANE_DIRECTORY_H_
 #define MIND_SRC_DATAPLANE_DIRECTORY_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/common/bitops.h"
+#include "src/common/chunked_arena.h"
+#include "src/common/flat_map.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/dataplane/sram.h"
@@ -72,9 +85,25 @@ class CacheDirectory {
   explicit CacheDirectory(uint32_t capacity_slots) : slots_(capacity_slots) {}
 
   // Returns the entry whose region contains `va`, or nullptr if none exists (region is in
-  // the implicit I state).
-  [[nodiscard]] DirectoryEntry* Lookup(VirtAddr va);
-  [[nodiscard]] const DirectoryEntry* Lookup(VirtAddr va) const;
+  // the implicit I state). Entry pointers are stable until the entry is removed or merged.
+  [[nodiscard]] DirectoryEntry* Lookup(VirtAddr va) {
+    uint64_t mask = active_classes_;
+    while (mask != 0) {
+      const uint32_t log2 = LowestSetBit(mask);
+      mask &= mask - 1;
+      const VirtAddr base = va & ~((uint64_t{1} << log2) - 1);
+      if (const uint32_t* idx = by_base_.Find(base); idx != nullptr) {
+        DirectoryEntry& e = EntryAt(*idx);
+        if (e.Contains(va)) {
+          return &e;
+        }
+      }
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const DirectoryEntry* Lookup(VirtAddr va) const {
+    return const_cast<CacheDirectory*>(this)->Lookup(va);
+  }
 
   // Creates an entry for the aligned region [base, base + 2^size_log2). Fails with
   // kResourceExhausted when no SRAM slot is free (caller should evict) and kExists when the
@@ -99,27 +128,55 @@ class CacheDirectory {
 
   // Picks a victim entry for capacity eviction: a CLOCK-style cursor sweep that prefers the
   // stalest entry among the next `scan_limit` entries that are not busy at `now`. Returns
-  // nullopt when every scanned entry is busy.
+  // nullopt when every scanned entry is busy. The cursor is an arena slot, so resuming is
+  // O(1) and a removed cursor entry is skipped naturally instead of derailing the sweep.
   [[nodiscard]] std::optional<VirtAddr> FindEvictionVictim(SimTime now, int scan_limit = 64);
 
-  // Iteration for the control plane (bounded splitting, stats sampling).
+  // Iteration for the control plane (bounded splitting, stats sampling), in ascending
+  // region-base order via the ordered side-index.
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    for (auto& [base, entry] : entries_) {
-      fn(entry);
+    for (auto& [base, idx] : ordered_) {
+      fn(EntryAt(idx));
     }
   }
 
-  [[nodiscard]] uint64_t entry_count() const { return entries_.size(); }
+  // Monotonic mutation counter: bumped by every Create/Remove/Split/Merge. The rack's
+  // fused pipeline cache snapshots this to detect stale memoized directory entries.
+  [[nodiscard]] uint64_t version() const { return version_; }
+
+  [[nodiscard]] uint64_t entry_count() const { return by_base_.size(); }
   [[nodiscard]] uint64_t capacity() const { return slots_.total(); }
   [[nodiscard]] double utilization() const { return slots_.utilization(); }
   [[nodiscard]] uint64_t high_water() const { return slots_.high_water(); }
   [[nodiscard]] const SramSlotStore& slots() const { return slots_; }
 
  private:
-  std::map<VirtAddr, DirectoryEntry> entries_;  // Keyed by region base.
+  [[nodiscard]] DirectoryEntry& EntryAt(uint32_t idx) { return arena_.At(idx); }
+  [[nodiscard]] bool LiveAt(uint32_t idx) const {
+    return (live_[idx >> 6] & (uint64_t{1} << (idx & 63))) != 0;
+  }
+
+  uint32_t AllocIndex();
+  void FreeIndex(uint32_t idx);
+  void AddToClass(uint32_t size_log2);
+  void RemoveFromClass(uint32_t size_log2);
+
+  // Hot-path index: region base -> arena slot, probed per active size class.
+  FlatMap64<uint32_t> by_base_;
+  uint64_t active_classes_ = 0;             // Bit i set <=> a live entry has size_log2 == i.
+  std::array<uint32_t, 64> class_counts_{};
+
+  // Stable entry storage; `live_` marks occupied slots for the CLOCK sweep.
+  ChunkedArena<DirectoryEntry, /*kChunkShift=*/10> arena_;
+  std::vector<uint64_t> live_;
+
+  // Ordered side-index (base -> arena slot), maintained off the hot path.
+  std::map<VirtAddr, uint32_t> ordered_;
+
   SramSlotStore slots_;
-  VirtAddr clock_cursor_ = 0;
+  uint32_t clock_idx_ = 0;   // Arena slot where the next eviction sweep resumes.
+  uint64_t version_ = 0;
 };
 
 }  // namespace mind

@@ -43,6 +43,7 @@ Status ProtectionTable::Grant(ProtDomainId pdid, VirtAddr base, uint64_t size, P
   if (size == 0) {
     return Status(ErrorCode::kInvalidArgument, "empty protection range");
   }
+  ++version_;
   // Exact-overwrite semantics: clear any previous grants over the range, then insert.
   if (Status s = Revoke(pdid, base, size); !s.ok() && s.code() != ErrorCode::kNotFound) {
     return s;
@@ -58,6 +59,7 @@ Status ProtectionTable::Grant(ProtDomainId pdid, VirtAddr base, uint64_t size, P
 }
 
 Status ProtectionTable::Revoke(ProtDomainId pdid, VirtAddr base, uint64_t size) {
+  ++version_;
   auto dom_it = domains_.find(pdid);
   if (dom_it == domains_.end()) {
     return Status(ErrorCode::kNotFound);

@@ -43,6 +43,11 @@ class ProtectionTable {
   // Total TCAM entries across all domains — the protection share of Fig. 8 (center).
   [[nodiscard]] uint64_t rule_count() const { return rule_count_; }
 
+  // Monotonic mutation counter, bumped by every Grant/Revoke (even failed ones — the
+  // counter over-approximates change, which is always safe for cache invalidation). The
+  // rack's fused pipeline cache snapshots this to detect stale memoized verdicts.
+  [[nodiscard]] uint64_t version() const { return version_; }
+
   // Decomposes [base, base+size) into aligned power-of-two pieces (exposed for tests:
   // the piece count must not exceed 2 * ceil(log2(size)) + 1).
   struct Piece {
@@ -75,6 +80,7 @@ class ProtectionTable {
   TcamCapacity* capacity_;
   std::unordered_map<ProtDomainId, IntervalMap> domains_;
   uint64_t rule_count_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace mind

@@ -5,17 +5,26 @@
 // specific (longest-prefix) entry wins, which is what lets outlier entries override the
 // blade-range translation and lets nested protection grants override broader ones.
 //
+// Lookup is on the per-access path, so it models the ASIC's single-pass behavior: an
+// active-prefix-length bitmask names the populated prefix tables; Lookup bit-scans it
+// longest-first and probes only those, each probe a flat open-addressed hash. A TCAM with
+// three distinct range sizes installed costs at most three O(1) probes regardless of entry
+// count — no ordered-map walk.
+//
 // Capacity is enforced because Figure 8 (center) depends on it: the ASIC in the paper holds
 // ~45k match-action rules. Multiple tables can share one capacity pool via TcamCapacity, the
 // way translation and protection share the physical TCAM.
 #ifndef MIND_SRC_DATAPLANE_TCAM_H_
 #define MIND_SRC_DATAPLANE_TCAM_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "src/common/bitops.h"
+#include "src/common/flat_map.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 
@@ -60,7 +69,9 @@ class Tcam {
 
   // Inserts an entry for the aligned power-of-two range [base, base + 2^size_log2).
   // Fails with kResourceExhausted when the shared capacity pool is full, kInvalidArgument
-  // when the base is not aligned to the range size.
+  // when the base is not aligned to the range size. Overwriting an existing entry in place
+  // consumes no capacity and leaves the active-prefix bitmask untouched (the table's entry
+  // count is unchanged), so LPM ordering still holds afterwards.
   Status InsertRange(uint64_t base, uint32_t size_log2, const Value& value) {
     if (size_log2 > 63 || (base & ((uint64_t{1} << size_log2) - 1)) != 0) {
       return Status(ErrorCode::kInvalidArgument, "unaligned TCAM range");
@@ -68,31 +79,36 @@ class Tcam {
     const uint32_t prefix_len = 64 - size_log2;
     auto& table = tables_[prefix_len];
     const uint64_t key = Mask(base, prefix_len);
-    auto it = table.find(key);
-    if (it != table.end()) {
-      it->second = value;  // Overwrite in place; no capacity change.
-      return Status::Ok();
+    if (table != nullptr) {
+      if (Value* existing = table->Find(key); existing != nullptr) {
+        *existing = value;  // Overwrite in place; no capacity change.
+        return Status::Ok();
+      }
     }
     if (capacity_ != nullptr && !capacity_->TryReserve()) {
       return Status(ErrorCode::kResourceExhausted, "TCAM full");
     }
-    table.emplace(key, value);
+    if (table == nullptr) {
+      table = std::make_unique<FlatMap64<Value>>();
+    }
+    table->Upsert(key, value);
+    active_prefixes_ |= PrefixBit(prefix_len);
     ++entries_;
     return Status::Ok();
   }
 
   Status RemoveRange(uint64_t base, uint32_t size_log2) {
+    if (size_log2 > 63) {
+      return Status(ErrorCode::kNotFound);
+    }
     const uint32_t prefix_len = 64 - size_log2;
-    auto table_it = tables_.find(prefix_len);
-    if (table_it == tables_.end()) {
+    auto& table = tables_[prefix_len];
+    if (table == nullptr || !table->Erase(Mask(base, prefix_len))) {
       return Status(ErrorCode::kNotFound);
     }
-    const uint64_t key = Mask(base, prefix_len);
-    if (table_it->second.erase(key) == 0) {
-      return Status(ErrorCode::kNotFound);
-    }
-    if (table_it->second.empty()) {
-      tables_.erase(table_it);
+    if (table->empty()) {
+      table.reset();
+      active_prefixes_ &= ~PrefixBit(prefix_len);
     }
     if (capacity_ != nullptr) {
       capacity_->Release();
@@ -102,13 +118,16 @@ class Tcam {
   }
 
   // Longest-prefix match: returns the value of the most specific entry covering `key`.
+  // Bit-scans the active-prefix mask from the longest populated prefix down; only live
+  // prefix lengths are probed.
   [[nodiscard]] std::optional<Value> Lookup(uint64_t key) const {
-    // tables_ is ordered by prefix_len ascending; iterate descending for longest-first.
-    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
-      const auto& [prefix_len, table] = *it;
-      auto entry = table.find(Mask(key, prefix_len));
-      if (entry != table.end()) {
-        return entry->second;
+    uint64_t mask = active_prefixes_;
+    while (mask != 0) {
+      const uint32_t bit = Log2Floor(mask);  // Highest set bit = longest prefix.
+      mask ^= uint64_t{1} << bit;
+      const uint32_t prefix_len = bit + 1;
+      if (const Value* v = tables_[prefix_len]->Find(Mask(key, prefix_len)); v != nullptr) {
+        return *v;
       }
     }
     return std::nullopt;
@@ -120,11 +139,20 @@ class Tcam {
     if (capacity_ != nullptr) {
       capacity_->Release(entries_);
     }
-    tables_.clear();
+    for (auto& table : tables_) {
+      table.reset();
+    }
+    active_prefixes_ = 0;
     entries_ = 0;
   }
 
  private:
+  // prefix_len is always >= 1 (size_log2 <= 63), so prefix lengths 1..64 map to mask bits
+  // 0..63.
+  [[nodiscard]] static constexpr uint64_t PrefixBit(uint32_t prefix_len) {
+    return uint64_t{1} << (prefix_len - 1);
+  }
+
   static uint64_t Mask(uint64_t key, uint32_t prefix_len) {
     if (prefix_len == 0) {
       return 0;
@@ -133,7 +161,8 @@ class Tcam {
   }
 
   TcamCapacity* capacity_;  // Not owned; may be null (uncapped table).
-  std::map<uint32_t, std::unordered_map<uint64_t, Value>> tables_;
+  std::array<std::unique_ptr<FlatMap64<Value>>, 65> tables_;  // Indexed by prefix_len.
+  uint64_t active_prefixes_ = 0;
   uint64_t entries_ = 0;
 };
 

@@ -30,20 +30,28 @@ class AddressTranslator {
   explicit AddressTranslator(TcamCapacity* tcam) : capacity_(tcam), outliers_(tcam) {}
 
   // Registers a memory blade owning the contiguous VA range [va_start, va_start + size),
-  // identity-mapped onto its physical range starting at 0. One rule per blade.
+  // identity-mapped onto its physical range starting at 0. One rule per blade. The overlap
+  // check consults only the two ordered-map neighbours, so registering B blades costs
+  // O(B log B) total rather than the O(B^2) of a full scan per registration.
   Status AddBladeRange(MemoryBladeId blade, VirtAddr va_start, uint64_t size) {
     if (size == 0) {
       return Status(ErrorCode::kInvalidArgument, "empty blade range");
     }
-    for (const auto& [start, range] : blade_ranges_) {
-      if (va_start < start + range.size && start < va_start + size) {
+    auto next = blade_ranges_.lower_bound(va_start);
+    if (next != blade_ranges_.end() && next->first < va_start + size) {
+      return Status(ErrorCode::kExists, "overlapping blade range");
+    }
+    if (next != blade_ranges_.begin()) {
+      const auto prev = std::prev(next);
+      if (prev->first + prev->second.size > va_start) {
         return Status(ErrorCode::kExists, "overlapping blade range");
       }
     }
     if (capacity_ != nullptr && !capacity_->TryReserve()) {
       return Status(ErrorCode::kResourceExhausted, "no TCAM capacity for blade range");
     }
-    blade_ranges_[va_start] = BladeRange{blade, size};
+    blade_ranges_.emplace_hint(next, va_start, BladeRange{blade, size});
+    ++version_;
     return Status::Ok();
   }
 
@@ -54,6 +62,7 @@ class AddressTranslator {
     if (capacity_ != nullptr) {
       capacity_->Release();
     }
+    ++version_;
     return Status::Ok();
   }
 
@@ -62,11 +71,20 @@ class AddressTranslator {
   // embedded in binaries and for page migration (§4.1, "Transparency via outlier entries").
   Status AddOutlier(VirtAddr va_base, uint32_t size_log2, MemoryBladeId blade,
                     PhysAddr pa_base) {
-    return outliers_.InsertRange(va_base, size_log2, OutlierTarget{blade, pa_base, va_base});
+    const Status s =
+        outliers_.InsertRange(va_base, size_log2, OutlierTarget{blade, pa_base, va_base});
+    if (s.ok()) {
+      ++version_;
+    }
+    return s;
   }
 
   Status RemoveOutlier(VirtAddr va_base, uint32_t size_log2) {
-    return outliers_.RemoveRange(va_base, size_log2);
+    const Status s = outliers_.RemoveRange(va_base, size_log2);
+    if (s.ok()) {
+      ++version_;
+    }
+    return s;
   }
 
   // Translates a VA. Outlier entries take precedence (longest-prefix match); otherwise the
@@ -94,6 +112,10 @@ class AddressTranslator {
   [[nodiscard]] uint64_t outlier_count() const { return outliers_.entries(); }
   [[nodiscard]] size_t blade_range_count() const { return blade_ranges_.size(); }
 
+  // Monotonic mutation counter; the rack's pipeline/translation caches snapshot this to
+  // detect stale memoized translations.
+  [[nodiscard]] uint64_t version() const { return version_; }
+
  private:
   struct BladeRange {
     MemoryBladeId blade = kInvalidMemoryBlade;
@@ -108,6 +130,7 @@ class AddressTranslator {
   TcamCapacity* capacity_;
   std::map<VirtAddr, BladeRange> blade_ranges_;  // Keyed by range start.
   Tcam<OutlierTarget> outliers_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace mind

@@ -85,6 +85,42 @@ TEST(Tcam, ClearReleasesCapacity) {
   EXPECT_FALSE(t.Lookup(0x1000).has_value());
 }
 
+// Regression for the active-prefix fast path: overwriting an entry in place via
+// InsertRange must leave the prefix-length bitmask (and thus LPM ordering) intact, both
+// for the overwritten nested range and for its enclosing outlier ranges. A stale or
+// cleared bitmask bit would make Lookup skip the longest prefix and return the broader
+// entry — silently wrong translations for migrated pages.
+TEST(Tcam, OverwriteInPlacePreservesLongestPrefixWithNestedRanges) {
+  TcamCapacity cap(8);
+  Tcam<int> t(&cap);
+  // Three nested layers: 1 MB outer, 64 KB middle, 4 KB inner outlier.
+  ASSERT_TRUE(t.InsertRange(0x100000, 20, 10).ok());  // [1M, 2M).
+  ASSERT_TRUE(t.InsertRange(0x110000, 16, 20).ok());  // [1M+64K, 1M+128K).
+  ASSERT_TRUE(t.InsertRange(0x111000, 12, 30).ok());  // One page inside the middle range.
+  ASSERT_EQ(cap.used(), 3u);
+
+  // Overwrite every layer in place, middle first, then inner, then outer.
+  ASSERT_TRUE(t.InsertRange(0x110000, 16, 21).ok());
+  ASSERT_TRUE(t.InsertRange(0x111000, 12, 31).ok());
+  ASSERT_TRUE(t.InsertRange(0x100000, 20, 11).ok());
+  EXPECT_EQ(cap.used(), 3u) << "in-place overwrite must not consume capacity";
+  EXPECT_EQ(t.entries(), 3u);
+
+  // Longest-prefix order must still hold at every nesting depth.
+  EXPECT_EQ(t.Lookup(0x111800).value(), 31);  // Inner page wins over middle and outer.
+  EXPECT_EQ(t.Lookup(0x110800).value(), 21);  // Middle wins over outer.
+  EXPECT_EQ(t.Lookup(0x112000).value(), 21);  // Past the inner page: middle again.
+  EXPECT_EQ(t.Lookup(0x100800).value(), 11);  // Outside middle: outer.
+  EXPECT_FALSE(t.Lookup(0x200000).has_value());
+
+  // Removing the overwritten inner entry must fall back to the middle range — and clear
+  // its prefix class so the bit-scan no longer probes an empty table.
+  ASSERT_TRUE(t.RemoveRange(0x111000, 12).ok());
+  EXPECT_EQ(t.Lookup(0x111800).value(), 21);
+  ASSERT_TRUE(t.RemoveRange(0x110000, 16).ok());
+  EXPECT_EQ(t.Lookup(0x111800).value(), 11);
+}
+
 TEST(Tcam, FullAddressSpaceEntry) {
   Tcam<int> t(nullptr);
   ASSERT_TRUE(t.InsertRange(0, 63, 42).ok());  // Half the 64-bit space.
