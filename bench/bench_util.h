@@ -6,9 +6,15 @@
 #ifndef MIND_BENCH_BENCH_UTIL_H_
 #define MIND_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/baselines/fastswap.h"
 #include "src/baselines/gam.h"
@@ -86,18 +92,157 @@ inline std::unique_ptr<MindSystem> MakeMindPsoPlus(int blades) {
   return std::make_unique<MindSystem>(c, "MIND-PSO+");
 }
 
-// Generates traces for `spec`, replays them on `sys`, returns the report.
+// Generates traces for `spec`, replays them on `sys`, returns the report. With
+// `shards > 1` the sharded engine runs (identical results, concurrent execution); the
+// default stays on the serial engine so opt-out baselines (FastSwap/GAM, which route
+// every op through the sharded drain anyway) keep their lean replay loop.
 inline ReplayReport RunWorkload(MemorySystem& sys, const WorkloadSpec& spec,
                                 ReplayEngine::Sampler sampler = nullptr,
-                                SimTime sample_interval = 10 * kMillisecond) {
+                                SimTime sample_interval = 10 * kMillisecond, int shards = 1) {
   const WorkloadTraces traces = GenerateTraces(spec);
-  ReplayEngine engine(&sys, &traces);
+  if (shards <= 1) {
+    ReplayEngine engine(&sys, &traces);
+    const Status s = engine.Setup();
+    if (!s.ok()) {
+      std::fprintf(stderr, "replay setup failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    return engine.Run(std::move(sampler), sample_interval);
+  }
+  ShardedReplayOptions opts;
+  opts.shards = shards;
+  ShardedReplayEngine engine(&sys, &traces, opts);
   const Status s = engine.Setup();
   if (!s.ok()) {
     std::fprintf(stderr, "replay setup failed: %s\n", s.ToString().c_str());
     std::abort();
   }
   return engine.Run(std::move(sampler), sample_interval);
+}
+
+// `--shards=N` on a bench/example command line, with MIND_REPLAY_SHARDS as the fallback.
+inline int ShardsFromArgs(int argc, char** argv, int def = 1) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      const int v = std::atoi(argv[i] + 9);
+      if (v > 0) {
+        return v;
+      }
+    }
+  }
+  if (const char* s = std::getenv("MIND_REPLAY_SHARDS"); s != nullptr) {
+    const int v = std::atoi(s);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return def;
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json trajectory emitter (shared by microbench_core and the wall-clock figure
+// bench): appends one labeled entry per run so perf accumulates across PRs.
+// ---------------------------------------------------------------------------
+
+struct BenchResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  uint64_t iterations = 0;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {  // Control characters are illegal inside JSON strings.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Serializes one trajectory entry, indented to sit inside the "entries" array.
+inline std::string SerializeEntry(const std::string& label,
+                                  const std::vector<BenchResult>& results) {
+  std::ostringstream os;
+  os << "    {\n";
+  os << "      \"label\": \"" << JsonEscape(label) << "\",\n";
+  os << "      \"unix_time\": " << static_cast<long long>(std::time(nullptr)) << ",\n";
+  os << "      \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    char ns[64];
+    std::snprintf(ns, sizeof(ns), "%.3f", results[i].ns_per_op);
+    os << "        {\"name\": \"" << JsonEscape(results[i].name) << "\", \"ns_per_op\": " << ns
+       << ", \"iterations\": " << results[i].iterations << "}"
+       << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "      ]\n";
+  os << "    }";
+  return os.str();
+}
+
+// Appends the entry to the trajectory file, creating it when absent. The writer always
+// emits the same shape (see bench/README.md), so the merge is a suffix splice.
+inline void AppendTrajectoryEntry(const std::vector<BenchResult>& results,
+                                  const char* default_label = "run") {
+  if (results.empty()) {
+    return;
+  }
+  const char* path_env = std::getenv("MIND_BENCH_JSON");
+  std::string path = path_env != nullptr ? path_env : "BENCH_microbench.json";
+  if (path_env == nullptr && !std::ifstream(path).good() &&
+      std::ifstream("../BENCH_microbench.json").good()) {
+    // The usual workflow runs from build/ (gitignored): when no trajectory file exists
+    // here but the committed one sits in the parent directory, append there instead of
+    // silently growing an invisible copy.
+    path = "../BENCH_microbench.json";
+  }
+  const char* label_env = std::getenv("MIND_BENCH_LABEL");
+  const std::string label = label_env != nullptr ? label_env : default_label;
+  const std::string entry = SerializeEntry(label, results);
+
+  std::string existing;
+  if (std::ifstream in(path); in.good()) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    existing = buf.str();
+  }
+
+  std::string out;
+  const std::string suffix = "\n  ]\n}";
+  if (existing.empty()) {
+    out = "{\n  \"schema\": \"mind-microbench-v1\",\n  \"entries\": [\n" + entry + "\n  ]\n}\n";
+  } else {
+    const size_t splice = existing.rfind(suffix);
+    if (splice == std::string::npos) {
+      // Never truncate a file we cannot parse — it may hold the committed multi-PR
+      // trajectory with line endings or formatting this writer did not produce.
+      std::fprintf(stderr,
+                   "bench: %s does not end with the mind-microbench-v1 shape; "
+                   "refusing to overwrite (entry not recorded)\n",
+                   path.c_str());
+      return;
+    }
+    const std::string prefix = existing.substr(0, splice);
+    const bool empty_array = !prefix.empty() && prefix.back() == '[';
+    out = prefix + (empty_array ? "\n" : ",\n") + entry + "\n  ]\n}\n";
+  }
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.good()) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  f << out;
+  std::fprintf(stderr, "bench: appended entry \"%s\" (%zu benchmarks) to %s\n", label.c_str(),
+               results.size(), path.c_str());
 }
 
 }  // namespace bench

@@ -1,0 +1,135 @@
+// End-to-end replay wall-clock throughput: how fast the *simulator* replays a figure-scale
+// workload, serial vs sharded. This is the harness-performance companion to the per-op
+// microbenchmarks — ns/op of the whole replay loop (trace decode, clock merge, access
+// pipeline, histogramming), not of one isolated structure — so regressions in the replay
+// engine itself are tracked across PRs, not just hot-path structure regressions.
+//
+// Compared configurations, all replaying the identical TF trace on identical racks:
+//   serial-1shard     — the pre-sharding ReplayEngine (global min-heap, one op at a time).
+//   sharded-{1,2,4,8} — ShardedReplayEngine at increasing shard counts (results are
+//                       bit-identical to serial by construction; only wall-clock moves).
+//
+// Appends `FigReplayWallclock/*` entries (ns/op over total replayed ops) to
+// BENCH_microbench.json. `--shards=N` runs one extra sharded point. Scale the trace with
+// MIND_BENCH_SCALE.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace mind {
+namespace {
+
+struct Timed {
+  ReplayReport report;
+  double wall_ns = 0.0;
+  uint64_t parallel_hits = 0;
+};
+
+// Headline series: the shape sharded replay targets — multi-blade, cache-resident
+// per-blade working sets with an occasional cross-blade coherence event (the Fig. 5 right
+// "scalable" regime: native-KVS-like partitioned state, TF-like private compute). Once
+// warm, >99% of ops are blade-local hits, so the harness — not the simulated switch — is
+// the bottleneck, which is exactly what the refactor attacks.
+WorkloadSpec HotSpec() {
+  WorkloadSpec s;
+  s.name = "blade-resident";
+  s.num_blades = 8;
+  s.threads_per_blade = 1;
+  s.private_pages_per_thread = 1024;
+  s.private_pattern = Pattern::kUniform;
+  s.private_write_fraction = 0.5;
+  s.accesses_per_thread = bench::ScaledOps(1'500'000);
+  s.think_time = 200;
+  s.seed = 7;
+  return s;
+}
+
+// Counterpoint series: TF is coherence-dense (an invalidation or upgrade crosses shard
+// ownership every few tens of globally-ordered ops), so the serialized drain dominates
+// and sharding cannot help much — reported so the trajectory tracks both regimes
+// honestly.
+WorkloadSpec CoherenceBoundSpec() {
+  return TfSpec(/*blades=*/8, /*threads_per_blade=*/1, bench::ScaledOps(150'000));
+}
+
+Timed RunSerial(const WorkloadTraces& traces) {
+  auto sys = bench::MakeMind(8);
+  ReplayEngine engine(sys.get(), &traces);
+  (void)engine.Setup();
+  const auto t0 = std::chrono::steady_clock::now();
+  Timed out;
+  out.report = engine.Run();
+  out.wall_ns = std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
+Timed RunSharded(const WorkloadTraces& traces, int shards) {
+  auto sys = bench::MakeMind(8);
+  ShardedReplayOptions opts;
+  opts.shards = shards;
+  ShardedReplayEngine engine(sys.get(), &traces, opts);
+  (void)engine.Setup();
+  const auto t0 = std::chrono::steady_clock::now();
+  Timed out;
+  out.report = engine.Run();
+  out.wall_ns = std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+                    .count();
+  for (const ShardReport& sr : engine.shard_reports()) {
+    out.parallel_hits += sr.parallel_hits;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace mind
+
+int main(int argc, char** argv) {
+  using namespace mind;
+  std::vector<bench::BenchResult> results;
+
+  auto run_series = [&](const std::string& tag, const WorkloadTraces& traces,
+                        const std::vector<int>& shard_points) {
+    const uint64_t ops = traces.TotalOps();
+    std::printf("\nReplay wall-clock throughput — %s (%s), %llu ops, %d blades\n",
+                tag.c_str(), traces.name.c_str(), static_cast<unsigned long long>(ops),
+                traces.num_blades);
+    std::printf("(simulator performance; simulated-time results are bit-identical across "
+                "rows)\n");
+    TablePrinter table({"config", "wall ms", "ns/op", "Mops/s wall", "parallel hits",
+                        "sim ms"});
+    table.PrintHeader();
+    auto add = [&](const std::string& name, const Timed& t) {
+      const double ns_per_op = t.wall_ns / static_cast<double>(ops);
+      table.PrintRow(name, TablePrinter::Fmt(t.wall_ns / 1e6, 1),
+                     TablePrinter::Fmt(ns_per_op, 1), TablePrinter::Fmt(1e3 / ns_per_op, 2),
+                     t.parallel_hits, TablePrinter::Fmt(ToMillis(t.report.makespan), 2));
+      results.push_back(
+          bench::BenchResult{"FigReplayWallclock/" + tag + "/" + name, ns_per_op, ops});
+    };
+    add("serial-1shard", RunSerial(traces));
+    for (const int shards : shard_points) {
+      add("sharded-" + std::to_string(shards) + "shard", RunSharded(traces, shards));
+    }
+  };
+
+  std::vector<int> shard_points = {1, 2, 4, 8};
+  if (const int extra = bench::ShardsFromArgs(argc, argv, 0);
+      extra > 0 && std::find(shard_points.begin(), shard_points.end(), extra) ==
+                       shard_points.end()) {
+    shard_points.push_back(extra);
+  }
+  {
+    const WorkloadTraces traces = GenerateTraces(HotSpec());
+    run_series("blade_resident", traces, shard_points);
+  }
+  {
+    const WorkloadTraces traces = GenerateTraces(CoherenceBoundSpec());
+    run_series("tf_coherence_bound", traces, shard_points);
+  }
+  bench::AppendTrajectoryEntry(results, "fig-replay-wallclock");
+  return 0;
+}

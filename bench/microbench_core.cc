@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/blade/dram_cache.h"
 #include "src/common/rng.h"
 #include "src/controlplane/allocator.h"
@@ -202,11 +203,9 @@ BENCHMARK(BM_RackRemoteMiss);
 // trajectory of the access-pipeline structures accumulates across PRs.
 // ---------------------------------------------------------------------------
 
-struct BenchResult {
-  std::string name;
-  double ns_per_op = 0.0;
-  uint64_t iterations = 0;
-};
+// BenchResult and the trajectory emitter live in bench_util.h, shared with the
+// wall-clock figure bench (fig_replay_throughput).
+using bench::BenchResult;
 
 // google-benchmark renamed Run::error_occurred to the Run::skipped enum in 1.8.0; probe
 // whichever member this library version has (overload on int is preferred, so the
@@ -237,99 +236,6 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   std::vector<BenchResult> results;
 };
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    const auto u = static_cast<unsigned char>(c);
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (u < 0x20) {  // Control characters are illegal inside JSON strings.
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-// Serializes one trajectory entry, indented to sit inside the "entries" array.
-std::string SerializeEntry(const std::string& label, const std::vector<BenchResult>& results) {
-  std::ostringstream os;
-  os << "    {\n";
-  os << "      \"label\": \"" << JsonEscape(label) << "\",\n";
-  os << "      \"unix_time\": " << static_cast<long long>(std::time(nullptr)) << ",\n";
-  os << "      \"benchmarks\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    char ns[64];
-    std::snprintf(ns, sizeof(ns), "%.3f", results[i].ns_per_op);
-    os << "        {\"name\": \"" << JsonEscape(results[i].name) << "\", \"ns_per_op\": " << ns
-       << ", \"iterations\": " << results[i].iterations << "}"
-       << (i + 1 < results.size() ? ",\n" : "\n");
-  }
-  os << "      ]\n";
-  os << "    }";
-  return os.str();
-}
-
-// Appends the entry to the trajectory file, creating it when absent. The writer always
-// emits the same shape (see bench/README.md), so the merge is a suffix splice.
-void AppendTrajectoryEntry(const std::vector<BenchResult>& results) {
-  if (results.empty()) {
-    return;
-  }
-  const char* path_env = std::getenv("MIND_BENCH_JSON");
-  std::string path = path_env != nullptr ? path_env : "BENCH_microbench.json";
-  if (path_env == nullptr && !std::ifstream(path).good() &&
-      std::ifstream("../BENCH_microbench.json").good()) {
-    // The usual workflow runs from build/ (gitignored): when no trajectory file exists
-    // here but the committed one sits in the parent directory, append there instead of
-    // silently growing an invisible copy.
-    path = "../BENCH_microbench.json";
-  }
-  const char* label_env = std::getenv("MIND_BENCH_LABEL");
-  const std::string label = label_env != nullptr ? label_env : "run";
-  const std::string entry = SerializeEntry(label, results);
-
-  std::string existing;
-  if (std::ifstream in(path); in.good()) {
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    existing = buf.str();
-  }
-
-  std::string out;
-  const std::string suffix = "\n  ]\n}";
-  if (existing.empty()) {
-    out = "{\n  \"schema\": \"mind-microbench-v1\",\n  \"entries\": [\n" + entry + "\n  ]\n}\n";
-  } else {
-    const size_t splice = existing.rfind(suffix);
-    if (splice == std::string::npos) {
-      // Never truncate a file we cannot parse — it may hold the committed multi-PR
-      // trajectory with line endings or formatting this writer did not produce.
-      std::fprintf(stderr,
-                   "microbench: %s does not end with the mind-microbench-v1 shape; "
-                   "refusing to overwrite (entry not recorded)\n",
-                   path.c_str());
-      return;
-    }
-    const std::string prefix = existing.substr(0, splice);
-    const bool empty_array = !prefix.empty() && prefix.back() == '[';
-    out = prefix + (empty_array ? "\n" : ",\n") + entry + "\n  ]\n}\n";
-  }
-
-  std::ofstream f(path, std::ios::trunc);
-  if (!f.good()) {
-    std::fprintf(stderr, "microbench: cannot write %s\n", path.c_str());
-    return;
-  }
-  f << out;
-  std::fprintf(stderr, "microbench: appended entry \"%s\" (%zu benchmarks) to %s\n",
-               label.c_str(), results.size(), path.c_str());
-}
-
 }  // namespace
 }  // namespace mind
 
@@ -340,7 +246,7 @@ int main(int argc, char** argv) {
   }
   mind::CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  mind::AppendTrajectoryEntry(reporter.results);
+  mind::bench::AppendTrajectoryEntry(reporter.results);
   benchmark::Shutdown();
   return 0;
 }

@@ -25,6 +25,35 @@ struct SystemCounters {
   uint64_t pages_flushed = 0;
   uint64_t false_invalidations = 0;
   LatencyBreakdown breakdown_sums;
+
+  // Accumulates another counter block (per-shard replay counters fold into one report
+  // without double-counting: each access is accounted by exactly one shard or by the
+  // system itself, never both).
+  void Merge(const SystemCounters& o) {
+    total_accesses += o.total_accesses;
+    local_hits += o.local_hits;
+    remote_accesses += o.remote_accesses;
+    invalidations += o.invalidations;
+    pages_flushed += o.pages_flushed;
+    false_invalidations += o.false_invalidations;
+    breakdown_sums += o.breakdown_sums;
+  }
+
+  // Field-wise delta over a run (counters are monotonic).
+  [[nodiscard]] SystemCounters DeltaSince(const SystemCounters& before) const {
+    SystemCounters d;
+    d.total_accesses = total_accesses - before.total_accesses;
+    d.local_hits = local_hits - before.local_hits;
+    d.remote_accesses = remote_accesses - before.remote_accesses;
+    d.invalidations = invalidations - before.invalidations;
+    d.pages_flushed = pages_flushed - before.pages_flushed;
+    d.false_invalidations = false_invalidations - before.false_invalidations;
+    d.breakdown_sums.fault = breakdown_sums.fault - before.breakdown_sums.fault;
+    d.breakdown_sums.network = breakdown_sums.network - before.breakdown_sums.network;
+    d.breakdown_sums.inv_queue = breakdown_sums.inv_queue - before.breakdown_sums.inv_queue;
+    d.breakdown_sums.inv_tlb = breakdown_sums.inv_tlb - before.breakdown_sums.inv_tlb;
+    return d;
+  }
 };
 
 class MemorySystem {
@@ -46,6 +75,56 @@ class MemorySystem {
                               SimTime now) = 0;
 
   [[nodiscard]] virtual SystemCounters counters() const = 0;
+
+  // --- Sharded-replay access contract (thread safety) ---
+  //
+  // The sharded replay engine partitions compute blades across shards and drives blade-
+  // local fast-path accesses concurrently; everything else (faults, coherence transitions,
+  // control-plane epochs) stays on one serialized drain thread. A system opts into the
+  // concurrent fast path by implementing the run-batched Peek/Commit pair:
+  //
+  //   * PeekLocalRun classifies a consecutive run of `n` ops for one thread WITHOUT
+  //     mutating any state. It returns the length m of the leading prefix in which every
+  //     op completes entirely within `blade` (a local cache hit whose outcome and latency
+  //     depend on nothing another blade can change), filling hints[0..m) with opaque
+  //     per-op commit tokens and *end_clock with the clock after op m-1 (the internal
+  //     clock advances by latency + think per op). When every op in the prefix has the
+  //     same nonzero thread-visible latency — the common case — *uniform_latency reports
+  //     it and latencies[] is left untouched, letting the caller account the run in O(1);
+  //     otherwise *uniform_latency is 0 and latencies[0..m) holds the exact per-op
+  //     latencies a serial Access would report.
+  //   * CommitLocalRun applies those hits' side effects (LRU recency, dirty bits) for a
+  //     prefix the engine selects, identified by the peeked tokens. It may only touch
+  //     state owned by `blade` plus thread-private state of `tid`.
+  //   * LocalStateVersion is a monotonic counter over everything a Peek result depends on
+  //     for `blade` (cache membership, writability, domain tags, permissions). The engine
+  //     reuses peeked runs across rounds only while the version is unchanged and the
+  //     thread itself has not advanced outside the fast path.
+  //   * All three may be called concurrently from different shards for DIFFERENT blades,
+  //     but never concurrently with Access/AdvanceTo or with calls for the same blade.
+  //   * Counters must NOT be bumped by Peek/Commit — the replay shard accounts its own
+  //     hits, and the merged report adds them to the system's serial-phase delta.
+  //
+  // The defaults opt out: every access then takes the serialized drain, which is always
+  // correct (FastSwap/GAM run this way unchanged, at single-thread speed).
+  virtual size_t PeekLocalRun(ThreadId /*tid*/, ComputeBladeId /*blade*/,
+                              const LocalOp* /*ops*/, size_t /*n*/, SimTime clock,
+                              SimTime /*think*/, SimTime* /*latencies*/, void** /*hints*/,
+                              SimTime* end_clock, SimTime* uniform_latency) {
+    *end_clock = clock;
+    *uniform_latency = 0;
+    return 0;
+  }
+  virtual void CommitLocalRun(ThreadId /*tid*/, ComputeBladeId /*blade*/,
+                              void* const* /*hints*/, size_t /*n*/) {}
+  [[nodiscard]] virtual uint64_t LocalStateVersion(ComputeBladeId /*blade*/) const {
+    return 0;
+  }
+
+  // Advances time-driven control-plane work (e.g. bounded-splitting epochs) to `now`
+  // without performing an access. The replay engine calls this once after the final op so
+  // trailing epoch boundaries run exactly as they would under serial replay.
+  virtual void AdvanceTo(SimTime /*now*/) {}
 };
 
 }  // namespace mind

@@ -41,6 +41,23 @@ class MindSystem final : public MemorySystem {
     return rack_->Access(AccessRequest{tid, blade, pdid_, va, type, now});
   }
 
+  // Sharded-replay contract: MIND's blade-local hit path completes without touching any
+  // cross-blade state, so it opts into the concurrent fast path (see memory_system.h).
+  size_t PeekLocalRun(ThreadId tid, ComputeBladeId blade, const LocalOp* ops, size_t n,
+                      SimTime clock, SimTime think, SimTime* latencies, void** hints,
+                      SimTime* end_clock, SimTime* uniform_latency) override {
+    return rack_->PeekLocalRun(tid, blade, pdid_, ops, n, clock, think, latencies, hints,
+                               end_clock, uniform_latency);
+  }
+  void CommitLocalRun(ThreadId /*tid*/, ComputeBladeId blade, void* const* hints,
+                      size_t n) override {
+    rack_->CommitLocalRun(blade, hints, n);
+  }
+  [[nodiscard]] uint64_t LocalStateVersion(ComputeBladeId blade) const override {
+    return rack_->LocalHitStateVersion(blade);
+  }
+  void AdvanceTo(SimTime now) override { rack_->AdvanceSplittingEpochs(now); }
+
   [[nodiscard]] SystemCounters counters() const override {
     const RackStats& s = rack_->stats();
     SystemCounters c;

@@ -76,6 +76,7 @@ void DramCache::Touch(Frame* frame) {
 }
 
 DramCache::Eviction DramCache::RemoveFrame(uint32_t idx) {
+  ++version_;
   Frame& frame = FrameAt(idx);
   Eviction ev{frame.page, frame.dirty, std::move(frame.data)};
   LruUnlink(frame);
@@ -85,15 +86,29 @@ DramCache::Eviction DramCache::RemoveFrame(uint32_t idx) {
   return ev;
 }
 
+PagePtr DramCache::MakePayload(const PageData* bytes) {
+  PagePtr data = pool_.AllocPtr();
+  if (bytes != nullptr) {
+    *data = *bytes;
+  } else {
+    data->fill(0);  // Recycled slots keep stale bytes; fresh pages read as zero.
+  }
+  return data;
+}
+
 std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writable,
-                                                     std::unique_ptr<PageData> data,
+                                                     const PageData* bytes,
                                                      ProtDomainId pdid) {
+  ++version_;  // Membership or permissions may change on either path below.
   if (Frame* existing = Find(page); existing != nullptr) {
     // Re-insert: permission upgrade and/or fresh data.
     existing->writable = existing->writable || writable;
     existing->pdid = pdid;
-    if (data != nullptr) {
-      existing->data = std::move(data);
+    if (store_data_ && bytes != nullptr) {
+      if (existing->data == nullptr) {
+        existing->data = pool_.AllocPtr();
+      }
+      *existing->data = *bytes;
     }
     Touch(existing);
     return std::nullopt;
@@ -112,11 +127,7 @@ std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writabl
   frame.pdid = pdid;
   frame.page = page;
   frame.self = idx;
-  if (store_data_) {
-    frame.data = data != nullptr ? std::move(data) : std::make_unique<PageData>();
-  } else {
-    frame.data = nullptr;
-  }
+  frame.data = store_data_ ? MakePayload(bytes) : nullptr;
   LruPushFront(frame);
   index_.Upsert(page, idx);
   IndexSetPage(page);
@@ -126,6 +137,7 @@ std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writabl
 void DramCache::MakeWritable(uint64_t page) {
   if (Frame* frame = Find(page); frame != nullptr) {
     frame->writable = true;
+    ++version_;
   }
 }
 
@@ -216,6 +228,7 @@ DramCache::RangeInvalidation DramCache::InvalidateRange(uint64_t page_begin,
 
 DramCache::RangeInvalidation DramCache::DowngradeRange(uint64_t page_begin,
                                                        uint64_t page_end) {
+  ++version_;
   RangeInvalidation result;
   ForEachPageInRange<false>(page_begin, page_end, [&](uint64_t page) {
     Frame& frame = FrameAt(*index_.Find(page));
@@ -223,7 +236,7 @@ DramCache::RangeInvalidation DramCache::DowngradeRange(uint64_t page_begin,
       // Flush a copy; the page stays cached read-only.
       Eviction flushed{page, true, nullptr};
       if (frame.data != nullptr) {
-        flushed.data = std::make_unique<PageData>(*frame.data);
+        flushed.data = MakePayload(frame.data.get());
       }
       result.flushed.push_back(std::move(flushed));
       frame.dirty = false;

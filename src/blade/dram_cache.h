@@ -14,7 +14,11 @@
 // walked region-by-region, word-by-word, in ascending page order.
 //
 // Page payloads are optional: correctness tests and the examples move real bytes, while the
-// figure benches run metadata-only to keep memory use flat.
+// figure benches run metadata-only to keep memory use flat. When payloads are on, they come
+// from a per-blade slab arena rather than per-fault heap allocations: faulted-in pages pop
+// a recycled 4 KB slot and evicted/flushed pages return theirs once the write-back is done,
+// so `store_data` replay no longer thrashes the allocator (and the arena's lazy slab growth
+// gives first-touch NUMA placement under sharded replay).
 #ifndef MIND_SRC_BLADE_DRAM_CACHE_H_
 #define MIND_SRC_BLADE_DRAM_CACHE_H_
 
@@ -27,11 +31,17 @@
 
 #include "src/common/chunked_arena.h"
 #include "src/common/flat_map.h"
+#include "src/common/slab_arena.h"
 #include "src/common/types.h"
 
 namespace mind {
 
 using PageData = std::array<uint8_t, kPageSize>;
+
+// Per-blade payload arena: 64 pages (256 KB) per slab keeps slab metadata negligible while
+// letting small caches stay small.
+using PagePool = SlabArena<PageData, 64>;
+using PagePtr = PagePool::Ptr;
 
 class DramCache {
  public:
@@ -45,7 +55,7 @@ class DramCache {
     // against the switch's protection table (MPK-style domain tags on local PTEs), so one
     // session can never ride another session's cached pages (§4.2).
     ProtDomainId pdid = 0;
-    std::unique_ptr<PageData> data;  // Null when the cache is metadata-only.
+    PagePtr data;  // Arena-backed payload; null when the cache is metadata-only.
     // Intrusive LRU bookkeeping: the cached page number, this frame's arena slot, and the
     // neighbouring slots in recency order (kNilFrame-terminated).
     uint64_t page = 0;
@@ -65,16 +75,17 @@ class DramCache {
   // order exact without re-probing the hash.
   void Touch(Frame* frame);
 
-  // Inserts (or updates) a page. If the cache is full, evicts the LRU page first and
-  // returns it so the caller can write back dirty data. `data` may be null.
+  // Inserts (or updates) a page, copying `bytes` into an arena-backed payload slot (or
+  // zero-filling when `bytes` is null, matching anonymous-mmap semantics). If the cache is
+  // full, evicts the LRU page first and returns it so the caller can write back dirty
+  // data; the eviction's payload recycles into this blade's arena when dropped.
   struct Eviction {
     uint64_t page = 0;
     bool dirty = false;
-    std::unique_ptr<PageData> data;
+    PagePtr data;
   };
   std::optional<Eviction> Insert(uint64_t page, bool writable,
-                                 std::unique_ptr<PageData> data = nullptr,
-                                 ProtDomainId pdid = 0);
+                                 const PageData* bytes = nullptr, ProtDomainId pdid = 0);
 
   // Upgrades an existing frame to writable (S->M locally). No-op if absent.
   void MakeWritable(uint64_t page);
@@ -98,6 +109,14 @@ class DramCache {
   [[nodiscard]] uint64_t size() const { return index_.size(); }
   [[nodiscard]] uint64_t capacity() const { return capacity_; }
   [[nodiscard]] bool store_data() const { return store_data_; }
+  [[nodiscard]] PagePool& payload_pool() { return pool_; }
+  [[nodiscard]] const PagePool& payload_pool() const { return pool_; }
+
+  // Monotonic membership/permission version: bumped whenever a hit/miss classification
+  // for any page could change (insert, remove, writability or domain-tag change) — but
+  // NOT by recency or dirtiness updates, so the sharded replay fast path can Touch and
+  // MarkDirty without invalidating peeked runs.
+  [[nodiscard]] uint64_t version() const { return version_; }
 
  private:
   static constexpr uint32_t kNilFrame = UINT32_MAX;
@@ -124,12 +143,17 @@ class DramCache {
   template <bool kMutates, typename Fn>
   void ForEachPageInRange(uint64_t page_begin, uint64_t page_end, Fn&& fn) const;
 
+  // Allocates an arena payload slot holding a copy of `bytes` (or zeros).
+  [[nodiscard]] PagePtr MakePayload(const PageData* bytes);
+
   uint64_t capacity_;
   bool store_data_;
+  PagePool pool_;              // Payload slab arena (store_data only).
   FlatMap64<uint32_t> index_;  // Page number -> arena slot.
   ChunkedArena<Frame, /*kChunkShift=*/12> arena_;
   uint32_t lru_head_ = kNilFrame;  // Most recently used.
   uint32_t lru_tail_ = kNilFrame;  // Least recently used.
+  uint64_t version_ = 0;           // See version().
   std::unordered_map<uint64_t, Region> regions_;  // Region number -> presence bitmap.
 };
 

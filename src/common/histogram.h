@@ -28,6 +28,19 @@ class Histogram {
     buckets_[BucketIndex(value)]++;
   }
 
+  // Records `n` samples of the same value in O(1) — state is bit-identical to n Record
+  // calls. The sharded replay engine uses this for uniform-latency hit runs.
+  void RecordN(uint64_t value, uint64_t n) {
+    if (n == 0) {
+      return;
+    }
+    min_ = count_ == 0 ? value : std::min(min_, value);
+    count_ += n;
+    sum_ += value * n;
+    max_ = std::max(max_, value);
+    buckets_[BucketIndex(value)] += n;
+  }
+
   [[nodiscard]] uint64_t count() const { return count_; }
   [[nodiscard]] uint64_t sum() const { return sum_; }
   [[nodiscard]] uint64_t max() const { return max_; }
@@ -72,6 +85,9 @@ class Histogram {
     min_ = 0;
     buckets_.fill(0);
   }
+
+  // Exact state equality (every bucket), used by the sharded-replay determinism tests.
+  friend bool operator==(const Histogram& a, const Histogram& b) = default;
 
  private:
   static constexpr size_t kBucketCount = static_cast<size_t>(kDecades) * kSubBuckets;

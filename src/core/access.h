@@ -18,6 +18,13 @@ struct AccessRequest {
   SimTime now = 0;
 };
 
+// Compact per-op input for the batched blade-local fast path (sharded replay): the
+// resolved VA and the access type; everything else is per-run.
+struct LocalOp {
+  VirtAddr va = 0;
+  AccessType type = AccessType::kRead;
+};
+
 // The additive latency decomposition of Fig. 7 (right): PgFault covers trap entry and PTE
 // install; Network covers hops, switch pipeline passes, serialization, memory service and
 // directory serialization; Inv-queue and Inv-TLB cover the slowest sharer's handler-queue

@@ -100,16 +100,9 @@ SimTime Rack::WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* 
 void Rack::InsertIntoCache(ComputeBladeId blade_id, uint64_t page, bool writable,
                            const PageData* bytes, SimTime now, ProtDomainId pdid) {
   auto& cache = compute_blades_[blade_id]->cache();
-  std::unique_ptr<PageData> data;
-  if (config_.store_data) {
-    data = std::make_unique<PageData>();
-    if (bytes != nullptr) {
-      *data = *bytes;
-    } else {
-      data->fill(0);
-    }
-  }
-  auto evicted = cache.Insert(page, writable, std::move(data), pdid);
+  // Payload storage comes from the blade's slab arena inside Insert (copy of `bytes`, or
+  // a zero-filled recycled slot) — no per-fault heap allocation.
+  auto evicted = cache.Insert(page, writable, bytes, pdid);
   if (evicted.has_value()) {
     ++cache_epoch_;  // A frame left a cache; memoized frame pointers may now dangle.
   }
@@ -246,6 +239,20 @@ SimTime Rack::PsoReadBarrier(ThreadId tid, VirtAddr va, SimTime now) {
   return barrier;
 }
 
+SimTime Rack::PsoPeekBarrier(ThreadId tid, VirtAddr va, SimTime now) const {
+  const auto it = pending_writes_.find(tid);
+  if (it == pending_writes_.end()) {
+    return now;
+  }
+  SimTime barrier = now;
+  for (const auto& w : it->second) {
+    if (va >= w.begin && va < w.end) {
+      barrier = std::max(barrier, w.completion);
+    }
+  }
+  return barrier;
+}
+
 void Rack::PsoRecordWrite(ThreadId tid, VirtAddr va, SimTime completion) {
   // Store-buffer granularity is the page: a later read of the *same page* must drain the
   // pending store, but reads elsewhere proceed — that's what makes PSO outrun TSO.
@@ -288,18 +295,12 @@ void Rack::PopulatePipeline(const AccessRequest& req, uint64_t page, DramCache::
   }
 }
 
-AccessResult Rack::Access(const AccessRequest& req) {
-  splitting_.MaybeRunEpoch(req.now);
-  ++stats_.total_accesses;
-
-  AccessResult res;
+bool Rack::TryLocalHit(const AccessRequest& req, SimTime now, AccessResult* res,
+                       DramCache::Frame** frame_out, bool* pslot_valid_out) {
   const uint64_t page = PageNumber(req.va);
   ComputeBlade& blade = *compute_blades_[req.blade];
-
-  SimTime now = req.now;
-  if (config_.consistency == ConsistencyModel::kPso && req.type == AccessType::kRead) {
-    now = PsoReadBarrier(req.tid, req.va, now);
-  }
+  *frame_out = nullptr;
+  *pslot_valid_out = false;
 
   // 0. Fused pipeline cache: one validity check replays the whole translation ->
   // protection -> PTE traversal for the thread's last page, modeling the ASIC's
@@ -316,14 +317,13 @@ AccessResult Rack::Access(const AccessRequest& req) {
                              : (pslot.write_ok && pslot.frame->writable);
     if (allowed) {
       blade.cache().Touch(pslot.frame);  // Keep LRU order exactly as the slow path would.
-      ++stats_.local_hits;
       if (req.type == AccessType::kWrite) {
         pslot.frame->dirty = true;
       }
-      res.local_hit = true;
-      res.latency = (now - req.now) + lat_.local_cache_hit;
-      res.completion = req.now + res.latency;
-      return res;
+      res->local_hit = true;
+      res->latency = (now - req.now) + lat_.local_cache_hit;
+      res->completion = req.now + res->latency;
+      return true;
     }
   }
 
@@ -331,22 +331,113 @@ AccessResult Rack::Access(const AccessRequest& req) {
   // protection domain than the one that faulted the page in re-validates against the
   // protection table (domain-tagged PTEs), so cached pages never leak across domains.
   DramCache::Frame* frame = blade.cache().Lookup(page);
+  *frame_out = frame;
+  *pslot_valid_out = pslot_valid;
   const bool domain_ok =
       frame != nullptr &&
       (frame->pdid == req.pdid || protection_.Allows(req.pdid, req.va, req.type));
   const bool hit = frame != nullptr && domain_ok &&
                    (req.type == AccessType::kRead || frame->writable);
-  if (hit) {
-    ++stats_.local_hits;
-    if (req.type == AccessType::kWrite) {
+  if (!hit) {
+    return false;
+  }
+  if (req.type == AccessType::kWrite) {
+    frame->dirty = true;
+  }
+  PopulatePipeline(req, page, frame, pslot_valid ? pslot.dir_entry : nullptr);
+  res->local_hit = true;
+  res->latency = (now - req.now) + lat_.local_cache_hit;
+  res->completion = req.now + res->latency;
+  return true;
+}
+
+size_t Rack::PeekLocalRun(ThreadId tid, ComputeBladeId blade, ProtDomainId pdid,
+                          const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+                          SimTime* latencies, void** hints, SimTime* end_clock,
+                          SimTime* uniform_latency) {
+  // Specialized loop over the hit conditions of Access step 1 (present frame, domain
+  // re-validation, write permission): one virtual call peeks the whole run, with the
+  // per-op request plumbing and consistency-model dispatch hoisted out.
+  // Commit tokens are tagged frame pointers (bit 0 = write), so the commit pass needs
+  // neither the op array nor the latency array. Under TSO every hit in the run costs
+  // exactly local_cache_hit, reported once through *uniform_latency; only PSO barrier
+  // displacement (a pending same-page store) forces per-op latencies.
+  DramCache& cache = compute_blades_[blade]->cache();
+  const SimTime hit_latency = lat_.local_cache_hit;
+  const bool pso = config_.consistency == ConsistencyModel::kPso;
+  // The contract reserves *uniform_latency == 0 for "consult latencies[]", so a (degenerate)
+  // zero-cost hit configuration must report per-op latencies from the start.
+  bool uniform = hit_latency != 0;
+  size_t i = 0;
+  for (; i < n; ++i) {
+    DramCache::Frame* frame = cache.Find(PageNumber(ops[i].va));
+    if (frame == nullptr) {
+      break;
+    }
+    const bool is_write = ops[i].type == AccessType::kWrite;
+    if (frame->pdid != pdid && !protection_.Allows(pdid, ops[i].va, ops[i].type)) {
+      break;
+    }
+    if (is_write && !frame->writable) {
+      break;
+    }
+    SimTime latency = hit_latency;
+    if (pso && !is_write) {
+      const SimTime barrier = PsoPeekBarrier(tid, ops[i].va, clock);
+      latency = (barrier - clock) + hit_latency;
+    }
+    if (latency != hit_latency && uniform) {
+      // First divergence: backfill the uniform prefix and switch to per-op latencies.
+      std::fill(latencies, latencies + i, hit_latency);
+      uniform = false;
+    }
+    if (!uniform) {
+      latencies[i] = latency;
+    }
+    hints[i] = reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(frame) |
+                                       static_cast<uintptr_t>(is_write));
+    clock += latency + think;
+  }
+  *end_clock = clock;
+  *uniform_latency = uniform ? hit_latency : 0;
+  return i;
+}
+
+void Rack::CommitLocalRun(ComputeBladeId blade, void* const* hints, size_t n) {
+  DramCache& cache = compute_blades_[blade]->cache();
+  for (size_t i = 0; i < n; ++i) {
+    const auto tagged = reinterpret_cast<uintptr_t>(hints[i]);
+    auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uintptr_t{1});
+    cache.Touch(frame);
+    if ((tagged & 1) != 0) {
       frame->dirty = true;
     }
-    PopulatePipeline(req, page, frame, pslot_valid ? pslot.dir_entry : nullptr);
-    res.local_hit = true;
-    res.latency = (now - req.now) + lat_.local_cache_hit;
-    res.completion = req.now + res.latency;
+  }
+}
+
+AccessResult Rack::Access(const AccessRequest& req) {
+  splitting_.MaybeRunEpoch(req.now);
+  ++stats_.total_accesses;
+
+  AccessResult res;
+  const uint64_t page = PageNumber(req.va);
+  ComputeBlade& blade = *compute_blades_[req.blade];
+
+  SimTime now = req.now;
+  if (config_.consistency == ConsistencyModel::kPso && req.type == AccessType::kRead) {
+    now = PsoReadBarrier(req.tid, req.va, now);
+  }
+
+  // Not a clean hit past here: TryLocalHit hands back the frame it probed (still present
+  // for S->M upgrades and cross-domain denials) and the pipeline memo's validity, so the
+  // fault path re-resolves neither.
+  DramCache::Frame* frame = nullptr;
+  bool pslot_valid = false;
+  if (TryLocalHit(req, now, &res, &frame, &pslot_valid)) {
+    ++stats_.local_hits;
     return res;
   }
+  PipelineSlot& pslot = pipeline_[req.tid & (kPipelineSlots - 1)];
 
   // 2. Page fault: issue a one-sided RDMA request on the *virtual* address to the switch.
   ++stats_.remote_accesses;

@@ -67,6 +67,36 @@ class Rack {
 
   AccessResult Access(const AccessRequest& req);
 
+  // --- Sharded-replay fast path (MemorySystem thread-safety contract) ---
+  //
+  // PeekLocalRun classifies a run of requests as pure blade-local hits without mutating
+  // anything: the returned prefix is exactly the ops for which Access would return at
+  // step 0/1 (local DRAM hit), with per-op latencies/commit tokens and the end clock
+  // (advancing by latency + think per op). Safe to call concurrently for different
+  // blades while no Access/control-plane call runs: it only reads the blade's cache
+  // index, the protection table and the caller thread's PSO pending-write list.
+  // CommitLocalRun applies those hits' side effects — LRU recency and dirty bits —
+  // touching only the blade's own cache. The pipeline memo and PSO pruning are
+  // deliberately skipped: both are pure memoization whose absence never changes an
+  // access outcome, so sharded and serial replay stay bit-identical.
+  size_t PeekLocalRun(ThreadId tid, ComputeBladeId blade, ProtDomainId pdid,
+                      const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+                      SimTime* latencies, void** hints, SimTime* end_clock,
+                      SimTime* uniform_latency);
+  void CommitLocalRun(ComputeBladeId blade, void* const* hints, size_t n);
+
+  // Monotonic over everything a peeked run for `blade` depends on: the blade
+  // cache's membership/permission version plus the protection table's. Unchanged version
+  // => previously peeked runs for this blade are still exact.
+  [[nodiscard]] uint64_t LocalHitStateVersion(ComputeBladeId blade) const {
+    return compute_blades_[blade]->cache().version() + protection_.version();
+  }
+
+  // Runs any bounded-splitting epoch boundaries at or before `now` (the data path does
+  // this implicitly on every Access; sharded replay calls it for boundaries that fall
+  // after the last serialized access).
+  void AdvanceSplittingEpochs(SimTime now) { splitting_.MaybeRunEpoch(now); }
+
   // Resolves the thread's blade and protection domain, then runs Access.
   AccessResult AccessByThread(ThreadId tid, VirtAddr va, AccessType type, SimTime now);
 
@@ -158,6 +188,18 @@ class Rack {
   };
   SimTime PsoReadBarrier(ThreadId tid, VirtAddr va, SimTime now);
   void PsoRecordWrite(ThreadId tid, VirtAddr va, SimTime completion);
+  // Read-only flavor for PeekLocalHit: same barrier value, no pruning (pruning only drops
+  // entries whose completion can never raise a later barrier, so skipping it is invisible).
+  [[nodiscard]] SimTime PsoPeekBarrier(ThreadId tid, VirtAddr va, SimTime now) const;
+
+  // The blade-local hit path of Access (steps 0/1): pipeline-memo short-circuit, then the
+  // MMU/DRAM-cache probe with domain re-validation. `now` is the post-PSO-barrier time.
+  // Mutates LRU recency (also when a present frame fails the hit checks, matching the
+  // historical Lookup-then-fall-through behavior) and primes the pipeline memo on
+  // success. Does NOT touch stats. On failure, `*frame_out` / `*pslot_valid_out` return
+  // the probed frame and memo validity so the fault path does not redo either.
+  bool TryLocalHit(const AccessRequest& req, SimTime now, AccessResult* res,
+                   DramCache::Frame** frame_out, bool* pslot_valid_out);
 
   // --- Fused pipeline cache (the ASIC's single-pass match-action traversal) ---
   //

@@ -207,26 +207,41 @@ std::optional<VirtAddr> CacheDirectory::FindEvictionVictim(SimTime now, int scan
   }
   const uint64_t to_scan =
       std::min<uint64_t>(static_cast<uint64_t>(std::max(scan_limit, 0)), count);
+  if (to_scan == 0) {
+    return std::nullopt;
+  }
   std::optional<VirtAddr> best;
   SimTime best_age = 0;
   uint64_t scanned = 0;
+  // Word-level bit-scan over the live bitmap: the sweep jumps dead slots 64 at a time, so
+  // a sparse arena (a 10M-slot PSO+ directory after mass teardown) costs O(words), not
+  // O(slots). Visit order is the same cyclic live-slot order as a linear walk: starting at
+  // the cursor's word with the bits below the cursor masked off, then whole words with
+  // wraparound; one full cycle visits every live entry exactly once, and to_scan <= count
+  // stops the sweep before any repeat.
+  const size_t words = live_.size();
+  size_t w = static_cast<size_t>(clock_idx_) >> 6;
+  uint64_t word = live_[w] & (~uint64_t{0} << (clock_idx_ & 63));
   uint32_t idx = clock_idx_;
-  // One pass over the arena suffices: every live entry is visited at most once.
-  for (uint32_t steps = 0; steps < arena_.size() && scanned < to_scan; ++steps) {
-    if (LiveAt(idx)) {
-      const DirectoryEntry& e = EntryAt(idx);
-      ++scanned;
-      if (e.busy_until <= now) {
-        const SimTime age = now >= e.last_active ? now - e.last_active : 0;
-        if (!best.has_value() || age > best_age) {
-          best = e.base;
-          best_age = age;
-        }
+  while (scanned < to_scan) {
+    if (word == 0) {
+      w = (w + 1 == words) ? 0 : w + 1;
+      word = live_[w];
+      continue;
+    }
+    idx = static_cast<uint32_t>(w * 64) + static_cast<uint32_t>(LowestSetBit(word));
+    word &= word - 1;
+    const DirectoryEntry& e = EntryAt(idx);
+    ++scanned;
+    if (e.busy_until <= now) {
+      const SimTime age = now >= e.last_active ? now - e.last_active : 0;
+      if (!best.has_value() || age > best_age) {
+        best = e.base;
+        best_age = age;
       }
     }
-    idx = (idx + 1 == arena_.size()) ? 0 : idx + 1;
   }
-  clock_idx_ = idx;
+  clock_idx_ = (idx + 1 >= arena_.size()) ? 0 : idx + 1;
   return best;
 }
 

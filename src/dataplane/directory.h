@@ -14,7 +14,9 @@
 // and the first containing probe wins — O(popcount(active classes)) probes, no tree descent.
 // Entries live in a chunked arena so pointers stay stable across create/remove/rehash. An
 // ordered side-index (base -> arena slot) is maintained off the hot path for ForEach, the
-// Create overlap check and buddy merges; the CLOCK eviction sweep walks arena slots directly.
+// Create overlap check and buddy merges; the CLOCK eviction sweep resumes by arena slot and
+// skips dead slots with a word-level bit-scan of the live bitmap, so sparse arenas cost
+// O(words) per sweep rather than a linear slot walk.
 #ifndef MIND_SRC_DATAPLANE_DIRECTORY_H_
 #define MIND_SRC_DATAPLANE_DIRECTORY_H_
 

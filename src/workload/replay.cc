@@ -1,7 +1,13 @@
 #include "src/workload/replay.h"
 
 #include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
 #include <queue>
+#include <thread>
+#include <utility>
 
 namespace mind {
 
@@ -104,22 +110,484 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
         ToMicros(latency_sum) / static_cast<double>(total_ops);
   }
 
-  const SystemCounters after = system_->counters();
-  report.counters.total_accesses = after.total_accesses - before.total_accesses;
-  report.counters.local_hits = after.local_hits - before.local_hits;
-  report.counters.remote_accesses = after.remote_accesses - before.remote_accesses;
-  report.counters.invalidations = after.invalidations - before.invalidations;
-  report.counters.pages_flushed = after.pages_flushed - before.pages_flushed;
-  report.counters.false_invalidations =
-      after.false_invalidations - before.false_invalidations;
-  report.counters.breakdown_sums.fault =
-      after.breakdown_sums.fault - before.breakdown_sums.fault;
-  report.counters.breakdown_sums.network =
-      after.breakdown_sums.network - before.breakdown_sums.network;
-  report.counters.breakdown_sums.inv_queue =
-      after.breakdown_sums.inv_queue - before.breakdown_sums.inv_queue;
-  report.counters.breakdown_sums.inv_tlb =
-      after.breakdown_sums.inv_tlb - before.breakdown_sums.inv_tlb;
+  report.counters = system_->counters().DeltaSince(before);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedReplayEngine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr SimTime kNoHorizon = std::numeric_limits<SimTime>::max();
+
+// Adaptive per-thread scan-window bounds: windows start small, double while runs commit
+// whole, and shrink toward the observed committed run length when a coherence horizon or
+// a state-version change cuts a run short. This bounds wasted peeks to ~2x the committed
+// ops even in coherence-dense traces, while hit-dominated traces quickly reach the
+// configured maximum window.
+constexpr uint32_t kMinScanWindow = 4;
+
+// Per-thread replay cursor plus its peeked hit-run. A run is peeked once (one batched
+// virtual call) and reused across rounds while it stays exact: the blade's
+// LocalStateVersion is unchanged (no membership/permission mutation on that blade) and
+// the thread itself has not advanced through the serialized drain. Latencies and hints
+// inside a valid run cannot drift — blade-local commits only touch recency and dirt.
+struct ThreadRt {
+  SimTime clock = 0;
+  uint64_t next_op = 0;
+  SimTime last_start = 0;  // Start timestamp of the last executed op (trailing epochs).
+  size_t index = 0;        // Global thread index (heap tie-break, same as serial replay).
+  ThreadId tid = 0;
+  ComputeBladeId blade = 0;
+  int shard = 0;
+  bool finished = false;
+  // Peeked run state.
+  bool buf_valid = false;
+  bool blocked = false;        // Peek refused at the run end (a coherence op is next).
+  bool window_capped = false;  // Run ended at the scan window with trace ops remaining.
+  bool ran_in_drain = false;   // Cursor moved outside the fast path; run is stale.
+  uint64_t scan_version = 0;
+  uint32_t window = kMinScanWindow;  // Adaptive scan-window size (see kMinScanWindow).
+  SimTime buf_end_clock = 0;
+  SimTime uniform_lat = 0;     // Nonzero: every op in the run has this latency.
+  size_t buf_pos = 0;          // Committed prefix of the run.
+  size_t buf_len = 0;          // Peeked length of the run.
+  std::vector<SimTime> lats;   // Per-op latencies; meaningful only when uniform_lat == 0.
+  std::vector<void*> hints;    // Opaque commit tokens from PeekLocalRun.
+};
+
+struct ShardRt {
+  std::vector<size_t> threads;                     // Owned global thread indices.
+  std::vector<std::vector<size_t>> blade_threads;  // Grouped by owned blade.
+  SimTime barrier = kNoHorizon;  // Scan result: earliest clock this shard cannot pass.
+  bool any_blocked = false;
+  Rng rng{0};  // Per-shard stream (reserved for stochastic replay extensions).
+  ShardReport report;
+};
+
+}  // namespace
+
+Status ShardedReplayEngine::Setup() {
+  if (Status s = base_.Setup(); !s.ok()) {
+    return s;
+  }
+  // Materialize the VA-resolved op stream per thread (see header): the scan phase hands
+  // contiguous slices of these arrays straight to PeekLocalRun.
+  thread_ops_.resize(base_.traces_->threads.size());
+  for (size_t t = 0; t < thread_ops_.size(); ++t) {
+    const auto& ops = base_.traces_->threads[t].ops;
+    thread_ops_[t].reserve(ops.size());
+    for (const TraceOp& op : ops) {
+      thread_ops_[t].push_back(LocalOp{base_.AddressOf(op.segment, op.page), op.type});
+    }
+  }
+  return Status::Ok();
+}
+
+ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
+                                      SimTime sample_interval) {
+  if (sampler != nullptr) {
+    // Samplers observe the system between globally-ordered ops; only the serial engine
+    // provides those exact observation points.
+    effective_shards_ = 1;
+    shard_reports_.clear();
+    return base_.Run(std::move(sampler), sample_interval);
+  }
+  assert(base_.setup_done_ && "Setup must be called before Run");
+  MemorySystem* system = base_.system_;
+  const WorkloadTraces& traces = *base_.traces_;
+  const SimTime think = traces.think_time;
+  // Sanitized adaptive-window bounds: a configured cap below kMinScanWindow lowers the
+  // floor with it, keeping every clamp well-formed (lo <= hi).
+  const uint32_t max_window = std::max(options_.scan_window_ops, 1u);
+  const uint32_t min_window = std::min(kMinScanWindow, max_window);
+
+  // Shard layout: blades are dealt round-robin to shards, threads follow their blade.
+  int blades_used = 1;
+  for (const ComputeBladeId b : base_.thread_blades_) {
+    blades_used = std::max(blades_used, static_cast<int>(b) + 1);
+  }
+  const int num_shards = std::clamp(options_.shards, 1, blades_used);
+  effective_shards_ = num_shards;
+
+  std::vector<ThreadRt> threads(traces.threads.size());
+  std::vector<ShardRt> shards(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards[s].rng = Rng(options_.seed ^ (0x9e3779b97f4a7c15ull * (s + 1)));
+    shards[s].blade_threads.resize(
+        static_cast<size_t>((blades_used - s + num_shards - 1) / num_shards));
+  }
+  for (size_t t = 0; t < threads.size(); ++t) {
+    ThreadRt& th = threads[t];
+    th.index = t;
+    th.window = min_window;
+    th.tid = base_.thread_ids_[t];
+    th.blade = base_.thread_blades_[t];
+    th.shard = static_cast<int>(th.blade) % num_shards;
+    th.finished = traces.threads[t].ops.empty();
+    ShardRt& sh = shards[th.shard];
+    sh.threads.push_back(t);
+    sh.blade_threads[static_cast<size_t>(th.blade) / num_shards].push_back(t);
+  }
+
+  const SystemCounters before = system->counters();
+
+  // --- Phase bodies -------------------------------------------------------
+
+  // Scan (parallel, read-only): refresh each owned thread's peeked run where stale, and
+  // find the shard's barrier — the earliest timestamp it cannot replay without the drain.
+  auto scan_shard = [&](int s) {
+    ShardRt& sh = shards[s];
+    sh.barrier = kNoHorizon;
+    sh.any_blocked = false;
+    for (const size_t t : sh.threads) {
+      ThreadRt& th = threads[t];
+      if (th.finished) {
+        continue;
+      }
+      const uint64_t version = system->LocalStateVersion(th.blade);
+      const bool keep = th.buf_valid && !th.ran_in_drain && version == th.scan_version &&
+                        th.buf_pos < th.buf_len;
+      if (!keep) {
+        if (th.buf_valid) {
+          if (th.buf_pos >= th.buf_len) {
+            th.window = std::min(th.window * 2, max_window);
+          } else {
+            // Shrink smoothly (at most halving) toward twice the committed run, so one
+            // early-cut round does not collapse a well-sized window.
+            th.window =
+                std::clamp(std::max(static_cast<uint32_t>(th.buf_pos) * 2, th.window / 2),
+                           min_window, max_window);
+          }
+        }
+        const std::vector<LocalOp>& resolved = thread_ops_[t];
+        const size_t want = static_cast<size_t>(std::min<uint64_t>(
+            th.window, resolved.size() - th.next_op));
+        if (th.lats.size() < want) {
+          th.lats.resize(want);
+        }
+        if (th.hints.size() < want) {
+          th.hints.resize(want);
+        }
+        SimTime end_clock = th.clock;
+        SimTime uniform_lat = 0;
+        const size_t m =
+            system->PeekLocalRun(th.tid, th.blade, resolved.data() + th.next_op, want,
+                                 th.clock, think, th.lats.data(), th.hints.data(),
+                                 &end_clock, &uniform_lat);
+        th.buf_pos = 0;
+        th.buf_len = m;
+        th.uniform_lat = uniform_lat;
+        th.blocked = m < want;
+        th.window_capped = !th.blocked && th.next_op + m < resolved.size();
+        th.buf_end_clock = end_clock;
+        th.scan_version = version;
+        th.buf_valid = true;
+        th.ran_in_drain = false;
+      }
+      if (th.blocked || th.window_capped) {
+        sh.any_blocked |= th.blocked;
+        sh.barrier = std::min(sh.barrier, th.buf_end_clock);
+      }
+    }
+  };
+
+  // Commit (parallel, mutating blade-local state only): replay peeked hits with start
+  // timestamps strictly below the horizon. `finished` guards against a stale run: a
+  // thread the drain ran to completion is skipped by the scan, so its old peeked ops
+  // must never replay. Same-blade threads merge in (clock, thread) order so LRU recency
+  // and dirty bits evolve exactly as under serial replay.
+  auto commit_prefix = [&](ThreadRt& th, ShardRt& sh, SimTime horizon, size_t max_ops) {
+    if (th.finished || !th.buf_valid) {
+      return;
+    }
+    const size_t start = th.buf_pos;
+    if (start >= th.buf_len || th.clock >= horizon) {
+      return;
+    }
+    SimTime clock = th.clock;
+    SimTime last_start = th.last_start;
+    size_t count;
+    if (th.uniform_lat != 0) {
+      // Uniform-latency run: the committable prefix is pure arithmetic — count ops whose
+      // start clock lies below the horizon and account them with one RecordN.
+      const SimTime step = th.uniform_lat + think;
+      count = std::min(th.buf_len - start, max_ops);
+      count = static_cast<size_t>(std::min<uint64_t>(
+          count, (horizon - clock - 1) / step + 1));
+      last_start = clock + static_cast<SimTime>(count - 1) * step;
+      clock += static_cast<SimTime>(count) * step;
+      sh.report.latency_histogram.RecordN(th.uniform_lat, count);
+      sh.report.latency_sum += th.uniform_lat * count;
+    } else {
+      count = 0;
+      while (start + count < th.buf_len && count < max_ops && clock < horizon) {
+        const SimTime lat = th.lats[start + count];
+        last_start = clock;
+        clock += lat + think;
+        sh.report.latency_histogram.Record(lat);
+        sh.report.latency_sum += lat;
+        ++count;
+      }
+      if (count == 0) {
+        return;
+      }
+    }
+    system->CommitLocalRun(th.tid, th.blade, th.hints.data() + start, count);
+    sh.report.parallel_hits += count;
+    sh.report.counters.total_accesses += count;
+    sh.report.counters.local_hits += count;
+    th.last_start = last_start;
+    th.clock = clock;
+    th.buf_pos = start + count;
+    th.next_op += count;
+    sh.report.makespan = std::max(sh.report.makespan, clock);
+    if (th.next_op == traces.threads[th.index].ops.size()) {
+      th.finished = true;
+    }
+  };
+  auto commit_shard = [&](int s, SimTime horizon) {
+    ShardRt& sh = shards[s];
+    for (const auto& group : sh.blade_threads) {
+      if (group.size() == 1) {
+        // One thread on the blade: the whole eligible prefix commits in one batch.
+        commit_prefix(threads[group[0]], sh, horizon, SIZE_MAX);
+        continue;
+      }
+      for (;;) {
+        ThreadRt* best = nullptr;
+        for (const size_t t : group) {
+          ThreadRt& th = threads[t];
+          if (th.finished || !th.buf_valid || th.buf_pos >= th.buf_len ||
+              th.clock >= horizon) {
+            continue;
+          }
+          if (best == nullptr || th.clock < best->clock ||
+              (th.clock == best->clock && th.index < best->index)) {
+            best = &th;
+          }
+        }
+        if (best == nullptr) {
+          break;
+        }
+        commit_prefix(*best, sh, horizon, 1);
+      }
+    }
+  };
+
+  // Serialized drain: the reference single-threaded algorithm over *all* threads, run
+  // until the coherence burst passes. Every op it executes is in exact global
+  // (clock, thread) order against the fully-merged state, so correctness does not depend
+  // on the exit policy.
+  auto drain = [&]() {
+    using Item = std::pair<SimTime, size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    for (size_t t = 0; t < threads.size(); ++t) {
+      if (!threads[t].finished) {
+        heap.emplace(threads[t].clock, t);
+      }
+    }
+    uint32_t coherence_ops = 0;
+    uint32_t hit_streak = 0;
+    while (!heap.empty()) {
+      const auto [clock, t] = heap.top();
+      heap.pop();
+      ThreadRt& th = threads[t];
+      const auto& ops = traces.threads[t].ops;
+      const TraceOp& op = ops[th.next_op];
+      const AccessResult r =
+          system->Access(th.tid, th.blade, base_.AddressOf(op.segment, op.page), op.type,
+                         th.clock);
+      ShardRt& sh = shards[th.shard];
+      sh.report.latency_histogram.Record(r.latency);
+      sh.report.latency_sum += r.latency;
+      ++sh.report.drained_ops;
+      th.last_start = th.clock;
+      th.clock += r.latency + think;
+      th.ran_in_drain = true;  // Peeked run (if any) is positionally stale.
+      sh.report.makespan = std::max(sh.report.makespan, th.clock);
+      if (++th.next_op < ops.size()) {
+        heap.emplace(th.clock, t);
+      } else {
+        th.finished = true;
+      }
+      if (r.local_hit) {
+        if (++hit_streak >= options_.drain_hit_streak_exit) {
+          break;
+        }
+      } else {
+        hit_streak = 0;
+        if (++coherence_ops >= options_.drain_max_coherence_ops) {
+          break;
+        }
+      }
+    }
+  };
+
+  // --- Worker pool --------------------------------------------------------
+
+  enum class Phase : uint8_t { kScan, kCommit };
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    uint64_t gen = 0;
+    Phase phase = Phase::kScan;
+    SimTime horizon = 0;
+    int remaining = 0;
+    bool exit = false;
+  } sync;
+
+  const bool use_threads =
+      num_shards > 1 &&
+      (options_.force_threads || std::thread::hardware_concurrency() > 1);
+  std::vector<std::thread> workers;
+  if (use_threads) {
+    workers.reserve(static_cast<size_t>(num_shards) - 1);
+    for (int s = 1; s < num_shards; ++s) {
+      workers.emplace_back([&, s] {
+        uint64_t seen = 0;
+        for (;;) {
+          Phase phase;
+          SimTime horizon;
+          {
+            std::unique_lock lk(sync.mu);
+            sync.work_cv.wait(lk, [&] { return sync.exit || sync.gen != seen; });
+            if (sync.exit) {
+              return;
+            }
+            seen = sync.gen;
+            phase = sync.phase;
+            horizon = sync.horizon;
+          }
+          if (phase == Phase::kScan) {
+            scan_shard(s);
+          } else {
+            commit_shard(s, horizon);
+          }
+          {
+            std::lock_guard lk(sync.mu);
+            if (--sync.remaining == 0) {
+              sync.done_cv.notify_one();
+            }
+          }
+        }
+      });
+    }
+  }
+  auto run_phase = [&](Phase phase, SimTime horizon) {
+    if (!use_threads) {
+      for (int s = 0; s < num_shards; ++s) {
+        phase == Phase::kScan ? scan_shard(s) : commit_shard(s, horizon);
+      }
+      return;
+    }
+    {
+      std::lock_guard lk(sync.mu);
+      sync.phase = phase;
+      sync.horizon = horizon;
+      sync.remaining = num_shards - 1;
+      ++sync.gen;
+    }
+    sync.work_cv.notify_all();
+    phase == Phase::kScan ? scan_shard(0) : commit_shard(0, horizon);
+    std::unique_lock lk(sync.mu);
+    sync.done_cv.wait(lk, [&] { return sync.remaining == 0; });
+  };
+
+  // --- Round loop ---------------------------------------------------------
+
+  for (;;) {
+    run_phase(Phase::kScan, 0);
+    SimTime horizon = kNoHorizon;
+    bool any_blocked = false;
+    for (const ShardRt& sh : shards) {
+      horizon = std::min(horizon, sh.barrier);
+      any_blocked |= sh.any_blocked;
+    }
+    uint64_t committed_before = 0;
+    for (const ShardRt& sh : shards) {
+      committed_before += sh.report.parallel_hits;
+    }
+    run_phase(Phase::kCommit, horizon);
+    bool all_finished = true;
+    for (const ThreadRt& th : threads) {
+      if (!th.finished) {
+        all_finished = false;
+        break;
+      }
+    }
+    if (all_finished) {
+      break;
+    }
+    assert(horizon != kNoHorizon && "unfinished threads must contribute a barrier");
+    uint64_t committed_after = 0;
+    for (const ShardRt& sh : shards) {
+      committed_after += sh.report.parallel_hits;
+    }
+    // When every barrier came from window exhaustion (no blocked thread), the horizon
+    // thread committed its whole window and rescanning alone makes progress — except in
+    // degenerate zero-latency/zero-think configs where the horizon equals the frontier
+    // clock and nothing commits; the drain (always exact) then guarantees progress.
+    if (any_blocked || committed_after == committed_before) {
+      drain();
+    }
+  }
+  if (use_threads) {
+    {
+      std::lock_guard lk(sync.mu);
+      sync.exit = true;
+    }
+    sync.work_cv.notify_all();
+    for (std::thread& w : workers) {
+      w.join();
+    }
+  }
+
+  // Trailing time-driven control-plane work: serial replay runs splitting epochs inside
+  // every Access, including hits past the last coherence event; AdvanceTo replays those
+  // boundaries (same boundary timestamps, same entry stats) for full-state identity.
+  SimTime max_start = 0;
+  uint64_t total_ops = 0;
+  for (const ShardRt& sh : shards) {
+    total_ops += sh.report.parallel_hits + sh.report.drained_ops;
+  }
+  for (const ThreadRt& th : threads) {
+    max_start = std::max(max_start, th.last_start);
+  }
+  if (total_ops > 0) {
+    system->AdvanceTo(max_start);
+  }
+
+  // --- Merge --------------------------------------------------------------
+
+  ReplayReport report;
+  report.system = system->name();
+  report.workload = traces.name;
+  report.total_ops = total_ops;
+  report.counters = system->counters().DeltaSince(before);
+  uint64_t latency_sum = 0;
+  shard_reports_.clear();
+  shard_reports_.reserve(shards.size());
+  for (ShardRt& sh : shards) {
+    report.makespan = std::max(report.makespan, sh.report.makespan);
+    report.latency_histogram.Merge(sh.report.latency_histogram);
+    report.counters.Merge(sh.report.counters);
+    latency_sum += sh.report.latency_sum;
+    shard_reports_.push_back(std::move(sh.report));
+  }
+  // Throughput divides by the *merged* makespan — the slowest shard's frontier — not any
+  // single shard's clock, so per-shard reports combine without inflating MOPS.
+  if (report.makespan > 0) {
+    report.throughput_mops =
+        static_cast<double>(report.total_ops) / (ToSeconds(report.makespan) * 1e6);
+  }
+  if (report.total_ops > 0) {
+    report.avg_latency_us =
+        ToMicros(latency_sum) / static_cast<double>(report.total_ops);
+  }
   return report;
 }
 

@@ -1,11 +1,25 @@
-// Trace replay engine: the memory-access emulator of §7.
+// Trace replay engines: the memory-access emulator of §7.
 //
-// Replays system-independent traces against any MemorySystem with per-thread logical clocks.
-// A global min-heap interleaves threads in timestamp order, so cross-thread contention
-// (directory serialization, invalidation-handler queues, NIC links) is resolved
+// ReplayEngine replays system-independent traces against any MemorySystem with per-thread
+// logical clocks. A global min-heap interleaves threads in timestamp order, so cross-thread
+// contention (directory serialization, invalidation-handler queues, NIC links) is resolved
 // deterministically. Reports makespan, throughput and the per-access counters the figures
 // need; an optional sampler observes the system at fixed simulated-time intervals (used for
 // the directory-occupancy time series of Fig. 8 left).
+//
+// ShardedReplayEngine is the concurrent version: compute blades are partitioned across N
+// shards, each with its own logical-clock frontier, RNG stream, latency histogram and
+// counter block, and replay alternates between a parallel phase (shards run blade-local
+// cache hits lock-free via the MemorySystem Peek/Commit contract) and a serialized drain
+// (coherence events — faults, invalidation waves, directory transitions, splitting epochs —
+// execute on one thread in global timestamp order). The handoff between the two is a
+// bounded epoch barrier: each round, every shard scans forward to the timestamp of its
+// first non-local op (or a bounded window), the minimum across shards becomes the commit
+// horizon H, and only hits strictly before H are committed in per-blade (clock, thread)
+// order. Because blade-local hits neither read nor write anything a cross-shard coherence
+// event can change (cache membership, permissions and PSO barriers are only mutated by the
+// serialized drain), the merged result is bit-identical to single-threaded replay — same
+// makespan, counters and latency histogram for 1, 2 or N shards, threads or no threads.
 #ifndef MIND_SRC_WORKLOAD_REPLAY_H_
 #define MIND_SRC_WORKLOAD_REPLAY_H_
 
@@ -15,6 +29,7 @@
 
 #include "src/baselines/memory_system.h"
 #include "src/common/histogram.h"
+#include "src/common/rng.h"
 #include "src/workload/trace.h"
 
 namespace mind {
@@ -82,6 +97,82 @@ class ReplayEngine {
   std::vector<ThreadId> thread_ids_;
   std::vector<ComputeBladeId> thread_blades_;
   bool setup_done_ = false;
+
+  friend class ShardedReplayEngine;  // Reuses Setup/AddressOf and the serial fallback.
+};
+
+// ---------------------------------------------------------------------------
+// Sharded concurrent replay.
+// ---------------------------------------------------------------------------
+
+struct ShardedReplayOptions {
+  int shards = 1;
+  // Spawn worker threads even when the host reports a single hardware thread (TSan and
+  // scheduling tests). By default threads are used only for shards > 1 on multi-core
+  // hosts; results are bit-identical either way — threading is an execution strategy,
+  // never a semantic.
+  bool force_threads = false;
+  // Per-thread hit-run scan window per round: bounds scan-buffer memory and the wasted
+  // rescan when another shard's coherence event cuts the horizon short.
+  uint32_t scan_window_ops = 2048;
+  // Serialized-drain exit policy: hand back to the parallel phase after this many
+  // coherence (non-hit) ops, or as soon as this many consecutive hits show that a
+  // blade-local run has resumed. Any deterministic policy preserves bit-identity; these
+  // only trade barrier crossings against serialized hit work.
+  uint32_t drain_max_coherence_ops = 64;
+  uint32_t drain_hit_streak_exit = 2;
+  // Base seed for the per-shard RNG streams (stream s draws from seed ^ f(s); reserved
+  // for stochastic replay extensions such as jittered think times).
+  uint64_t seed = 1;
+};
+
+// Per-shard accounting, exposed for tests and perf analysis. The merged ReplayReport is
+// the sum/max over these plus the system's serialized-phase counter delta.
+struct ShardReport {
+  uint64_t parallel_hits = 0;  // Ops committed on the shard's concurrent fast path.
+  uint64_t drained_ops = 0;    // This shard's ops executed by the serialized drain.
+  SimTime makespan = 0;
+  uint64_t latency_sum = 0;
+  Histogram latency_histogram;
+  SystemCounters counters;     // Parallel-hit counters only (drain ops count in-system).
+};
+
+class ShardedReplayEngine {
+ public:
+  ShardedReplayEngine(MemorySystem* system, const WorkloadTraces* traces,
+                      ShardedReplayOptions options = {})
+      : base_(system, traces), options_(options) {}
+
+  // Same allocation/registration as ReplayEngine::Setup (identical thread ids and blade
+  // placement, so sharded and serial replay drive byte-identical access streams). The
+  // sharded engine additionally materializes every trace op to its VA once here — the
+  // segment maps are immutable after Setup, so the replay loop streams ready-made
+  // (va, type) pairs straight into the batched fast path instead of re-resolving
+  // addresses per op (costs ~16 bytes per trace op of extra memory).
+  Status Setup();
+
+  // Replays the traces. A non-null sampler needs exact global-order observation points,
+  // so it forces the serial engine (documented fallback); otherwise the sharded rounds
+  // run, with worker threads when shards > 1 (see ShardedReplayOptions::force_threads).
+  ReplayReport Run(ReplayEngine::Sampler sampler = nullptr,
+                   SimTime sample_interval = 10 * kMillisecond);
+
+  [[nodiscard]] VirtAddr AddressOf(uint32_t segment, uint64_t page) const {
+    return base_.AddressOf(segment, page);
+  }
+
+  // Shards actually used: options.shards clamped to [1, blades driven by the trace].
+  [[nodiscard]] int effective_shards() const { return effective_shards_; }
+  [[nodiscard]] const std::vector<ShardReport>& shard_reports() const {
+    return shard_reports_;
+  }
+
+ private:
+  ReplayEngine base_;
+  ShardedReplayOptions options_;
+  int effective_shards_ = 0;
+  std::vector<std::vector<LocalOp>> thread_ops_;  // Per-thread VA-resolved trace.
+  std::vector<ShardReport> shard_reports_;
 };
 
 }  // namespace mind

@@ -90,10 +90,10 @@ TEST(DramCache, DowngradeFlushesButKeepsResident) {
 
 TEST(DramCache, StoreDataRoundTrip) {
   DramCache c(2, /*store_data=*/true);
-  auto data = std::make_unique<PageData>();
-  (*data)[0] = 0xAB;
-  (*data)[kPageSize - 1] = 0xCD;
-  (void)c.Insert(7, true, std::move(data));
+  PageData data{};
+  data[0] = 0xAB;
+  data[kPageSize - 1] = 0xCD;
+  (void)c.Insert(7, true, &data);
   auto* f = c.Lookup(7);
   ASSERT_NE(f, nullptr);
   ASSERT_NE(f->data, nullptr);

@@ -1,0 +1,270 @@
+// Determinism tests for the sharded replay engine: replaying the same trace with 1, 2, 4
+// or 8 shards — threads or no threads, any scan window, any drain policy — must produce
+// results bit-identical to the serial ReplayEngine: same makespan, same counter block,
+// same latency histogram (every bucket), same throughput. The epoch-barrier merge design
+// makes this a hard invariant, not a tolerance.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/baselines/gam.h"
+#include "src/baselines/mind_system.h"
+#include "src/workload/generators.h"
+#include "src/workload/replay.h"
+
+namespace mind {
+namespace {
+
+RackConfig TestRackConfig(int blades) {
+  RackConfig c;
+  c.num_compute_blades = blades;
+  c.num_memory_blades = 4;
+  c.memory_blade_capacity = 2ull << 30;
+  c.compute_cache_bytes = 8ull << 20;  // Small cache: real LRU evictions during replay.
+  c.directory_slots = 2048;            // Small directory: capacity evictions + merges.
+  c.tcam_rules = 45000;
+  c.splitting.epoch_length = 2 * kMillisecond;  // Many epoch boundaries per run.
+  return c;
+}
+
+WorkloadSpec CoherenceHeavySpec(int blades) {
+  // Memcached/YCSB-A flavor: zipfian shared table with 50/50 GET/SET plus hot metadata —
+  // dense invalidation waves, upgrades and directory splits crossing shard ownership.
+  WorkloadSpec spec = MemcachedASpec(blades, /*threads_per_blade=*/2,
+                                     /*accesses_per_thread=*/4000);
+  spec.shared_pages = 4096;
+  return spec;
+}
+
+WorkloadSpec HitHeavySpec(int blades) {
+  // TF flavor: mostly per-thread private streaming — long blade-local hit runs, the case
+  // the parallel phase accelerates.
+  return TfSpec(blades, /*threads_per_blade=*/1, /*accesses_per_thread=*/6000);
+}
+
+void ExpectReportsIdentical(const ReplayReport& want, const ReplayReport& got) {
+  EXPECT_EQ(want.makespan, got.makespan);
+  EXPECT_EQ(want.total_ops, got.total_ops);
+  EXPECT_EQ(want.counters.total_accesses, got.counters.total_accesses);
+  EXPECT_EQ(want.counters.local_hits, got.counters.local_hits);
+  EXPECT_EQ(want.counters.remote_accesses, got.counters.remote_accesses);
+  EXPECT_EQ(want.counters.invalidations, got.counters.invalidations);
+  EXPECT_EQ(want.counters.pages_flushed, got.counters.pages_flushed);
+  EXPECT_EQ(want.counters.false_invalidations, got.counters.false_invalidations);
+  EXPECT_EQ(want.counters.breakdown_sums.fault, got.counters.breakdown_sums.fault);
+  EXPECT_EQ(want.counters.breakdown_sums.network, got.counters.breakdown_sums.network);
+  EXPECT_EQ(want.counters.breakdown_sums.inv_queue, got.counters.breakdown_sums.inv_queue);
+  EXPECT_EQ(want.counters.breakdown_sums.inv_tlb, got.counters.breakdown_sums.inv_tlb);
+  EXPECT_TRUE(want.latency_histogram == got.latency_histogram);
+  EXPECT_DOUBLE_EQ(want.avg_latency_us, got.avg_latency_us);
+  EXPECT_DOUBLE_EQ(want.throughput_mops, got.throughput_mops);
+}
+
+ReplayReport SerialReference(const WorkloadTraces& traces, const RackConfig& config) {
+  MindSystem sys(config);
+  ReplayEngine engine(&sys, &traces);
+  EXPECT_TRUE(engine.Setup().ok());
+  return engine.Run();
+}
+
+ReplayReport RunSharded(const WorkloadTraces& traces, const RackConfig& config,
+                        ShardedReplayOptions opts,
+                        std::vector<ShardReport>* shard_reports = nullptr) {
+  MindSystem sys(config);
+  ShardedReplayEngine engine(&sys, &traces, opts);
+  EXPECT_TRUE(engine.Setup().ok());
+  ReplayReport report = engine.Run();
+  if (shard_reports != nullptr) {
+    *shard_reports = engine.shard_reports();
+  }
+  return report;
+}
+
+TEST(ShardedReplay, BitIdenticalAcrossShardCountsCoherenceHeavy) {
+  const RackConfig config = TestRackConfig(4);
+  const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(4));
+  const ReplayReport want = SerialReference(traces, config);
+  ASSERT_GT(want.total_ops, 0u);
+  ASSERT_GT(want.counters.invalidations, 0u);  // The workload must cross shards.
+  for (const int shards : {1, 2, 8}) {
+    SCOPED_TRACE(shards);
+    ShardedReplayOptions opts;
+    opts.shards = shards;
+    ExpectReportsIdentical(want, RunSharded(traces, config, opts));
+  }
+}
+
+TEST(ShardedReplay, BitIdenticalAcrossShardCountsHitHeavy) {
+  const RackConfig config = TestRackConfig(8);
+  const WorkloadTraces traces = GenerateTraces(HitHeavySpec(8));
+  const ReplayReport want = SerialReference(traces, config);
+  for (const int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE(shards);
+    ShardedReplayOptions opts;
+    opts.shards = shards;
+    std::vector<ShardReport> shard_reports;
+    const ReplayReport got = RunSharded(traces, config, opts, &shard_reports);
+    ExpectReportsIdentical(want, got);
+    // Accounting closes: every op was committed by exactly one shard phase.
+    uint64_t accounted = 0;
+    for (const ShardReport& sr : shard_reports) {
+      accounted += sr.parallel_hits + sr.drained_ops;
+    }
+    EXPECT_EQ(accounted, got.total_ops);
+    if (shards > 1) {
+      uint64_t parallel = 0;
+      for (const ShardReport& sr : shard_reports) {
+        parallel += sr.parallel_hits;
+      }
+      EXPECT_GT(parallel, 0u);  // The fast path must actually engage.
+    }
+  }
+}
+
+TEST(ShardedReplay, BitIdenticalUnderPso) {
+  RackConfig config = TestRackConfig(4);
+  config.consistency = ConsistencyModel::kPso;
+  const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(4));
+  const ReplayReport want = SerialReference(traces, config);
+  for (const int shards : {2, 4}) {
+    SCOPED_TRACE(shards);
+    ShardedReplayOptions opts;
+    opts.shards = shards;
+    ExpectReportsIdentical(want, RunSharded(traces, config, opts));
+  }
+}
+
+TEST(ShardedReplay, BitIdenticalWithForcedWorkerThreads) {
+  // Real worker threads even on single-core CI hosts; this is the TSan-exercised path.
+  const RackConfig config = TestRackConfig(4);
+  const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(4));
+  const ReplayReport want = SerialReference(traces, config);
+  ShardedReplayOptions opts;
+  opts.shards = 4;
+  opts.force_threads = true;
+  ExpectReportsIdentical(want, RunSharded(traces, config, opts));
+}
+
+TEST(ShardedReplay, BitIdenticalUnderStressedRoundMachinery) {
+  // Tiny scan windows and a one-op drain maximize rounds and barrier crossings; the
+  // result must not move.
+  const RackConfig config = TestRackConfig(4);
+  const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(4));
+  const ReplayReport want = SerialReference(traces, config);
+  ShardedReplayOptions opts;
+  opts.shards = 2;
+  opts.scan_window_ops = 3;
+  opts.drain_max_coherence_ops = 1;
+  opts.drain_hit_streak_exit = 2;
+  ExpectReportsIdentical(want, RunSharded(traces, config, opts));
+}
+
+TEST(ShardedReplay, BitIdenticalWithStoredPayloads) {
+  RackConfig config = TestRackConfig(2);
+  config.store_data = true;  // Payloads flow through the per-blade slab arenas.
+  const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(2));
+  const ReplayReport want = SerialReference(traces, config);
+  ShardedReplayOptions opts;
+  opts.shards = 2;
+  ExpectReportsIdentical(want, RunSharded(traces, config, opts));
+}
+
+TEST(ShardedReplay, BaselineWithoutFastPathContractSerializes) {
+  // GAM does not implement Peek/Commit; the contract's default routes every op through
+  // the serialized drain, and the result still matches the serial engine exactly.
+  GamConfig config;
+  config.num_compute_blades = 4;
+  const WorkloadTraces traces = GenerateTraces(HitHeavySpec(4));
+
+  GamSystem serial_sys(config);
+  ReplayEngine serial(&serial_sys, &traces);
+  ASSERT_TRUE(serial.Setup().ok());
+  const ReplayReport want = serial.Run();
+
+  GamSystem sharded_sys(config);
+  ShardedReplayOptions opts;
+  opts.shards = 4;
+  ShardedReplayEngine sharded(&sharded_sys, &traces, opts);
+  ASSERT_TRUE(sharded.Setup().ok());
+  const ReplayReport got = sharded.Run();
+  ExpectReportsIdentical(want, got);
+  uint64_t parallel = 0;
+  for (const ShardReport& sr : sharded.shard_reports()) {
+    parallel += sr.parallel_hits;
+  }
+  EXPECT_EQ(parallel, 0u);
+}
+
+TEST(ShardedReplay, SamplerFallsBackToSerialEngine) {
+  const RackConfig config = TestRackConfig(4);
+  const WorkloadTraces traces = GenerateTraces(HitHeavySpec(4));
+  MindSystem sys(config);
+  ShardedReplayOptions opts;
+  opts.shards = 4;
+  ShardedReplayEngine engine(&sys, &traces, opts);
+  ASSERT_TRUE(engine.Setup().ok());
+  int samples = 0;
+  const ReplayReport report =
+      engine.Run([&](SimTime) { ++samples; }, /*sample_interval=*/50 * kMicrosecond);
+  EXPECT_GT(samples, 0);
+  EXPECT_EQ(engine.effective_shards(), 1);  // Documented serial fallback.
+  EXPECT_GT(report.total_ops, 0u);
+}
+
+TEST(ShardedReplay, ShardCountClampsToBlades) {
+  const RackConfig config = TestRackConfig(2);
+  const WorkloadTraces traces = GenerateTraces(HitHeavySpec(2));
+  MindSystem sys(config);
+  ShardedReplayOptions opts;
+  opts.shards = 64;
+  ShardedReplayEngine engine(&sys, &traces, opts);
+  ASSERT_TRUE(engine.Setup().ok());
+  (void)engine.Run();
+  EXPECT_EQ(engine.effective_shards(), 2);
+}
+
+TEST(SystemCountersMerge, AddsEveryFieldWithoutDoubleCounting) {
+  SystemCounters a;
+  a.total_accesses = 10;
+  a.local_hits = 6;
+  a.remote_accesses = 4;
+  a.invalidations = 3;
+  a.pages_flushed = 2;
+  a.false_invalidations = 1;
+  a.breakdown_sums.fault = 100;
+  a.breakdown_sums.network = 200;
+  SystemCounters b = a;
+  b.breakdown_sums.inv_queue = 50;
+  a.Merge(b);
+  EXPECT_EQ(a.total_accesses, 20u);
+  EXPECT_EQ(a.local_hits, 12u);
+  EXPECT_EQ(a.remote_accesses, 8u);
+  EXPECT_EQ(a.invalidations, 6u);
+  EXPECT_EQ(a.pages_flushed, 4u);
+  EXPECT_EQ(a.false_invalidations, 2u);
+  EXPECT_EQ(a.breakdown_sums.fault, 200u);
+  EXPECT_EQ(a.breakdown_sums.network, 400u);
+  EXPECT_EQ(a.breakdown_sums.inv_queue, 50u);
+
+  const SystemCounters delta = a.DeltaSince(b);
+  EXPECT_EQ(delta.total_accesses, 10u);
+  EXPECT_EQ(delta.breakdown_sums.inv_queue, 0u);
+}
+
+TEST(HistogramMerge, ExactBucketEqualityAfterShardedMerge) {
+  Histogram whole;
+  Histogram part1;
+  Histogram part2;
+  for (uint64_t v : {1u, 5u, 70u, 700u, 70000u, 9u}) {
+    whole.Record(v);
+    (v % 2 == 0 ? part1 : part2).Record(v);
+  }
+  Histogram merged;
+  merged.Merge(part1);
+  merged.Merge(part2);
+  EXPECT_TRUE(whole == merged);
+  EXPECT_EQ(whole.Percentile(0.5), merged.Percentile(0.5));
+}
+
+}  // namespace
+}  // namespace mind
