@@ -92,26 +92,20 @@ inline std::unique_ptr<MindSystem> MakeMindPsoPlus(int blades) {
   return std::make_unique<MindSystem>(c, "MIND-PSO+");
 }
 
-// Generates traces for `spec`, replays them on `sys`, returns the report. With
-// `shards > 1` the sharded engine runs (identical results, concurrent execution); the
-// default stays on the serial engine so opt-out baselines (FastSwap/GAM, which route
-// every op through the sharded drain anyway) keep their lean replay loop.
+// Generates traces for `spec`, replays them on `sys`, returns the report. Every shard
+// count drives the same channel-based engine (results are bit-identical across shard
+// counts and vs the per-op reference path); `shards > 1` adds concurrent execution. A
+// sampler forces the per-op reference path (exact global observation points).
 inline ReplayReport RunWorkload(MemorySystem& sys, const WorkloadSpec& spec,
                                 ReplayEngine::Sampler sampler = nullptr,
                                 SimTime sample_interval = 10 * kMillisecond, int shards = 1) {
   const WorkloadTraces traces = GenerateTraces(spec);
-  if (shards <= 1) {
-    ReplayEngine engine(&sys, &traces);
-    const Status s = engine.Setup();
-    if (!s.ok()) {
-      std::fprintf(stderr, "replay setup failed: %s\n", s.ToString().c_str());
-      std::abort();
-    }
-    return engine.Run(std::move(sampler), sample_interval);
-  }
-  ShardedReplayOptions opts;
+  ReplayOptions opts;
   opts.shards = shards;
-  ShardedReplayEngine engine(&sys, &traces, opts);
+  // A sampler forces the per-op reference path anyway; opting out of channels up front
+  // also skips Setup's VA-resolved op materialization for those runs.
+  opts.use_channels = sampler == nullptr;
+  ReplayEngine engine(&sys, &traces, opts);
   const Status s = engine.Setup();
   if (!s.ok()) {
     std::fprintf(stderr, "replay setup failed: %s\n", s.ToString().c_str());

@@ -4,9 +4,10 @@
 // pipeline, histogramming), not of one isolated structure — so regressions in the replay
 // engine itself are tracked across PRs, not just hot-path structure regressions.
 //
-// Compared configurations, all replaying the identical TF trace on identical racks:
-//   serial-1shard     — the pre-sharding ReplayEngine (global min-heap, one op at a time).
-//   sharded-{1,2,4,8} — ShardedReplayEngine at increasing shard counts (results are
+// Compared configurations, all replaying the identical trace on identical racks:
+//   serial-1shard     — the per-op reference path (use_channels = false: global min-heap,
+//                       one virtual Access per op — the pre-channel serial engine).
+//   sharded-{1,2,4,8} — the AccessChannel engine at increasing shard counts (results are
 //                       bit-identical to serial by construction; only wall-clock moves).
 //
 // Appends `FigReplayWallclock/*` entries (ns/op over total replayed ops) to
@@ -15,6 +16,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -57,7 +59,9 @@ WorkloadSpec CoherenceBoundSpec() {
 
 Timed RunSerial(const WorkloadTraces& traces) {
   auto sys = bench::MakeMind(8);
-  ReplayEngine engine(sys.get(), &traces);
+  ReplayOptions opts;
+  opts.use_channels = false;  // Per-op reference path: one virtual Access per op.
+  ReplayEngine engine(sys.get(), &traces, opts);
   (void)engine.Setup();
   const auto t0 = std::chrono::steady_clock::now();
   Timed out;
@@ -69,9 +73,9 @@ Timed RunSerial(const WorkloadTraces& traces) {
 
 Timed RunSharded(const WorkloadTraces& traces, int shards) {
   auto sys = bench::MakeMind(8);
-  ShardedReplayOptions opts;
+  ReplayOptions opts;
   opts.shards = shards;
-  ShardedReplayEngine engine(sys.get(), &traces, opts);
+  ReplayEngine engine(sys.get(), &traces, opts);
   (void)engine.Setup();
   const auto t0 = std::chrono::steady_clock::now();
   Timed out;
@@ -94,9 +98,10 @@ int main(int argc, char** argv) {
   auto run_series = [&](const std::string& tag, const WorkloadTraces& traces,
                         const std::vector<int>& shard_points) {
     const uint64_t ops = traces.TotalOps();
-    std::printf("\nReplay wall-clock throughput — %s (%s), %llu ops, %d blades\n",
+    std::printf("\nReplay wall-clock throughput — %s (%s), %llu ops, %d blades, "
+                "%u host cores\n",
                 tag.c_str(), traces.name.c_str(), static_cast<unsigned long long>(ops),
-                traces.num_blades);
+                traces.num_blades, std::thread::hardware_concurrency());
     std::printf("(simulator performance; simulated-time results are bit-identical across "
                 "rows)\n");
     TablePrinter table({"config", "wall ms", "ns/op", "Mops/s wall", "parallel hits",

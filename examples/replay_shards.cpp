@@ -28,15 +28,27 @@ int main(int argc, char** argv) {
   config.splitting.epoch_length = 5 * kMillisecond;
   MindSystem system(config);
 
-  // Memcached-style YCSB-A at 4 blades: zipfian shared table, 50/50 GET/SET, hot LRU
-  // metadata — plenty of cross-shard coherence for the deterministic merge to sequence.
-  const WorkloadTraces traces =
-      GenerateTraces(MemcachedASpec(/*blades=*/4, /*threads_per_blade=*/2,
-                                    /*accesses_per_thread=*/20'000));
+  // KVS-style mix at 4 blades: cache-resident per-thread partitions (long blade-local
+  // runs the AccessChannel fast path batches) plus a zipfian shared table with sparse
+  // writes — real cross-shard invalidation waves for the deterministic merge to sequence.
+  WorkloadSpec spec;
+  spec.name = "kvs-mix";
+  spec.num_blades = 4;
+  spec.threads_per_blade = 2;
+  spec.private_pages_per_thread = 2048;
+  spec.private_pattern = Pattern::kUniform;
+  spec.private_write_fraction = 0.5;
+  spec.shared_pages = 2048;
+  spec.shared_pattern = Pattern::kZipfian;
+  spec.shared_access_fraction = 0.02;
+  spec.shared_write_fraction = 0.05;
+  spec.accesses_per_thread = 20'000;
+  spec.seed = 5;
+  const WorkloadTraces traces = GenerateTraces(spec);
 
-  ShardedReplayOptions options;
+  ReplayOptions options;
   options.shards = shards;
-  ShardedReplayEngine engine(&system, &traces, options);
+  ReplayEngine engine(&system, &traces, options);
   if (const Status s = engine.Setup(); !s.ok()) {
     std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
     return 1;

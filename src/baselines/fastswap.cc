@@ -81,4 +81,64 @@ AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// AccessChannel over the swap-cache hit path (see the contract notes in fastswap.h).
+// ---------------------------------------------------------------------------
+
+class FastSwapSystem::Channel final : public AccessChannel {
+ public:
+  explicit Channel(FastSwapSystem* sys) : sys_(sys) {}
+
+  SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+                      Completion* completions) override {
+    DramCache& cache = *sys_->cache_;
+    const SimTime hit_latency = sys_->config_.latency.local_cache_hit;
+    stamps_.Clear();
+    SubmitResult out;
+    size_t i = 0;
+    for (; i < n; ++i) {
+      DramCache::Frame* frame = cache.Find(PageNumber(ops[i].va));
+      if (frame == nullptr) {
+        break;
+      }
+      // Swap systems install pages read-write; any hit is a plain DRAM access.
+      stamps_.Add(cache, DramCache::RegionOf(PageNumber(ops[i].va)));
+      completions[i].latency = hit_latency;
+      completions[i].token.bits =
+          reinterpret_cast<uintptr_t>(frame) |
+          static_cast<uintptr_t>(ops[i].type == AccessType::kWrite);
+      clock += hit_latency + think;
+    }
+    out.accepted = i;
+    out.end_clock = clock;
+    // uniform_latency == 0 is reserved for "consult per-op latencies", so a zero-cost hit
+    // configuration reports per-op (all-zero) latencies instead.
+    out.uniform_latency = hit_latency;
+    return out;
+  }
+
+  [[nodiscard]] bool RunValid() const override { return stamps_.Valid(*sys_->cache_); }
+
+  void Commit(Completion* completions, size_t n, SimTime /*clock*/) override {
+    DramCache& cache = *sys_->cache_;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t tagged = completions[i].token.bits;
+      auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
+      cache.Touch(frame);
+      if ((tagged & 1) != 0) {
+        frame->dirty = true;
+      }
+    }
+  }
+
+ private:
+  FastSwapSystem* sys_;
+  DramCache::RegionStamps stamps_;  // Dependency footprint of the last submitted run.
+};
+
+std::unique_ptr<AccessChannel> FastSwapSystem::OpenChannel(ThreadId /*tid*/,
+                                                           ComputeBladeId blade) {
+  return blade == 0 ? std::make_unique<Channel>(this) : nullptr;
+}
+
 }  // namespace mind

@@ -40,7 +40,15 @@ class FastSwapSystem final : public MemorySystem {
                       SimTime now) override;
   [[nodiscard]] SystemCounters counters() const override { return counters_; }
 
+  // Batched channel contract: a FastSwap hit is a plain DRAM access at a fixed latency
+  // (pages are installed read-write, there is no coherence machinery), so whole runs
+  // classify with an exact uniform latency (see src/core/access_channel.h). Single blade —
+  // the channel fast path still removes the per-op virtual Access dispatch under one-shard
+  // replay.
+  std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade) override;
+
  private:
+  class Channel;
   [[nodiscard]] MemoryBladeId BackingBlade(uint64_t page) const {
     return static_cast<MemoryBladeId>((page / config_.chunk_pages) %
                                       static_cast<uint64_t>(config_.num_memory_blades));

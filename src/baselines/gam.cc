@@ -8,6 +8,7 @@ GamSystem::GamSystem(GamConfig config)
     : config_(config),
       fabric_(config.num_compute_blades, config.num_memory_blades, config.latency) {
   blades_.resize(static_cast<size_t>(config_.num_compute_blades));
+  blade_thread_counts_.resize(static_cast<size_t>(config_.num_compute_blades), 0);
   for (auto& b : blades_) {
     b.cache = std::make_unique<DramCache>(config_.compute_cache_bytes >> kPageShift,
                                           /*store_data=*/false);
@@ -24,6 +25,7 @@ Result<ThreadId> GamSystem::RegisterThread(ComputeBladeId blade) {
   if (blade >= config_.num_compute_blades) {
     return Status(ErrorCode::kInvalidArgument, "no such blade");
   }
+  ++blade_thread_counts_[blade];  // Channels check this for submit-time latency finality.
   return next_tid_++;
 }
 
@@ -58,6 +60,20 @@ SimTime GamSystem::FlushToMemory(uint64_t page, ComputeBladeId from, SimTime t) 
 }
 
 SimTime GamSystem::PsoReadBarrier(ThreadId tid, uint64_t page, SimTime now) {
+  // Same value as the read-only peek — channel Submit's latency simulation depends on
+  // that identity — plus the pruning side effect.
+  const SimTime barrier = PsoPeekBarrier(tid, page, now);
+  if (auto it = pending_writes_.find(tid); it != pending_writes_.end()) {
+    // Prune in place but never erase the map entry: channel commits for different blades
+    // run concurrently, and a structural map mutation here would race their lookups.
+    // Each thread only ever mutates its own vector.
+    std::erase_if(it->second,
+                  [barrier](const PendingWrite& w) { return w.completion <= barrier; });
+  }
+  return barrier;
+}
+
+SimTime GamSystem::PsoPeekBarrier(ThreadId tid, uint64_t page, SimTime now) const {
   auto it = pending_writes_.find(tid);
   if (it == pending_writes_.end()) {
     return now;
@@ -68,12 +84,17 @@ SimTime GamSystem::PsoReadBarrier(ThreadId tid, uint64_t page, SimTime now) {
       barrier = std::max(barrier, w.completion);
     }
   }
-  std::erase_if(it->second,
-                [barrier](const PendingWrite& w) { return w.completion <= barrier; });
-  if (it->second.empty()) {
-    pending_writes_.erase(it);
-  }
   return barrier;
+}
+
+SimTime GamSystem::EnterLibrary(ThreadId tid, ComputeBladeId blade, uint64_t page,
+                                AccessType type, SimTime now) {
+  if (type == AccessType::kRead) {
+    now = PsoReadBarrier(tid, page, now);
+  }
+  // Library fast path: permission check + lock on *every* access (GAM has no MMU help).
+  const auto grant = blades_[blade].lock.Acquire(now, config_.lock_service);
+  return grant.finish + config_.latency.gam_local_access;
 }
 
 AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
@@ -84,13 +105,8 @@ AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
   BladeState& local = blades_[blade];
 
   const SimTime req_now = now;
-  if (type == AccessType::kRead) {
-    now = PsoReadBarrier(tid, page, now);
-  }
-
-  // Library fast path: permission check + lock on *every* access (GAM has no MMU help).
-  const auto lock_grant = local.lock.Acquire(now, config_.lock_service);
-  SimTime t = lock_grant.finish + config_.latency.gam_local_access;
+  const SimTime lib_done = EnterLibrary(tid, blade, page, type, now);
+  SimTime t = lib_done;
 
   DramCache::Frame* frame = local.cache->Lookup(page);
   const bool hit = frame != nullptr && (type == AccessType::kRead || frame->writable);
@@ -202,12 +218,114 @@ AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
 
   // PSO: writes return to the thread as soon as the library hands off the request.
   if (type == AccessType::kWrite) {
-    res.latency = (lock_grant.finish + config_.latency.gam_local_access) - req_now;
+    res.latency = lib_done - req_now;
     pending_writes_[tid].push_back(PendingWrite{page, done});
   } else {
     res.latency = done - req_now;
   }
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// AccessChannel over the GAM library hit path (see the contract notes in gam.h).
+// ---------------------------------------------------------------------------
+
+class GamSystem::Channel final : public AccessChannel {
+ public:
+  Channel(GamSystem* sys, ThreadId tid, ComputeBladeId blade)
+      : sys_(sys), tid_(tid), blade_(blade) {}
+
+  SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+                      Completion* completions) override {
+    BladeState& blade = sys_->blades_[blade_];
+    DramCache& cache = *blade.cache;
+    const SimTime service = sys_->config_.lock_service;
+    const SimTime local_work = sys_->config_.latency.gam_local_access;
+    stamps_.Clear();
+    think_ = think;
+    // With one registered thread on the blade, nothing but this channel ever moves the
+    // blade's library lock, so the simulated queue below is exact and latencies are final
+    // at Submit. Under intra-blade contention the same simulation yields lower bounds
+    // (the lock horizon only ever moves later), finalized per op at Commit.
+    const bool sole_thread = sys_->blade_thread_counts_[blade_] == 1;
+    SimTime busy = blade.lock.busy_until();
+    bool uniform = true;
+    SimTime first_latency = 0;
+    SubmitResult out;
+    out.latency_final = sole_thread;
+    size_t i = 0;
+    for (; i < n; ++i) {
+      const uint64_t page = PageNumber(ops[i].va);
+      DramCache::Frame* frame = cache.Find(page);
+      if (frame == nullptr) {
+        break;
+      }
+      const bool is_write = ops[i].type == AccessType::kWrite;
+      if (is_write && !frame->writable) {
+        break;
+      }
+      stamps_.Add(cache, DramCache::RegionOf(page));
+      SimTime arrival = clock;
+      if (!is_write) {
+        arrival = sys_->PsoPeekBarrier(tid_, page, arrival);
+      }
+      const SimTime start = std::max(arrival, busy);
+      busy = start + service;
+      const SimTime latency = (busy + local_work) - clock;
+      if (i == 0) {
+        first_latency = latency;
+      } else {
+        uniform &= latency == first_latency;
+      }
+      completions[i].latency = latency;
+      completions[i].token.bits =
+          reinterpret_cast<uintptr_t>(frame) | static_cast<uintptr_t>(is_write);
+      clock += latency + think;
+    }
+    out.accepted = i;
+    out.end_clock = clock;
+    out.uniform_latency =
+        sole_thread && uniform && i > 0 && first_latency != 0 ? first_latency : 0;
+    return out;
+  }
+
+  [[nodiscard]] bool RunValid() const override {
+    return stamps_.Valid(*sys_->blades_[blade_].cache);
+  }
+
+  void Commit(Completion* completions, size_t n, SimTime clock) override {
+    BladeState& blade = sys_->blades_[blade_];
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t tagged = completions[i].token.bits;
+      auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
+      const bool is_write = (tagged & 1) != 0;
+      // Replays the serial hit path through the shared library-entry helper: real PSO
+      // barrier (pruning), real FIFO lock acquisition, LRU touch, dirty bit.
+      const SimTime lib_done = sys_->EnterLibrary(
+          tid_, blade_, frame->page, is_write ? AccessType::kWrite : AccessType::kRead,
+          clock);
+      blade.cache->Touch(frame);
+      if (is_write) {
+        frame->dirty = true;
+      }
+      completions[i].latency = lib_done - clock;
+      clock += completions[i].latency + think_;
+    }
+  }
+
+ private:
+  GamSystem* sys_;
+  ThreadId tid_;
+  ComputeBladeId blade_;
+  SimTime think_ = 0;               // Recorded at Submit; Commit replays per-op clocks.
+  DramCache::RegionStamps stamps_;  // Dependency footprint of the last submitted run.
+};
+
+std::unique_ptr<AccessChannel> GamSystem::OpenChannel(ThreadId tid, ComputeBladeId blade) {
+  if (blade >= config_.num_compute_blades) {
+    return nullptr;
+  }
+  return std::make_unique<Channel>(this, tid, blade);
 }
 
 }  // namespace mind

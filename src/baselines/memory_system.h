@@ -4,15 +4,24 @@
 // *identical* access stream against MIND, GAM and FastSwap through a memory-access emulator.
 // MemorySystem is that emulator's system-side interface: allocate segments, register worker
 // threads on blades, and issue timed accesses.
+//
+// The data-plane boundary is batch-first: besides the per-op Access (the serialized
+// reference path every system must implement), a system can hand out AccessChannel objects
+// (src/core/access_channel.h) — per-(thread, blade) batched submit/complete channels the
+// replay engine drives concurrently, one shard per blade group. All three in-tree systems
+// implement channels; the default opt-out (OpenChannel returning null) routes every op
+// through the serialized drain, which is always correct, at single-thread speed.
 #ifndef MIND_SRC_BASELINES_MEMORY_SYSTEM_H_
 #define MIND_SRC_BASELINES_MEMORY_SYSTEM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/core/access.h"
+#include "src/core/access_channel.h"
 
 namespace mind {
 
@@ -48,10 +57,7 @@ struct SystemCounters {
     d.invalidations = invalidations - before.invalidations;
     d.pages_flushed = pages_flushed - before.pages_flushed;
     d.false_invalidations = false_invalidations - before.false_invalidations;
-    d.breakdown_sums.fault = breakdown_sums.fault - before.breakdown_sums.fault;
-    d.breakdown_sums.network = breakdown_sums.network - before.breakdown_sums.network;
-    d.breakdown_sums.inv_queue = breakdown_sums.inv_queue - before.breakdown_sums.inv_queue;
-    d.breakdown_sums.inv_tlb = breakdown_sums.inv_tlb - before.breakdown_sums.inv_tlb;
+    d.breakdown_sums = breakdown_sums - before.breakdown_sums;
     return d;
   }
 };
@@ -70,55 +76,26 @@ class MemorySystem {
   // (FastSwap) reject blades other than 0.
   virtual Result<ThreadId> RegisterThread(ComputeBladeId blade) = 0;
 
-  // One timed memory access from `tid` (running on `blade`) at logical time `now`.
+  // One timed memory access from `tid` (running on `blade`) at logical time `now`. This is
+  // the serialized reference path: the replay drain executes every op a channel refuses
+  // (faults, coherence transitions, control-plane epochs) through it in exact global
+  // (clock, thread) order.
   virtual AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
                               SimTime now) = 0;
 
   [[nodiscard]] virtual SystemCounters counters() const = 0;
 
-  // --- Sharded-replay access contract (thread safety) ---
+  // --- Batched data-plane channels ---
   //
-  // The sharded replay engine partitions compute blades across shards and drives blade-
-  // local fast-path accesses concurrently; everything else (faults, coherence transitions,
-  // control-plane epochs) stays on one serialized drain thread. A system opts into the
-  // concurrent fast path by implementing the run-batched Peek/Commit pair:
-  //
-  //   * PeekLocalRun classifies a consecutive run of `n` ops for one thread WITHOUT
-  //     mutating any state. It returns the length m of the leading prefix in which every
-  //     op completes entirely within `blade` (a local cache hit whose outcome and latency
-  //     depend on nothing another blade can change), filling hints[0..m) with opaque
-  //     per-op commit tokens and *end_clock with the clock after op m-1 (the internal
-  //     clock advances by latency + think per op). When every op in the prefix has the
-  //     same nonzero thread-visible latency — the common case — *uniform_latency reports
-  //     it and latencies[] is left untouched, letting the caller account the run in O(1);
-  //     otherwise *uniform_latency is 0 and latencies[0..m) holds the exact per-op
-  //     latencies a serial Access would report.
-  //   * CommitLocalRun applies those hits' side effects (LRU recency, dirty bits) for a
-  //     prefix the engine selects, identified by the peeked tokens. It may only touch
-  //     state owned by `blade` plus thread-private state of `tid`.
-  //   * LocalStateVersion is a monotonic counter over everything a Peek result depends on
-  //     for `blade` (cache membership, writability, domain tags, permissions). The engine
-  //     reuses peeked runs across rounds only while the version is unchanged and the
-  //     thread itself has not advanced outside the fast path.
-  //   * All three may be called concurrently from different shards for DIFFERENT blades,
-  //     but never concurrently with Access/AdvanceTo or with calls for the same blade.
-  //   * Counters must NOT be bumped by Peek/Commit — the replay shard accounts its own
-  //     hits, and the merged report adds them to the system's serial-phase delta.
-  //
-  // The defaults opt out: every access then takes the serialized drain, which is always
-  // correct (FastSwap/GAM run this way unchanged, at single-thread speed).
-  virtual size_t PeekLocalRun(ThreadId /*tid*/, ComputeBladeId /*blade*/,
-                              const LocalOp* /*ops*/, size_t /*n*/, SimTime clock,
-                              SimTime /*think*/, SimTime* /*latencies*/, void** /*hints*/,
-                              SimTime* end_clock, SimTime* uniform_latency) {
-    *end_clock = clock;
-    *uniform_latency = 0;
-    return 0;
-  }
-  virtual void CommitLocalRun(ThreadId /*tid*/, ComputeBladeId /*blade*/,
-                              void* const* /*hints*/, size_t /*n*/) {}
-  [[nodiscard]] virtual uint64_t LocalStateVersion(ComputeBladeId /*blade*/) const {
-    return 0;
+  // Opens the submit/complete channel for one registered (thread, blade) pair; see
+  // src/core/access_channel.h for the full classify/commit contract, including the
+  // per-2MB-region validity stamps and the phase discipline under which channel calls for
+  // different blades may run concurrently. Returning null opts the system out: the engine
+  // then drives every op of that thread through Access on the serialized drain, which is
+  // always correct (and is also the engine's reference mode for conformance testing).
+  virtual std::unique_ptr<AccessChannel> OpenChannel(ThreadId /*tid*/,
+                                                     ComputeBladeId /*blade*/) {
+    return nullptr;
   }
 
   // Advances time-driven control-plane work (e.g. bounded-splitting epochs) to `now`

@@ -41,20 +41,11 @@ class MindSystem final : public MemorySystem {
     return rack_->Access(AccessRequest{tid, blade, pdid_, va, type, now});
   }
 
-  // Sharded-replay contract: MIND's blade-local hit path completes without touching any
-  // cross-blade state, so it opts into the concurrent fast path (see memory_system.h).
-  size_t PeekLocalRun(ThreadId tid, ComputeBladeId blade, const LocalOp* ops, size_t n,
-                      SimTime clock, SimTime think, SimTime* latencies, void** hints,
-                      SimTime* end_clock, SimTime* uniform_latency) override {
-    return rack_->PeekLocalRun(tid, blade, pdid_, ops, n, clock, think, latencies, hints,
-                               end_clock, uniform_latency);
-  }
-  void CommitLocalRun(ThreadId /*tid*/, ComputeBladeId blade, void* const* hints,
-                      size_t n) override {
-    rack_->CommitLocalRun(blade, hints, n);
-  }
-  [[nodiscard]] uint64_t LocalStateVersion(ComputeBladeId blade) const override {
-    return rack_->LocalHitStateVersion(blade);
+  // Batched channel contract: MIND's blade-local hit path completes without touching any
+  // cross-blade state, so the rack's channel classifies whole runs with exact latencies
+  // (see the contract notes in rack.h and src/core/access_channel.h).
+  std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade) override {
+    return rack_->OpenChannel(tid, blade, pdid_);
   }
   void AdvanceTo(SimTime now) override { rack_->AdvanceSplittingEpochs(now); }
 

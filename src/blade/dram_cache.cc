@@ -76,8 +76,8 @@ void DramCache::Touch(Frame* frame) {
 }
 
 DramCache::Eviction DramCache::RemoveFrame(uint32_t idx) {
-  ++version_;
   Frame& frame = FrameAt(idx);
+  BumpRegion(frame.page);
   Eviction ev{frame.page, frame.dirty, std::move(frame.data)};
   LruUnlink(frame);
   index_.Erase(frame.page);
@@ -99,7 +99,7 @@ PagePtr DramCache::MakePayload(const PageData* bytes) {
 std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writable,
                                                      const PageData* bytes,
                                                      ProtDomainId pdid) {
-  ++version_;  // Membership or permissions may change on either path below.
+  BumpRegion(page);  // Membership or permissions may change on either path below.
   if (Frame* existing = Find(page); existing != nullptr) {
     // Re-insert: permission upgrade and/or fresh data.
     existing->writable = existing->writable || writable;
@@ -137,7 +137,7 @@ std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writabl
 void DramCache::MakeWritable(uint64_t page) {
   if (Frame* frame = Find(page); frame != nullptr) {
     frame->writable = true;
-    ++version_;
+    BumpRegion(page);
   }
 }
 
@@ -228,9 +228,9 @@ DramCache::RangeInvalidation DramCache::InvalidateRange(uint64_t page_begin,
 
 DramCache::RangeInvalidation DramCache::DowngradeRange(uint64_t page_begin,
                                                        uint64_t page_end) {
-  ++version_;
   RangeInvalidation result;
   ForEachPageInRange<false>(page_begin, page_end, [&](uint64_t page) {
+    BumpRegion(page);  // Writability changes below; per-region so other runs survive.
     Frame& frame = FrameAt(*index_.Find(page));
     if (frame.dirty) {
       // Flush a copy; the page stays cached read-only.

@@ -112,16 +112,69 @@ class DramCache {
   [[nodiscard]] PagePool& payload_pool() { return pool_; }
   [[nodiscard]] const PagePool& payload_pool() const { return pool_; }
 
-  // Monotonic membership/permission version: bumped whenever a hit/miss classification
-  // for any page could change (insert, remove, writability or domain-tag change) — but
-  // NOT by recency or dirtiness updates, so the sharded replay fast path can Touch and
-  // MarkDirty without invalidating peeked runs.
-  [[nodiscard]] uint64_t version() const { return version_; }
+  // Per-2MB-region membership/permission version: the last mutation ordinal at which any
+  // page of the aligned 512-page region changed membership, writability or domain tag
+  // (0 = never) — but NOT recency or dirtiness, so the batched channel fast path can
+  // Touch and MarkDirty without invalidating submitted runs. AccessChannel validity
+  // stamps compare against this, so an invalidation wave over a shared region no longer
+  // invalidates submitted runs over private regions of the same blade. Values are drawn
+  // from one global monotonic counter, so a region that empties out and is later
+  // repopulated can never repeat an old version.
+  [[nodiscard]] uint64_t region_version(uint64_t region) const {
+    const uint64_t* v = region_versions_.Find(region);
+    return v == nullptr ? 0 : *v;
+  }
+  [[nodiscard]] static uint64_t RegionOf(uint64_t page) { return page / kRegionPages; }
+
+  // Per-region page index granularity: one bitmap (and one state version) per aligned
+  // 512-page (2 MB) region.
+  static constexpr uint64_t kRegionPages = 512;
+
+  // Dependency footprint of a classified channel run: (region, version) stamps recorded
+  // at classification time and re-checked before the run is reused. Add runs once per
+  // accepted op on the submit hot path, so the dedup must be O(1): a direct-mapped tag
+  // filter absorbs repeats (runs span a handful of regions, typically hitting distinct
+  // slots), and only a filter miss pays the short authoritative scan.
+  class RegionStamps {
+   public:
+    void Clear() {
+      stamps_.clear();
+      tags_.fill(0);
+    }
+    void Add(const DramCache& cache, uint64_t region) {
+      uint64_t& tag = tags_[region & (kTagSlots - 1)];
+      if (tag == region + 1) {
+        return;  // Already stamped (tags store region + 1 so 0 means empty).
+      }
+      tag = region + 1;
+      for (const Stamp& s : stamps_) {
+        if (s.region == region) {
+          return;  // Tag slot was overwritten by a colliding region; stamp exists.
+        }
+      }
+      stamps_.push_back(Stamp{region, cache.region_version(region)});
+    }
+    [[nodiscard]] bool Valid(const DramCache& cache) const {
+      for (const Stamp& s : stamps_) {
+        if (cache.region_version(s.region) != s.version) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+   private:
+    static constexpr size_t kTagSlots = 16;
+    struct Stamp {
+      uint64_t region = 0;
+      uint64_t version = 0;
+    };
+    std::array<uint64_t, kTagSlots> tags_{};
+    std::vector<Stamp> stamps_;
+  };
 
  private:
   static constexpr uint32_t kNilFrame = UINT32_MAX;
-  // Per-region page index: one bitmap per aligned 512-page (2 MB) region.
-  static constexpr uint64_t kRegionPages = 512;
   struct Region {
     std::array<uint64_t, kRegionPages / 64> bits{};
     uint32_t count = 0;
@@ -134,6 +187,8 @@ class DramCache {
   void LruPushFront(Frame& frame);
   void IndexSetPage(uint64_t page);
   void IndexClearPage(uint64_t page);
+  // Advances the global version and records it as `page`'s region version.
+  void BumpRegion(uint64_t page) { region_versions_.Upsert(RegionOf(page), ++version_); }
   // Removes the frame at `idx` from every structure; returns its eviction record.
   Eviction RemoveFrame(uint32_t idx);
 
@@ -153,7 +208,9 @@ class DramCache {
   ChunkedArena<Frame, /*kChunkShift=*/12> arena_;
   uint32_t lru_head_ = kNilFrame;  // Most recently used.
   uint32_t lru_tail_ = kNilFrame;  // Least recently used.
-  uint64_t version_ = 0;           // See version().
+  uint64_t version_ = 0;           // Global mutation ordinal feeding region_version().
+  // Region number -> last mutation version (never erased; see region_version()).
+  FlatMap64<uint64_t> region_versions_;
   std::unordered_map<uint64_t, Region> regions_;  // Region number -> presence bitmap.
 };
 

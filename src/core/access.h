@@ -44,6 +44,18 @@ struct LatencyBreakdown {
     inv_tlb += o.inv_tlb;
     return *this;
   }
+
+  // Field-wise delta between two monotonic breakdown sums (counter deltas over a run).
+  // Keeping subtraction next to the fields means a future component cannot be silently
+  // missed by a hand-rolled copy elsewhere.
+  [[nodiscard]] LatencyBreakdown operator-(const LatencyBreakdown& o) const {
+    LatencyBreakdown d;
+    d.fault = fault - o.fault;
+    d.network = network - o.network;
+    d.inv_queue = inv_queue - o.inv_queue;
+    d.inv_tlb = inv_tlb - o.inv_tlb;
+    return d;
+  }
 };
 
 struct AccessResult {

@@ -1,0 +1,107 @@
+// AccessChannel: the batched submit/complete data-plane contract of the replay emulator.
+//
+// MIND's switch processes memory traffic as batched packet streams, not one call at a time
+// (§4, §5); the emulator's system boundary mirrors that. A channel is a per-(thread, blade)
+// submission object handed out by a MemorySystem: the replay engine streams runs of resolved
+// ops into Submit, receives typed Completion records for the leading blade-local prefix, and
+// later applies their side effects with Commit. The split is classify/commit:
+//
+//   * Submit CLASSIFIES: it walks the run and accepts the longest leading prefix in which
+//     every op completes entirely within the channel's blade — a local cache hit whose
+//     outcome depends on nothing another blade can change — WITHOUT mutating any state.
+//     Each accepted op gets a Completion (latency + typed CommitToken); the op that stops
+//     the run (fault, upgrade, permission miss) is NOT consumed and must be replayed through
+//     MemorySystem::Access on the serialized drain.
+//   * Commit APPLIES: LRU recency, dirty bits, per-blade service-resource occupancy —
+//     everything a serial Access would have mutated for those hits. It may only touch state
+//     owned by the channel's blade plus thread-private state of the channel's thread.
+//
+// Validity is tracked at 2 MB cache-region granularity: Submit records a version stamp for
+// every region the accepted run depends on, and RunValid() re-checks only those stamps. A
+// coherence event that invalidates pages of a *shared* region therefore does not kill a
+// peeked run over *private* regions of the same blade — the fix for the coherence-dense
+// sharded-replay regression (see ROADMAP "finer sharded-replay invalidation").
+//
+// Thread safety (the sharded-replay engine's phase discipline):
+//   * Submit/RunValid/Commit may run concurrently with the same calls on channels of OTHER
+//     blades, but never concurrently with Access/AdvanceTo, with control-plane calls, or
+//     with calls on a channel of the same blade.
+//   * Neither Submit nor Commit may bump the system's SystemCounters: the engine accounts
+//     committed channel ops itself (total_accesses + local_hits), and the merged report
+//     adds them to the system's serialized-phase counter delta.
+#ifndef MIND_SRC_CORE_ACCESS_CHANNEL_H_
+#define MIND_SRC_CORE_ACCESS_CHANNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/core/access.h"
+
+namespace mind {
+
+// Opaque-but-typed commit handle for one classified op. The payload is system-defined (the
+// in-tree systems store a tagged DramCache frame pointer: bit 0 = write); the engine only
+// stores and returns it. Replaces the former `void** hints` raw-pointer plumbing.
+struct CommitToken {
+  uint64_t bits = 0;
+};
+
+// One accepted op of a submitted run.
+struct Completion {
+  // Thread-visible latency. Final when the run's SubmitResult says latency_final;
+  // otherwise a lower bound that Commit rewrites in place.
+  SimTime latency = 0;
+  CommitToken token;
+};
+
+// Per-run summary returned by Submit.
+struct SubmitResult {
+  // Length of the accepted leading all-local prefix (0 = the very next op needs the drain).
+  size_t accepted = 0;
+  // Clock after op accepted-1, advancing by latency + think per op. Exact when
+  // latency_final; otherwise a lower bound (safe as an epoch-barrier horizon).
+  SimTime end_clock = 0;
+  // Nonzero: every accepted op has exactly this latency, so the caller may account the run
+  // in O(1) (histogram RecordN + pure horizon arithmetic). Zero: consult per-op latencies.
+  // A nonzero uniform latency implies latency_final.
+  SimTime uniform_latency = 0;
+  // True: completion latencies (and end_clock) are exact as submitted, and Commit may be
+  // called with any prefix length. False: latencies depend on blade state that evolves as
+  // same-blade ops commit (e.g. GAM's per-blade library lock under multi-thread
+  // contention); the caller must commit op by op, passing each op's start clock, and read
+  // the finalized latency back from the Completion.
+  bool latency_final = true;
+};
+
+class AccessChannel {
+ public:
+  virtual ~AccessChannel() = default;
+
+  // Classifies a run of `n` consecutive ops for this channel's thread starting at `clock`
+  // with `think` time between ops. Fills completions[0..accepted): tokens always; latency
+  // fields always written when the run is not reported uniform (final per latency_final
+  // above), but MAY be left unwritten for a uniform run — the reported uniform value
+  // applies to every op, which is what lets callers account such runs in O(1). Mutates
+  // nothing outside the channel's own bookkeeping; records the region stamps RunValid()
+  // checks.
+  virtual SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+                              Completion* completions) = 0;
+
+  // True while every piece of state the last Submit's classification depends on is
+  // unchanged — checked via the per-2MB-region state versions stamped at Submit (plus any
+  // blade-global epochs such as the protection-table version). While true, the accepted
+  // run may keep committing across rounds; once false, the remainder must be resubmitted.
+  [[nodiscard]] virtual bool RunValid() const = 0;
+
+  // Applies the side effects of the first `n` completions of the last submitted run (or of
+  // its next uncommitted ops, when committing a run in pieces — the channel is positionless:
+  // `completions` points at the piece, `clock` is the start clock of its first op). For
+  // latency_final runs the recorded latencies are authoritative; otherwise n must be 1 and
+  // completions[0].latency is rewritten with the exact value.
+  virtual void Commit(Completion* completions, size_t n, SimTime clock) = 0;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_CORE_ACCESS_CHANNEL_H_

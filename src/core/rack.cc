@@ -351,68 +351,103 @@ bool Rack::TryLocalHit(const AccessRequest& req, SimTime now, AccessResult* res,
   return true;
 }
 
-size_t Rack::PeekLocalRun(ThreadId tid, ComputeBladeId blade, ProtDomainId pdid,
-                          const LocalOp* ops, size_t n, SimTime clock, SimTime think,
-                          SimTime* latencies, void** hints, SimTime* end_clock,
-                          SimTime* uniform_latency) {
-  // Specialized loop over the hit conditions of Access step 1 (present frame, domain
-  // re-validation, write permission): one virtual call peeks the whole run, with the
-  // per-op request plumbing and consistency-model dispatch hoisted out.
-  // Commit tokens are tagged frame pointers (bit 0 = write), so the commit pass needs
-  // neither the op array nor the latency array. Under TSO every hit in the run costs
-  // exactly local_cache_hit, reported once through *uniform_latency; only PSO barrier
-  // displacement (a pending same-page store) forces per-op latencies.
-  DramCache& cache = compute_blades_[blade]->cache();
-  const SimTime hit_latency = lat_.local_cache_hit;
-  const bool pso = config_.consistency == ConsistencyModel::kPso;
-  // The contract reserves *uniform_latency == 0 for "consult latencies[]", so a (degenerate)
-  // zero-cost hit configuration must report per-op latencies from the start.
-  bool uniform = hit_latency != 0;
-  size_t i = 0;
-  for (; i < n; ++i) {
-    DramCache::Frame* frame = cache.Find(PageNumber(ops[i].va));
-    if (frame == nullptr) {
-      break;
-    }
-    const bool is_write = ops[i].type == AccessType::kWrite;
-    if (frame->pdid != pdid && !protection_.Allows(pdid, ops[i].va, ops[i].type)) {
-      break;
-    }
-    if (is_write && !frame->writable) {
-      break;
-    }
-    SimTime latency = hit_latency;
-    if (pso && !is_write) {
-      const SimTime barrier = PsoPeekBarrier(tid, ops[i].va, clock);
-      latency = (barrier - clock) + hit_latency;
-    }
-    if (latency != hit_latency && uniform) {
-      // First divergence: backfill the uniform prefix and switch to per-op latencies.
-      std::fill(latencies, latencies + i, hit_latency);
-      uniform = false;
-    }
-    if (!uniform) {
-      latencies[i] = latency;
-    }
-    hints[i] = reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(frame) |
-                                       static_cast<uintptr_t>(is_write));
-    clock += latency + think;
-  }
-  *end_clock = clock;
-  *uniform_latency = uniform ? hit_latency : 0;
-  return i;
-}
+// AccessChannel over the blade-local hit path (see the contract notes in rack.h). Submit
+// is a specialized loop over the hit conditions of Access step 1 (present frame, domain
+// re-validation, write permission): one virtual call classifies the whole run, with the
+// per-op request plumbing and consistency-model dispatch hoisted out. Commit tokens are
+// tagged frame pointers (bit 0 = write), so the commit pass needs neither the op array nor
+// the latency array. Under TSO every hit in the run costs exactly local_cache_hit,
+// reported once through uniform_latency; only PSO barrier displacement (a pending
+// same-page store) forces per-op accounting. Latencies are always exact at Submit — a hit
+// depends on nothing another same-blade thread commits — so runs are latency_final.
+class Rack::Channel final : public AccessChannel {
+ public:
+  Channel(Rack* rack, ThreadId tid, ComputeBladeId blade, ProtDomainId pdid)
+      : rack_(rack), tid_(tid), blade_(blade), pdid_(pdid) {}
 
-void Rack::CommitLocalRun(ComputeBladeId blade, void* const* hints, size_t n) {
-  DramCache& cache = compute_blades_[blade]->cache();
-  for (size_t i = 0; i < n; ++i) {
-    const auto tagged = reinterpret_cast<uintptr_t>(hints[i]);
-    auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uintptr_t{1});
-    cache.Touch(frame);
-    if ((tagged & 1) != 0) {
-      frame->dirty = true;
+  SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+                      Completion* completions) override {
+    DramCache& cache = rack_->compute_blades_[blade_]->cache();
+    const SimTime hit_latency = rack_->lat_.local_cache_hit;
+    const bool pso = rack_->config_.consistency == ConsistencyModel::kPso;
+    stamps_.Clear();
+    protection_version_ = rack_->protection_.version();
+    // uniform_latency == 0 is reserved for "consult per-op latencies", so a (degenerate)
+    // zero-cost hit configuration must report per-op latencies from the start.
+    bool uniform = hit_latency != 0;
+    SubmitResult out;
+    size_t i = 0;
+    for (; i < n; ++i) {
+      const uint64_t page = PageNumber(ops[i].va);
+      DramCache::Frame* frame = cache.Find(page);
+      if (frame == nullptr) {
+        break;
+      }
+      const bool is_write = ops[i].type == AccessType::kWrite;
+      if (frame->pdid != pdid_ &&
+          !rack_->protection_.Allows(pdid_, ops[i].va, ops[i].type)) {
+        break;
+      }
+      if (is_write && !frame->writable) {
+        break;
+      }
+      stamps_.Add(cache, DramCache::RegionOf(page));
+      SimTime latency = hit_latency;
+      if (pso && !is_write) {
+        const SimTime barrier = rack_->PsoPeekBarrier(tid_, ops[i].va, clock);
+        latency = (barrier - clock) + hit_latency;
+      }
+      if (latency != hit_latency && uniform) {
+        // First divergence: backfill the uniform prefix and switch to per-op latencies
+        // (a uniform run legitimately leaves the latency fields unwritten — see the
+        // Submit contract).
+        for (size_t j = 0; j < i; ++j) {
+          completions[j].latency = hit_latency;
+        }
+        uniform = false;
+      }
+      if (!uniform) {
+        completions[i].latency = latency;
+      }
+      completions[i].token.bits =
+          reinterpret_cast<uintptr_t>(frame) | static_cast<uintptr_t>(is_write);
+      clock += latency + think;
+    }
+    out.accepted = i;
+    out.end_clock = clock;
+    out.uniform_latency = uniform ? hit_latency : 0;
+    return out;
+  }
+
+  [[nodiscard]] bool RunValid() const override {
+    return rack_->protection_.version() == protection_version_ &&
+           stamps_.Valid(rack_->compute_blades_[blade_]->cache());
+  }
+
+  void Commit(Completion* completions, size_t n, SimTime /*clock*/) override {
+    DramCache& cache = rack_->compute_blades_[blade_]->cache();
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t tagged = completions[i].token.bits;
+      auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
+      cache.Touch(frame);
+      if ((tagged & 1) != 0) {
+        frame->dirty = true;
+      }
     }
   }
+
+ private:
+  Rack* rack_;
+  ThreadId tid_;
+  ComputeBladeId blade_;
+  ProtDomainId pdid_;
+  DramCache::RegionStamps stamps_;   // Dependency footprint of the last submitted run.
+  uint64_t protection_version_ = 0;  // Blade-global stamp (permissions/domain grants).
+};
+
+std::unique_ptr<AccessChannel> Rack::OpenChannel(ThreadId tid, ComputeBladeId blade,
+                                                 ProtDomainId pdid) {
+  return std::make_unique<Channel>(this, tid, blade, pdid);
 }
 
 AccessResult Rack::Access(const AccessRequest& req) {

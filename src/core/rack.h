@@ -25,6 +25,7 @@
 #include "src/controlplane/bounded_splitting.h"
 #include "src/controlplane/controller.h"
 #include "src/core/access.h"
+#include "src/core/access_channel.h"
 #include "src/core/config.h"
 #include "src/core/rack_stats.h"
 #include "src/dataplane/directory.h"
@@ -67,30 +68,23 @@ class Rack {
 
   AccessResult Access(const AccessRequest& req);
 
-  // --- Sharded-replay fast path (MemorySystem thread-safety contract) ---
+  // --- Batched data-plane channel (AccessChannel contract, src/core/access_channel.h) ---
   //
-  // PeekLocalRun classifies a run of requests as pure blade-local hits without mutating
-  // anything: the returned prefix is exactly the ops for which Access would return at
-  // step 0/1 (local DRAM hit), with per-op latencies/commit tokens and the end clock
-  // (advancing by latency + think per op). Safe to call concurrently for different
-  // blades while no Access/control-plane call runs: it only reads the blade's cache
-  // index, the protection table and the caller thread's PSO pending-write list.
-  // CommitLocalRun applies those hits' side effects — LRU recency and dirty bits —
-  // touching only the blade's own cache. The pipeline memo and PSO pruning are
-  // deliberately skipped: both are pure memoization whose absence never changes an
-  // access outcome, so sharded and serial replay stay bit-identical.
-  size_t PeekLocalRun(ThreadId tid, ComputeBladeId blade, ProtDomainId pdid,
-                      const LocalOp* ops, size_t n, SimTime clock, SimTime think,
-                      SimTime* latencies, void** hints, SimTime* end_clock,
-                      SimTime* uniform_latency);
-  void CommitLocalRun(ComputeBladeId blade, void* const* hints, size_t n);
-
-  // Monotonic over everything a peeked run for `blade` depends on: the blade
-  // cache's membership/permission version plus the protection table's. Unchanged version
-  // => previously peeked runs for this blade are still exact.
-  [[nodiscard]] uint64_t LocalHitStateVersion(ComputeBladeId blade) const {
-    return compute_blades_[blade]->cache().version() + protection_.version();
-  }
+  // Opens the per-(thread, blade) submit/complete channel over the blade-local hit path.
+  // Submit classifies a run as pure blade-local hits without mutating anything: the
+  // accepted prefix is exactly the ops for which Access would return at step 0/1 (local
+  // DRAM hit), with exact per-op latencies, tagged-frame-pointer commit tokens and the end
+  // clock. Safe to call concurrently with channels of different blades while no
+  // Access/control-plane call runs: it only reads the blade's cache index, the protection
+  // table and the channel thread's PSO pending-write list. Commit applies those hits' side
+  // effects — LRU recency and dirty bits — touching only the blade's own cache. The
+  // pipeline memo and PSO pruning are deliberately skipped: both are pure memoization
+  // whose absence never changes an access outcome, so channel-driven and serial replay
+  // stay bit-identical. Run validity is stamped per 2 MB cache region (plus the
+  // protection-table version), so an invalidation wave over a shared region leaves runs
+  // over private regions of the same blade valid.
+  std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade,
+                                             ProtDomainId pdid);
 
   // Runs any bounded-splitting epoch boundaries at or before `now` (the data path does
   // this implicitly on every Access; sharded replay calls it for boundaries that fall
@@ -141,6 +135,9 @@ class Rack {
   }
 
  private:
+  // AccessChannel implementation over the blade-local hit path (defined in rack.cc).
+  class Channel;
+
   // Result of delivering one invalidation wave to a set of blades.
   struct InvalidationWave {
     SimTime max_ack_at_requester = 0;  // Slowest ACK as seen by the requesting blade.

@@ -41,82 +41,28 @@ Status ReplayEngine::Setup() {
     thread_blades_.push_back(blade);
   }
   setup_done_ = true;
+  if (options_.use_channels) {
+    // Channel-driven runs stream resolved ops into Submit; resolving here keeps Run's
+    // replay loop free of address arithmetic (and out of wall-clock measurements), like
+    // the rest of the setup phase. The reference path resolves lazily through AddressOf.
+    MaterializeOps();
+  }
   return Status::Ok();
 }
 
-ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
-  ReplayReport report;
-  report.system = system_->name();
-  report.workload = traces_->name;
-
-  const SystemCounters before = system_->counters();
-
-  struct ThreadCursor {
-    SimTime clock = 0;
-    size_t next_op = 0;
-  };
-  std::vector<ThreadCursor> cursors(traces_->threads.size());
-
-  // Min-heap keyed by thread clock: pop the earliest thread, run one access, push back.
-  using HeapItem = std::pair<SimTime, size_t>;  // (clock, thread index)
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-  for (size_t t = 0; t < cursors.size(); ++t) {
-    if (!traces_->threads[t].ops.empty()) {
-      heap.emplace(0, t);
+void ReplayEngine::MaterializeOps() {
+  if (!thread_ops_.empty()) {
+    return;  // Segment maps are immutable after Setup; the arrays never go stale.
+  }
+  thread_ops_.resize(traces_->threads.size());
+  for (size_t t = 0; t < thread_ops_.size(); ++t) {
+    const auto& ops = traces_->threads[t].ops;
+    thread_ops_[t].reserve(ops.size());
+    for (const TraceOp& op : ops) {
+      thread_ops_[t].push_back(LocalOp{AddressOf(op.segment, op.page), op.type});
     }
   }
-
-  SimTime next_sample = sample_interval;
-  SimTime makespan = 0;
-  uint64_t total_ops = 0;
-  uint64_t latency_sum = 0;
-
-  while (!heap.empty()) {
-    const auto [clock, t] = heap.top();
-    heap.pop();
-    ThreadCursor& cur = cursors[t];
-
-    if (sampler != nullptr && clock >= next_sample) {
-      sampler(clock);
-      while (clock >= next_sample) {
-        next_sample += sample_interval;
-      }
-    }
-
-    const TraceOp& op = traces_->threads[t].ops[cur.next_op];
-    const VirtAddr va = AddressOf(op.segment, op.page);
-    const AccessResult res =
-        system_->Access(thread_ids_[t], thread_blades_[t], va, op.type, cur.clock);
-
-    cur.clock += res.latency + traces_->think_time;
-    makespan = std::max(makespan, cur.clock);
-    ++total_ops;
-    latency_sum += res.latency;
-    report.latency_histogram.Record(res.latency);
-
-    if (++cur.next_op < traces_->threads[t].ops.size()) {
-      heap.emplace(cur.clock, t);
-    }
-  }
-
-  report.makespan = makespan;
-  report.total_ops = total_ops;
-  if (makespan > 0) {
-    report.throughput_mops =
-        static_cast<double>(total_ops) / (ToSeconds(makespan) * 1e6);
-  }
-  if (total_ops > 0) {
-    report.avg_latency_us =
-        ToMicros(latency_sum) / static_cast<double>(total_ops);
-  }
-
-  report.counters = system_->counters().DeltaSince(before);
-  return report;
 }
-
-// ---------------------------------------------------------------------------
-// ShardedReplayEngine.
-// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -124,38 +70,38 @@ constexpr SimTime kNoHorizon = std::numeric_limits<SimTime>::max();
 
 // Adaptive per-thread scan-window bounds: windows start small, double while runs commit
 // whole, and shrink toward the observed committed run length when a coherence horizon or
-// a state-version change cuts a run short. This bounds wasted peeks to ~2x the committed
-// ops even in coherence-dense traces, while hit-dominated traces quickly reach the
-// configured maximum window.
+// a region-stamp invalidation cuts a run short. This bounds wasted submits to ~2x the
+// committed ops even in coherence-dense traces, while hit-dominated traces quickly reach
+// the configured maximum window.
 constexpr uint32_t kMinScanWindow = 4;
 
-// Per-thread replay cursor plus its peeked hit-run. A run is peeked once (one batched
-// virtual call) and reused across rounds while it stays exact: the blade's
-// LocalStateVersion is unchanged (no membership/permission mutation on that blade) and
-// the thread itself has not advanced through the serialized drain. Latencies and hints
-// inside a valid run cannot drift — blade-local commits only touch recency and dirt.
+// Per-thread replay cursor plus its submitted run. A run is submitted once (one batched
+// virtual call) and reused across rounds while it stays exact: the channel's region
+// stamps are unchanged (AccessChannel::RunValid) and the thread itself has not advanced
+// through the serialized drain. Tokens inside a valid run cannot drift — channel commits
+// only touch recency, dirt and per-blade service occupancy.
 struct ThreadRt {
   SimTime clock = 0;
   uint64_t next_op = 0;
   SimTime last_start = 0;  // Start timestamp of the last executed op (trailing epochs).
-  size_t index = 0;        // Global thread index (heap tie-break, same as serial replay).
+  size_t index = 0;        // Global thread index (heap tie-break, same as per-op replay).
   ThreadId tid = 0;
   ComputeBladeId blade = 0;
   int shard = 0;
+  AccessChannel* channel = nullptr;  // Null: every op takes the serialized drain.
   bool finished = false;
-  // Peeked run state.
+  // Submitted-run state.
   bool buf_valid = false;
-  bool blocked = false;        // Peek refused at the run end (a coherence op is next).
+  bool blocked = false;        // Submit refused at the run end (a coherence op is next).
   bool window_capped = false;  // Run ended at the scan window with trace ops remaining.
   bool ran_in_drain = false;   // Cursor moved outside the fast path; run is stale.
-  uint64_t scan_version = 0;
+  bool latency_final = true;   // False: latencies finalize at per-op Commit (see contract).
   uint32_t window = kMinScanWindow;  // Adaptive scan-window size (see kMinScanWindow).
   SimTime buf_end_clock = 0;
   SimTime uniform_lat = 0;     // Nonzero: every op in the run has this latency.
   size_t buf_pos = 0;          // Committed prefix of the run.
-  size_t buf_len = 0;          // Peeked length of the run.
-  std::vector<SimTime> lats;   // Per-op latencies; meaningful only when uniform_lat == 0.
-  std::vector<void*> hints;    // Opaque commit tokens from PeekLocalRun.
+  size_t buf_len = 0;          // Accepted length of the run.
+  std::vector<Completion> comps;  // Typed completions from AccessChannel::Submit.
 };
 
 struct ShardRt {
@@ -169,48 +115,35 @@ struct ShardRt {
 
 }  // namespace
 
-Status ShardedReplayEngine::Setup() {
-  if (Status s = base_.Setup(); !s.ok()) {
-    return s;
-  }
-  // Materialize the VA-resolved op stream per thread (see header): the scan phase hands
-  // contiguous slices of these arrays straight to PeekLocalRun.
-  thread_ops_.resize(base_.traces_->threads.size());
-  for (size_t t = 0; t < thread_ops_.size(); ++t) {
-    const auto& ops = base_.traces_->threads[t].ops;
-    thread_ops_[t].reserve(ops.size());
-    for (const TraceOp& op : ops) {
-      thread_ops_[t].push_back(LocalOp{base_.AddressOf(op.segment, op.page), op.type});
-    }
-  }
-  return Status::Ok();
-}
-
-ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
-                                      SimTime sample_interval) {
-  if (sampler != nullptr) {
-    // Samplers observe the system between globally-ordered ops; only the serial engine
-    // provides those exact observation points.
-    effective_shards_ = 1;
-    shard_reports_.clear();
-    return base_.Run(std::move(sampler), sample_interval);
-  }
-  assert(base_.setup_done_ && "Setup must be called before Run");
-  MemorySystem* system = base_.system_;
-  const WorkloadTraces& traces = *base_.traces_;
+ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
+  assert(setup_done_ && "Setup must be called before Run");
+  MemorySystem* system = system_;
+  const WorkloadTraces& traces = *traces_;
   const SimTime think = traces.think_time;
   // Sanitized adaptive-window bounds: a configured cap below kMinScanWindow lowers the
   // floor with it, keeping every clamp well-formed (lo <= hi).
   const uint32_t max_window = std::max(options_.scan_window_ops, 1u);
   const uint32_t min_window = std::min(kMinScanWindow, max_window);
 
+  // A sampler observes the system between globally-ordered ops, so it forces the per-op
+  // reference path; use_channels = false selects it explicitly (conformance baseline).
+  const bool reference_mode = sampler != nullptr || !options_.use_channels;
+
   // Shard layout: blades are dealt round-robin to shards, threads follow their blade.
   int blades_used = 1;
-  for (const ComputeBladeId b : base_.thread_blades_) {
+  for (const ComputeBladeId b : thread_blades_) {
     blades_used = std::max(blades_used, static_cast<int>(b) + 1);
   }
-  const int num_shards = std::clamp(options_.shards, 1, blades_used);
+  const int num_shards = reference_mode ? 1 : std::clamp(options_.shards, 1, blades_used);
   effective_shards_ = num_shards;
+
+  std::vector<std::unique_ptr<AccessChannel>> channels(traces.threads.size());
+  if (!reference_mode) {
+    MaterializeOps();
+    for (size_t t = 0; t < channels.size(); ++t) {
+      channels[t] = system->OpenChannel(thread_ids_[t], thread_blades_[t]);
+    }
+  }
 
   std::vector<ThreadRt> threads(traces.threads.size());
   std::vector<ShardRt> shards(static_cast<size_t>(num_shards));
@@ -223,9 +156,10 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
     ThreadRt& th = threads[t];
     th.index = t;
     th.window = min_window;
-    th.tid = base_.thread_ids_[t];
-    th.blade = base_.thread_blades_[t];
+    th.tid = thread_ids_[t];
+    th.blade = thread_blades_[t];
     th.shard = static_cast<int>(th.blade) % num_shards;
+    th.channel = channels[t].get();
     th.finished = traces.threads[t].ops.empty();
     ShardRt& sh = shards[th.shard];
     sh.threads.push_back(t);
@@ -236,7 +170,7 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
 
   // --- Phase bodies -------------------------------------------------------
 
-  // Scan (parallel, read-only): refresh each owned thread's peeked run where stale, and
+  // Scan (parallel, read-only): refresh each owned thread's submitted run where stale, and
   // find the shard's barrier — the earliest timestamp it cannot replay without the drain.
   auto scan_shard = [&](int s) {
     ShardRt& sh = shards[s];
@@ -247,11 +181,10 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
       if (th.finished) {
         continue;
       }
-      const uint64_t version = system->LocalStateVersion(th.blade);
-      const bool keep = th.buf_valid && !th.ran_in_drain && version == th.scan_version &&
-                        th.buf_pos < th.buf_len;
+      const bool keep = th.buf_valid && !th.ran_in_drain && th.buf_pos < th.buf_len &&
+                        th.channel != nullptr && th.channel->RunValid();
       if (!keep) {
-        if (th.buf_valid) {
+        if (th.buf_valid && th.channel != nullptr) {
           if (th.buf_pos >= th.buf_len) {
             th.window = std::min(th.window * 2, max_window);
           } else {
@@ -262,28 +195,31 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
                            min_window, max_window);
           }
         }
-        const std::vector<LocalOp>& resolved = thread_ops_[t];
-        const size_t want = static_cast<size_t>(std::min<uint64_t>(
-            th.window, resolved.size() - th.next_op));
-        if (th.lats.size() < want) {
-          th.lats.resize(want);
+        if (th.channel == nullptr) {
+          // Opted-out thread: every op takes the serialized drain; the thread pins the
+          // shard's barrier at its frontier clock so the drain always runs it in order.
+          th.buf_pos = 0;
+          th.buf_len = 0;
+          th.blocked = true;
+          th.window_capped = false;
+          th.buf_end_clock = th.clock;
+        } else {
+          const std::vector<LocalOp>& resolved = thread_ops_[t];
+          const size_t want = static_cast<size_t>(std::min<uint64_t>(
+              th.window, resolved.size() - th.next_op));
+          if (th.comps.size() < want) {
+            th.comps.resize(want);
+          }
+          const SubmitResult run = th.channel->Submit(
+              resolved.data() + th.next_op, want, th.clock, think, th.comps.data());
+          th.buf_pos = 0;
+          th.buf_len = run.accepted;
+          th.uniform_lat = run.uniform_latency;
+          th.latency_final = run.latency_final;
+          th.blocked = run.accepted < want;
+          th.window_capped = !th.blocked && th.next_op + run.accepted < resolved.size();
+          th.buf_end_clock = run.end_clock;
         }
-        if (th.hints.size() < want) {
-          th.hints.resize(want);
-        }
-        SimTime end_clock = th.clock;
-        SimTime uniform_lat = 0;
-        const size_t m =
-            system->PeekLocalRun(th.tid, th.blade, resolved.data() + th.next_op, want,
-                                 th.clock, think, th.lats.data(), th.hints.data(),
-                                 &end_clock, &uniform_lat);
-        th.buf_pos = 0;
-        th.buf_len = m;
-        th.uniform_lat = uniform_lat;
-        th.blocked = m < want;
-        th.window_capped = !th.blocked && th.next_op + m < resolved.size();
-        th.buf_end_clock = end_clock;
-        th.scan_version = version;
         th.buf_valid = true;
         th.ran_in_drain = false;
       }
@@ -294,11 +230,11 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
     }
   };
 
-  // Commit (parallel, mutating blade-local state only): replay peeked hits with start
+  // Commit (parallel, mutating blade-local state only): replay submitted runs with start
   // timestamps strictly below the horizon. `finished` guards against a stale run: a
-  // thread the drain ran to completion is skipped by the scan, so its old peeked ops
-  // must never replay. Same-blade threads merge in (clock, thread) order so LRU recency
-  // and dirty bits evolve exactly as under serial replay.
+  // thread the drain ran to completion is skipped by the scan, so its old submitted ops
+  // must never replay. Same-blade threads merge in (clock, thread) order so LRU recency,
+  // dirty bits and per-blade lock occupancy evolve exactly as under per-op replay.
   auto commit_prefix = [&](ThreadRt& th, ShardRt& sh, SimTime horizon, size_t max_ops) {
     if (th.finished || !th.buf_valid) {
       return;
@@ -310,7 +246,25 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
     SimTime clock = th.clock;
     SimTime last_start = th.last_start;
     size_t count;
-    if (th.uniform_lat != 0) {
+    if (!th.latency_final) {
+      // Commit-finalized latencies (e.g. GAM's per-blade library lock under intra-blade
+      // contention): commit op by op, reading the exact latency back from the channel.
+      // Only the op's start clock decides horizon eligibility, so the finalized latency
+      // never invalidates the decision to commit.
+      count = 0;
+      while (start + count < th.buf_len && count < max_ops && clock < horizon) {
+        Completion& c = th.comps[start + count];
+        th.channel->Commit(&c, 1, clock);
+        last_start = clock;
+        clock += c.latency + think;
+        sh.report.latency_histogram.Record(c.latency);
+        sh.report.latency_sum += c.latency;
+        ++count;
+      }
+      if (count == 0) {
+        return;
+      }
+    } else if (th.uniform_lat != 0) {
       // Uniform-latency run: the committable prefix is pure arithmetic — count ops whose
       // start clock lies below the horizon and account them with one RecordN.
       const SimTime step = th.uniform_lat + think;
@@ -318,13 +272,14 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
       count = static_cast<size_t>(std::min<uint64_t>(
           count, (horizon - clock - 1) / step + 1));
       last_start = clock + static_cast<SimTime>(count - 1) * step;
-      clock += static_cast<SimTime>(count) * step;
       sh.report.latency_histogram.RecordN(th.uniform_lat, count);
       sh.report.latency_sum += th.uniform_lat * count;
+      th.channel->Commit(th.comps.data() + start, count, clock);
+      clock += static_cast<SimTime>(count) * step;
     } else {
       count = 0;
       while (start + count < th.buf_len && count < max_ops && clock < horizon) {
-        const SimTime lat = th.lats[start + count];
+        const SimTime lat = th.comps[start + count].latency;
         last_start = clock;
         clock += lat + think;
         sh.report.latency_histogram.Record(lat);
@@ -334,8 +289,8 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
       if (count == 0) {
         return;
       }
+      th.channel->Commit(th.comps.data() + start, count, th.clock);
     }
-    system->CommitLocalRun(th.tid, th.blade, th.hints.data() + start, count);
     sh.report.parallel_hits += count;
     sh.report.counters.total_accesses += count;
     sh.report.counters.local_hits += count;
@@ -377,11 +332,13 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
     }
   };
 
-  // Serialized drain: the reference single-threaded algorithm over *all* threads, run
-  // until the coherence burst passes. Every op it executes is in exact global
-  // (clock, thread) order against the fully-merged state, so correctness does not depend
-  // on the exit policy.
-  auto drain = [&]() {
+  // Serialized drain: the reference single-threaded algorithm over *all* threads. In
+  // bounded mode it runs until the coherence burst passes and hands back to the parallel
+  // phase; unbounded it IS serial replay — every op through Access in exact global
+  // (clock, thread) order against the fully-merged state, with sampler observation points
+  // between ops. Correctness does not depend on the exit policy.
+  SimTime next_sample = sample_interval;
+  auto drain = [&](bool bounded, uint32_t max_coherence_ops, uint32_t hit_streak_exit) {
     using Item = std::pair<SimTime, size_t>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
     for (size_t t = 0; t < threads.size(); ++t) {
@@ -395,10 +352,16 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
       const auto [clock, t] = heap.top();
       heap.pop();
       ThreadRt& th = threads[t];
+      if (sampler != nullptr && clock >= next_sample) {
+        sampler(clock);
+        while (clock >= next_sample) {
+          next_sample += sample_interval;
+        }
+      }
       const auto& ops = traces.threads[t].ops;
       const TraceOp& op = ops[th.next_op];
       const AccessResult r =
-          system->Access(th.tid, th.blade, base_.AddressOf(op.segment, op.page), op.type,
+          system->Access(th.tid, th.blade, AddressOf(op.segment, op.page), op.type,
                          th.clock);
       ShardRt& sh = shards[th.shard];
       sh.report.latency_histogram.Record(r.latency);
@@ -406,149 +369,176 @@ ReplayReport ShardedReplayEngine::Run(ReplayEngine::Sampler sampler,
       ++sh.report.drained_ops;
       th.last_start = th.clock;
       th.clock += r.latency + think;
-      th.ran_in_drain = true;  // Peeked run (if any) is positionally stale.
+      th.ran_in_drain = true;  // Submitted run (if any) is positionally stale.
       sh.report.makespan = std::max(sh.report.makespan, th.clock);
       if (++th.next_op < ops.size()) {
         heap.emplace(th.clock, t);
       } else {
         th.finished = true;
       }
+      if (!bounded) {
+        continue;
+      }
       if (r.local_hit) {
-        if (++hit_streak >= options_.drain_hit_streak_exit) {
+        if (++hit_streak >= hit_streak_exit) {
           break;
         }
       } else {
         hit_streak = 0;
-        if (++coherence_ops >= options_.drain_max_coherence_ops) {
+        if (++coherence_ops >= max_coherence_ops) {
           break;
         }
       }
     }
   };
 
-  // --- Worker pool --------------------------------------------------------
+  if (reference_mode) {
+    drain(/*bounded=*/false, 0, 0);
+  } else {
+    // --- Worker pool ------------------------------------------------------
 
-  enum class Phase : uint8_t { kScan, kCommit };
-  struct Sync {
-    std::mutex mu;
-    std::condition_variable work_cv;
-    std::condition_variable done_cv;
-    uint64_t gen = 0;
-    Phase phase = Phase::kScan;
-    SimTime horizon = 0;
-    int remaining = 0;
-    bool exit = false;
-  } sync;
+    enum class Phase : uint8_t { kScan, kCommit };
+    struct Sync {
+      std::mutex mu;
+      std::condition_variable work_cv;
+      std::condition_variable done_cv;
+      uint64_t gen = 0;
+      Phase phase = Phase::kScan;
+      SimTime horizon = 0;
+      int remaining = 0;
+      bool exit = false;
+    } sync;
 
-  const bool use_threads =
-      num_shards > 1 &&
-      (options_.force_threads || std::thread::hardware_concurrency() > 1);
-  std::vector<std::thread> workers;
-  if (use_threads) {
-    workers.reserve(static_cast<size_t>(num_shards) - 1);
-    for (int s = 1; s < num_shards; ++s) {
-      workers.emplace_back([&, s] {
-        uint64_t seen = 0;
-        for (;;) {
-          Phase phase;
-          SimTime horizon;
-          {
-            std::unique_lock lk(sync.mu);
-            sync.work_cv.wait(lk, [&] { return sync.exit || sync.gen != seen; });
-            if (sync.exit) {
-              return;
+    const bool use_threads =
+        num_shards > 1 &&
+        (options_.force_threads || std::thread::hardware_concurrency() > 1);
+    std::vector<std::thread> workers;
+    if (use_threads) {
+      workers.reserve(static_cast<size_t>(num_shards) - 1);
+      for (int s = 1; s < num_shards; ++s) {
+        workers.emplace_back([&, s] {
+          uint64_t seen = 0;
+          for (;;) {
+            Phase phase;
+            SimTime horizon;
+            {
+              std::unique_lock lk(sync.mu);
+              sync.work_cv.wait(lk, [&] { return sync.exit || sync.gen != seen; });
+              if (sync.exit) {
+                return;
+              }
+              seen = sync.gen;
+              phase = sync.phase;
+              horizon = sync.horizon;
             }
-            seen = sync.gen;
-            phase = sync.phase;
-            horizon = sync.horizon;
-          }
-          if (phase == Phase::kScan) {
-            scan_shard(s);
-          } else {
-            commit_shard(s, horizon);
-          }
-          {
-            std::lock_guard lk(sync.mu);
-            if (--sync.remaining == 0) {
-              sync.done_cv.notify_one();
+            if (phase == Phase::kScan) {
+              scan_shard(s);
+            } else {
+              commit_shard(s, horizon);
+            }
+            {
+              std::lock_guard lk(sync.mu);
+              if (--sync.remaining == 0) {
+                sync.done_cv.notify_one();
+              }
             }
           }
-        }
-      });
-    }
-  }
-  auto run_phase = [&](Phase phase, SimTime horizon) {
-    if (!use_threads) {
-      for (int s = 0; s < num_shards; ++s) {
-        phase == Phase::kScan ? scan_shard(s) : commit_shard(s, horizon);
+        });
       }
-      return;
     }
-    {
-      std::lock_guard lk(sync.mu);
-      sync.phase = phase;
-      sync.horizon = horizon;
-      sync.remaining = num_shards - 1;
-      ++sync.gen;
-    }
-    sync.work_cv.notify_all();
-    phase == Phase::kScan ? scan_shard(0) : commit_shard(0, horizon);
-    std::unique_lock lk(sync.mu);
-    sync.done_cv.wait(lk, [&] { return sync.remaining == 0; });
-  };
+    auto run_phase = [&](Phase phase, SimTime horizon) {
+      if (!use_threads) {
+        for (int s = 0; s < num_shards; ++s) {
+          phase == Phase::kScan ? scan_shard(s) : commit_shard(s, horizon);
+        }
+        return;
+      }
+      {
+        std::lock_guard lk(sync.mu);
+        sync.phase = phase;
+        sync.horizon = horizon;
+        sync.remaining = num_shards - 1;
+        ++sync.gen;
+      }
+      sync.work_cv.notify_all();
+      phase == Phase::kScan ? scan_shard(0) : commit_shard(0, horizon);
+      std::unique_lock lk(sync.mu);
+      sync.done_cv.wait(lk, [&] { return sync.remaining == 0; });
+    };
 
-  // --- Round loop ---------------------------------------------------------
+    // --- Round loop -------------------------------------------------------
 
-  for (;;) {
-    run_phase(Phase::kScan, 0);
-    SimTime horizon = kNoHorizon;
-    bool any_blocked = false;
-    for (const ShardRt& sh : shards) {
-      horizon = std::min(horizon, sh.barrier);
-      any_blocked |= sh.any_blocked;
-    }
-    uint64_t committed_before = 0;
-    for (const ShardRt& sh : shards) {
-      committed_before += sh.report.parallel_hits;
-    }
-    run_phase(Phase::kCommit, horizon);
-    bool all_finished = true;
-    for (const ThreadRt& th : threads) {
-      if (!th.finished) {
-        all_finished = false;
+    // Adaptive drain exit policy (deterministic, hence result-invariant — the drain is
+    // always in exact global order): on coherence-dense stretches, rounds commit almost
+    // nothing and the scan/commit/barrier machinery is pure overhead, so each
+    // unproductive round lets the next drain run geometrically longer — both more
+    // coherence ops and a longer hit streak before it hands back — keeping the engine on
+    // the near-serial drain until real blade-local runs reappear; one productive round
+    // snaps the policy back to the configured bounds.
+    uint32_t drain_coherence_budget = options_.drain_max_coherence_ops;
+    uint32_t drain_streak_exit = options_.drain_hit_streak_exit;
+    constexpr uint32_t kMaxCoherenceBudget = 4096;
+    constexpr uint32_t kMaxStreakExit = 64;
+
+    for (;;) {
+      run_phase(Phase::kScan, 0);
+      SimTime horizon = kNoHorizon;
+      bool any_blocked = false;
+      for (const ShardRt& sh : shards) {
+        horizon = std::min(horizon, sh.barrier);
+        any_blocked |= sh.any_blocked;
+      }
+      uint64_t committed_before = 0;
+      for (const ShardRt& sh : shards) {
+        committed_before += sh.report.parallel_hits;
+      }
+      run_phase(Phase::kCommit, horizon);
+      bool all_finished = true;
+      for (const ThreadRt& th : threads) {
+        if (!th.finished) {
+          all_finished = false;
+          break;
+        }
+      }
+      if (all_finished) {
         break;
       }
+      assert(horizon != kNoHorizon && "unfinished threads must contribute a barrier");
+      uint64_t committed_after = 0;
+      for (const ShardRt& sh : shards) {
+        committed_after += sh.report.parallel_hits;
+      }
+      // When every barrier came from window exhaustion (no blocked thread), the horizon
+      // thread committed its whole window and rescanning alone makes progress — except in
+      // degenerate zero-latency/zero-think configs where the horizon equals the frontier
+      // clock and nothing commits; the drain (always exact) then guarantees progress.
+      if (any_blocked || committed_after == committed_before) {
+        drain(/*bounded=*/true, drain_coherence_budget, drain_streak_exit);
+        if (committed_after - committed_before < threads.size()) {
+          drain_coherence_budget = std::min(drain_coherence_budget * 2, kMaxCoherenceBudget);
+          drain_streak_exit = std::min(drain_streak_exit * 2, kMaxStreakExit);
+        } else {
+          drain_coherence_budget = options_.drain_max_coherence_ops;
+          drain_streak_exit = options_.drain_hit_streak_exit;
+        }
+      }
     }
-    if (all_finished) {
-      break;
-    }
-    assert(horizon != kNoHorizon && "unfinished threads must contribute a barrier");
-    uint64_t committed_after = 0;
-    for (const ShardRt& sh : shards) {
-      committed_after += sh.report.parallel_hits;
-    }
-    // When every barrier came from window exhaustion (no blocked thread), the horizon
-    // thread committed its whole window and rescanning alone makes progress — except in
-    // degenerate zero-latency/zero-think configs where the horizon equals the frontier
-    // clock and nothing commits; the drain (always exact) then guarantees progress.
-    if (any_blocked || committed_after == committed_before) {
-      drain();
-    }
-  }
-  if (use_threads) {
-    {
-      std::lock_guard lk(sync.mu);
-      sync.exit = true;
-    }
-    sync.work_cv.notify_all();
-    for (std::thread& w : workers) {
-      w.join();
+    if (use_threads) {
+      {
+        std::lock_guard lk(sync.mu);
+        sync.exit = true;
+      }
+      sync.work_cv.notify_all();
+      for (std::thread& w : workers) {
+        w.join();
+      }
     }
   }
 
-  // Trailing time-driven control-plane work: serial replay runs splitting epochs inside
+  // Trailing time-driven control-plane work: per-op replay runs splitting epochs inside
   // every Access, including hits past the last coherence event; AdvanceTo replays those
-  // boundaries (same boundary timestamps, same entry stats) for full-state identity.
+  // boundaries (same boundary timestamps, same entry stats) for full-state identity. On
+  // the reference path the final Access already ran them, making this a no-op.
   SimTime max_start = 0;
   uint64_t total_ops = 0;
   for (const ShardRt& sh : shards) {

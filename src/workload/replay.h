@@ -1,29 +1,33 @@
-// Trace replay engines: the memory-access emulator of §7.
+// Trace replay engine: the memory-access emulator of §7, built on AccessChannels.
 //
-// ReplayEngine replays system-independent traces against any MemorySystem with per-thread
-// logical clocks. A global min-heap interleaves threads in timestamp order, so cross-thread
-// contention (directory serialization, invalidation-handler queues, NIC links) is resolved
-// deterministically. Reports makespan, throughput and the per-access counters the figures
-// need; an optional sampler observes the system at fixed simulated-time intervals (used for
-// the directory-occupancy time series of Fig. 8 left).
-//
-// ShardedReplayEngine is the concurrent version: compute blades are partitioned across N
-// shards, each with its own logical-clock frontier, RNG stream, latency histogram and
-// counter block, and replay alternates between a parallel phase (shards run blade-local
-// cache hits lock-free via the MemorySystem Peek/Commit contract) and a serialized drain
+// ReplayEngine replays system-independent traces against any MemorySystem. Compute blades
+// are partitioned across N shards, each with its own logical-clock frontier, RNG stream,
+// latency histogram and counter block, and replay alternates between a parallel phase
+// (shards drive blade-local runs through the per-(thread, blade) AccessChannel
+// submit/complete contract — see src/core/access_channel.h) and a serialized drain
 // (coherence events — faults, invalidation waves, directory transitions, splitting epochs —
-// execute on one thread in global timestamp order). The handoff between the two is a
-// bounded epoch barrier: each round, every shard scans forward to the timestamp of its
-// first non-local op (or a bounded window), the minimum across shards becomes the commit
-// horizon H, and only hits strictly before H are committed in per-blade (clock, thread)
-// order. Because blade-local hits neither read nor write anything a cross-shard coherence
-// event can change (cache membership, permissions and PSO barriers are only mutated by the
-// serialized drain), the merged result is bit-identical to single-threaded replay — same
-// makespan, counters and latency histogram for 1, 2 or N shards, threads or no threads.
+// execute through per-op Access on one thread in global timestamp order). The handoff
+// between the two is a bounded epoch barrier: each round, every shard scans forward to the
+// timestamp of its first non-local op (or a bounded window), the minimum across shards
+// becomes the commit horizon H, and only ops starting strictly before H commit, in
+// per-blade (clock, thread) order. Because a channel-accepted op neither reads nor writes
+// anything a cross-shard coherence event can change (cache membership, permissions and PSO
+// barriers are only mutated by the serialized drain, and submitted runs are revalidated
+// against per-2MB-region version stamps), the merged result is bit-identical to
+// single-threaded per-op replay — same makespan, counters and latency histogram for 1, 2
+// or N shards, threads or no threads.
+//
+// Serial replay is the degenerate case of the same loop: one shard, same channels, same
+// drain. Two situations force the pure per-op reference path (every op through Access on
+// the global min-heap): a non-null sampler, which needs exact globally-ordered observation
+// points, and ReplayOptions::use_channels = false, the conformance baseline the channel
+// contract is tested against. An optional sampler observes the system at fixed
+// simulated-time intervals (used for the directory-occupancy time series of Fig. 8 left).
 #ifndef MIND_SRC_WORKLOAD_REPLAY_H_
 #define MIND_SRC_WORKLOAD_REPLAY_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,57 +66,19 @@ struct ReplayReport {
   }
 };
 
-class ReplayEngine {
- public:
-  // `sampler(now)` is invoked every `sample_interval` of simulated time when provided.
-  using Sampler = std::function<void(SimTime)>;
-
-  ReplayEngine(MemorySystem* system, const WorkloadTraces* traces)
-      : system_(system), traces_(traces) {}
-
-  // Allocates segments and registers threads (round-robin over blades). Must be called
-  // exactly once before Run. Large segments are allocated in 64 MB chunks, matching how
-  // real applications grow their heaps (and letting the balanced allocator spread a big
-  // segment's bandwidth across memory blades instead of pinning it to one).
-  Status Setup();
-
-  ReplayReport Run(Sampler sampler = nullptr, SimTime sample_interval = 10 * kMillisecond);
-
-  // VA of `page` within `segment` after Setup (tests poke at specific addresses).
-  [[nodiscard]] VirtAddr AddressOf(uint32_t segment, uint64_t page) const {
-    const SegmentMap& m = segments_[segment];
-    return m.chunk_bases[page / kChunkPages] + PageToAddr(page % kChunkPages);
-  }
-
-  static constexpr uint64_t kChunkPages = (64ull << 20) >> kPageShift;
-
- private:
-  struct SegmentMap {
-    std::vector<VirtAddr> chunk_bases;
-  };
-
-  MemorySystem* system_;          // Not owned.
-  const WorkloadTraces* traces_;  // Not owned.
-  std::vector<SegmentMap> segments_;
-  std::vector<ThreadId> thread_ids_;
-  std::vector<ComputeBladeId> thread_blades_;
-  bool setup_done_ = false;
-
-  friend class ShardedReplayEngine;  // Reuses Setup/AddressOf and the serial fallback.
-};
-
-// ---------------------------------------------------------------------------
-// Sharded concurrent replay.
-// ---------------------------------------------------------------------------
-
-struct ShardedReplayOptions {
+struct ReplayOptions {
+  // Replay shards; clamped to [1, blades driven by the trace].
   int shards = 1;
+  // Drive blade-local runs through the systems' AccessChannels. Off = the per-op serial
+  // reference path (every op through Access in exact global order) that the channel
+  // conformance suite compares against.
+  bool use_channels = true;
   // Spawn worker threads even when the host reports a single hardware thread (TSan and
   // scheduling tests). By default threads are used only for shards > 1 on multi-core
   // hosts; results are bit-identical either way — threading is an execution strategy,
   // never a semantic.
   bool force_threads = false;
-  // Per-thread hit-run scan window per round: bounds scan-buffer memory and the wasted
+  // Per-thread run scan window per round: bounds submit-buffer memory and the wasted
   // rescan when another shard's coherence event cuts the horizon short.
   uint32_t scan_window_ops = 2048;
   // Serialized-drain exit policy: hand back to the parallel phase after this many
@@ -129,49 +95,69 @@ struct ShardedReplayOptions {
 // Per-shard accounting, exposed for tests and perf analysis. The merged ReplayReport is
 // the sum/max over these plus the system's serialized-phase counter delta.
 struct ShardReport {
-  uint64_t parallel_hits = 0;  // Ops committed on the shard's concurrent fast path.
+  uint64_t parallel_hits = 0;  // Ops committed on the shard's concurrent channel path.
   uint64_t drained_ops = 0;    // This shard's ops executed by the serialized drain.
   SimTime makespan = 0;
   uint64_t latency_sum = 0;
   Histogram latency_histogram;
-  SystemCounters counters;     // Parallel-hit counters only (drain ops count in-system).
+  SystemCounters counters;     // Channel-committed counters only (drain ops count in-system).
 };
 
-class ShardedReplayEngine {
+class ReplayEngine {
  public:
-  ShardedReplayEngine(MemorySystem* system, const WorkloadTraces* traces,
-                      ShardedReplayOptions options = {})
-      : base_(system, traces), options_(options) {}
+  // `sampler(now)` is invoked every `sample_interval` of simulated time when provided.
+  using Sampler = std::function<void(SimTime)>;
 
-  // Same allocation/registration as ReplayEngine::Setup (identical thread ids and blade
-  // placement, so sharded and serial replay drive byte-identical access streams). The
-  // sharded engine additionally materializes every trace op to its VA once here — the
-  // segment maps are immutable after Setup, so the replay loop streams ready-made
-  // (va, type) pairs straight into the batched fast path instead of re-resolving
-  // addresses per op (costs ~16 bytes per trace op of extra memory).
+  ReplayEngine(MemorySystem* system, const WorkloadTraces* traces,
+               ReplayOptions options = {})
+      : system_(system), traces_(traces), options_(options) {}
+
+  // Allocates segments and registers threads (round-robin over blades). Must be called
+  // exactly once before Run. Large segments are allocated in 64 MB chunks, matching how
+  // real applications grow their heaps (and letting the balanced allocator spread a big
+  // segment's bandwidth across memory blades instead of pinning it to one).
   Status Setup();
 
   // Replays the traces. A non-null sampler needs exact global-order observation points,
-  // so it forces the serial engine (documented fallback); otherwise the sharded rounds
-  // run, with worker threads when shards > 1 (see ShardedReplayOptions::force_threads).
-  ReplayReport Run(ReplayEngine::Sampler sampler = nullptr,
-                   SimTime sample_interval = 10 * kMillisecond);
+  // so it forces the per-op reference path (documented fallback); otherwise the channel
+  // rounds run, with worker threads when shards > 1 (see ReplayOptions::force_threads).
+  ReplayReport Run(Sampler sampler = nullptr, SimTime sample_interval = 10 * kMillisecond);
 
+  // VA of `page` within `segment` after Setup (tests poke at specific addresses).
   [[nodiscard]] VirtAddr AddressOf(uint32_t segment, uint64_t page) const {
-    return base_.AddressOf(segment, page);
+    const SegmentMap& m = segments_[segment];
+    return m.chunk_bases[page / kChunkPages] + PageToAddr(page % kChunkPages);
   }
 
-  // Shards actually used: options.shards clamped to [1, blades driven by the trace].
+  // Shards actually used by the last Run: options.shards clamped to [1, blades driven by
+  // the trace]; 1 when the per-op reference path ran (sampler or use_channels = false).
   [[nodiscard]] int effective_shards() const { return effective_shards_; }
   [[nodiscard]] const std::vector<ShardReport>& shard_reports() const {
     return shard_reports_;
   }
 
+  static constexpr uint64_t kChunkPages = (64ull << 20) >> kPageShift;
+
  private:
-  ReplayEngine base_;
-  ShardedReplayOptions options_;
+  struct SegmentMap {
+    std::vector<VirtAddr> chunk_bases;
+  };
+
+  // Materializes the VA-resolved op stream per thread on first use: the scan phase hands
+  // contiguous slices of these arrays straight to AccessChannel::Submit instead of
+  // re-resolving addresses per op (costs ~16 bytes per trace op; skipped entirely on the
+  // per-op reference path, which resolves through AddressOf as it drains).
+  void MaterializeOps();
+
+  MemorySystem* system_;          // Not owned.
+  const WorkloadTraces* traces_;  // Not owned.
+  ReplayOptions options_;
+  std::vector<SegmentMap> segments_;
+  std::vector<ThreadId> thread_ids_;
+  std::vector<ComputeBladeId> thread_blades_;
+  std::vector<std::vector<LocalOp>> thread_ops_;  // Per-thread VA-resolved trace (lazy).
+  bool setup_done_ = false;
   int effective_shards_ = 0;
-  std::vector<std::vector<LocalOp>> thread_ops_;  // Per-thread VA-resolved trace.
   std::vector<ShardReport> shard_reports_;
 };
 

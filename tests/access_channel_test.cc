@@ -1,0 +1,328 @@
+// Conformance suite for the AccessChannel contract (src/core/access_channel.h), run
+// against every compared system: MIND (TSO and PSO), GAM and FastSwap.
+//
+// Part 1 — engine-level conformance: channel-driven replay at 1/2/4/8 shards must be
+// bit-identical (counters, every histogram bucket, makespan, throughput) to the per-op
+// reference path that issues one virtual MemorySystem::Access per op in exact global
+// order. This is the contract's whole point: channels are an execution strategy, never a
+// semantic.
+//
+// Part 2 — channel-level contract: per-2MB-region validity stamps. A run submitted over
+// private regions must survive an invalidation wave that hits a *different* (shared)
+// region of the same blade, and must die when the wave lands inside one of its own
+// stamped regions.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/fastswap.h"
+#include "src/baselines/gam.h"
+#include "src/baselines/mind_system.h"
+#include "src/core/access_channel.h"
+#include "src/workload/generators.h"
+#include "src/workload/replay.h"
+
+namespace mind {
+namespace {
+
+void ExpectReportsIdentical(const ReplayReport& want, const ReplayReport& got) {
+  EXPECT_EQ(want.makespan, got.makespan);
+  EXPECT_EQ(want.total_ops, got.total_ops);
+  EXPECT_EQ(want.counters.total_accesses, got.counters.total_accesses);
+  EXPECT_EQ(want.counters.local_hits, got.counters.local_hits);
+  EXPECT_EQ(want.counters.remote_accesses, got.counters.remote_accesses);
+  EXPECT_EQ(want.counters.invalidations, got.counters.invalidations);
+  EXPECT_EQ(want.counters.pages_flushed, got.counters.pages_flushed);
+  EXPECT_EQ(want.counters.false_invalidations, got.counters.false_invalidations);
+  EXPECT_EQ(want.counters.breakdown_sums.fault, got.counters.breakdown_sums.fault);
+  EXPECT_EQ(want.counters.breakdown_sums.network, got.counters.breakdown_sums.network);
+  EXPECT_EQ(want.counters.breakdown_sums.inv_queue, got.counters.breakdown_sums.inv_queue);
+  EXPECT_EQ(want.counters.breakdown_sums.inv_tlb, got.counters.breakdown_sums.inv_tlb);
+  EXPECT_TRUE(want.latency_histogram == got.latency_histogram);
+  EXPECT_DOUBLE_EQ(want.avg_latency_us, got.avg_latency_us);
+  EXPECT_DOUBLE_EQ(want.throughput_mops, got.throughput_mops);
+}
+
+// --- Part 1: engine-level conformance across systems -------------------------
+
+struct ConformanceCase {
+  std::string name;
+  std::function<std::unique_ptr<MemorySystem>()> make_system;
+  WorkloadSpec spec;
+  // The channel fast path must actually engage under sharded replay (not merely match by
+  // draining everything).
+  bool expect_parallel_hits = true;
+};
+
+RackConfig ConformanceRackConfig() {
+  RackConfig c;
+  c.num_compute_blades = 4;
+  c.num_memory_blades = 4;
+  c.memory_blade_capacity = 2ull << 30;
+  c.compute_cache_bytes = 8ull << 20;  // Small cache: real LRU evictions during replay.
+  c.directory_slots = 2048;            // Small directory: capacity evictions + merges.
+  c.splitting.epoch_length = 2 * kMillisecond;
+  return c;
+}
+
+GamConfig ConformanceGamConfig() {
+  GamConfig c;
+  c.num_compute_blades = 4;
+  c.num_memory_blades = 4;
+  c.compute_cache_bytes = 8ull << 20;
+  return c;
+}
+
+WorkloadSpec CoherenceSpec(int blades, int threads_per_blade) {
+  WorkloadSpec spec = MemcachedASpec(blades, threads_per_blade,
+                                     /*accesses_per_thread=*/3000);
+  spec.shared_pages = 4096;
+  return spec;
+}
+
+std::vector<ConformanceCase> ConformanceCases() {
+  std::vector<ConformanceCase> cases;
+  cases.push_back(ConformanceCase{
+      "MindTso",
+      [] { return std::make_unique<MindSystem>(ConformanceRackConfig()); },
+      CoherenceSpec(4, 2)});
+  {
+    RackConfig pso = ConformanceRackConfig();
+    pso.consistency = ConsistencyModel::kPso;
+    cases.push_back(ConformanceCase{
+        "MindPso", [pso] { return std::make_unique<MindSystem>(pso); },
+        CoherenceSpec(4, 2)});
+  }
+  // GAM with one thread per blade and cache-resident per-blade working sets: the
+  // channel's simulated lock queue is exact at Submit (latency_final), hit runs are
+  // uniform, and sparse shared writes fire real cross-blade invalidations.
+  {
+    WorkloadSpec spec;
+    spec.name = "gam-blade-resident";
+    spec.num_blades = 4;
+    spec.threads_per_blade = 1;
+    spec.private_pages_per_thread = 1024;  // Fits the 2048-frame conformance cache.
+    spec.private_pattern = Pattern::kSequential;
+    spec.private_write_fraction = 0.5;
+    spec.shared_pages = 512;
+    spec.shared_access_fraction = 0.05;
+    spec.shared_write_fraction = 0.2;
+    spec.accesses_per_thread = 5000;
+    cases.push_back(ConformanceCase{
+        "GamSoleThreadBlades",
+        [] { return std::make_unique<GamSystem>(ConformanceGamConfig()); }, spec});
+  }
+  // GAM streaming far past the cache (TF shape on an 8 MB cache): nearly every op is a
+  // miss, so this pins down bit-identity when the adaptive drain carries ~the whole
+  // trace. Channel engagement is not asserted — there are no runs worth batching.
+  cases.push_back(ConformanceCase{
+      "GamStreamingMisses",
+      [] { return std::make_unique<GamSystem>(ConformanceGamConfig()); },
+      TfSpec(4, /*threads_per_blade=*/1, /*accesses_per_thread=*/4000),
+      /*expect_parallel_hits=*/false});
+  // GAM with intra-blade contention: submit-time latencies are lower bounds and every
+  // committed op finalizes against the live per-blade lock queue.
+  cases.push_back(ConformanceCase{
+      "GamContendedBlades",
+      [] { return std::make_unique<GamSystem>(ConformanceGamConfig()); },
+      CoherenceSpec(4, 2)});
+  {
+    // FastSwap, cache-resident: two threads share the swap cache, hits dominate after
+    // warmup, and the same-blade (clock, thread) merge interleaves their runs.
+    FastSwapConfig fs;
+    fs.num_memory_blades = 4;
+    fs.compute_cache_bytes = 4ull << 20;  // 1024 frames.
+    WorkloadSpec spec;
+    spec.name = "fastswap-resident";
+    spec.num_blades = 1;
+    spec.threads_per_blade = 2;
+    spec.private_pages_per_thread = 400;
+    spec.private_pattern = Pattern::kUniform;
+    spec.private_write_fraction = 0.5;
+    spec.accesses_per_thread = 5000;
+    cases.push_back(ConformanceCase{
+        "FastSwapResident", [fs] { return std::make_unique<FastSwapSystem>(fs); }, spec});
+    // FastSwap, thrashing: working set ~1.5x the cache, so faults, LRU evictions and
+    // dirty write-backs dominate — identity only, engagement depends on the drain policy.
+    WorkloadSpec thrash = spec;
+    thrash.name = "fastswap-thrash";
+    thrash.private_pages_per_thread = 800;
+    cases.push_back(ConformanceCase{
+        "FastSwapThrashing", [fs] { return std::make_unique<FastSwapSystem>(fs); },
+        thrash, /*expect_parallel_hits=*/false});
+  }
+  return cases;
+}
+
+class AccessChannelConformance : public ::testing::TestWithParam<ConformanceCase> {};
+
+TEST_P(AccessChannelConformance, BitIdenticalToPerOpReference) {
+  const ConformanceCase& c = GetParam();
+  const WorkloadTraces traces = GenerateTraces(c.spec);
+
+  auto ref_sys = c.make_system();
+  ReplayOptions ref_opts;
+  ref_opts.use_channels = false;
+  ReplayEngine ref(ref_sys.get(), &traces, ref_opts);
+  ASSERT_TRUE(ref.Setup().ok());
+  const ReplayReport want = ref.Run();
+  ASSERT_GT(want.total_ops, 0u);
+
+  for (const int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE(shards);
+    auto sys = c.make_system();
+    ReplayOptions opts;
+    opts.shards = shards;
+    ReplayEngine engine(sys.get(), &traces, opts);
+    ASSERT_TRUE(engine.Setup().ok());
+    const ReplayReport got = engine.Run();
+    ExpectReportsIdentical(want, got);
+    if (c.expect_parallel_hits) {
+      uint64_t parallel = 0;
+      for (const ShardReport& sr : engine.shard_reports()) {
+        parallel += sr.parallel_hits;
+      }
+      EXPECT_GT(parallel, 0u) << "channel fast path never engaged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, AccessChannelConformance,
+                         ::testing::ValuesIn(ConformanceCases()),
+                         [](const ::testing::TestParamInfo<ConformanceCase>& info) {
+                           return info.param.name;
+                         });
+
+// --- Part 2: per-region validity stamps --------------------------------------
+
+// MIND: a run submitted over a private 2MB region of blade 0 survives a cross-blade
+// invalidation wave that strips a *shared* region of blade 0, and dies only when a wave
+// lands inside the run's own region. (Directory entries start at 16 KB, far below the
+// 2 MB stamp granularity, so the shared wave cannot leak into the private region.)
+TEST(AccessChannelRegionStamps, MindPrivateRunSurvivesSharedWave) {
+  RackConfig cfg;
+  cfg.num_compute_blades = 2;
+  cfg.num_memory_blades = 2;
+  MindSystem sys(cfg);
+  const VirtAddr base = *sys.Alloc(8ull << 20);  // 2048 pages: spans four 2MB regions.
+  const ThreadId tid_a = *sys.RegisterThread(0);
+  const ThreadId tid_b = *sys.RegisterThread(1);
+
+  SimTime t = 0;
+  // Blade 0 caches private pages 0..7 (region 0) writable...
+  for (uint64_t p = 0; p < 8; ++p) {
+    const AccessResult r = sys.Access(tid_a, 0, base + p * kPageSize, AccessType::kWrite, t);
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 1;
+  }
+  // ...and the shared page 1024 (region 2) read-only.
+  const VirtAddr shared = base + 1024 * kPageSize;
+  {
+    const AccessResult r = sys.Access(tid_a, 0, shared, AccessType::kRead, t);
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 1;
+  }
+
+  auto channel = sys.OpenChannel(tid_a, 0);
+  ASSERT_NE(channel, nullptr);
+  std::vector<LocalOp> ops;
+  for (uint64_t p = 0; p < 8; ++p) {
+    ops.push_back(LocalOp{base + p * kPageSize, AccessType::kRead});
+  }
+  std::vector<Completion> comps(ops.size());
+  const SimTime submit_clock = t;
+  const SubmitResult run = channel->Submit(ops.data(), ops.size(), submit_clock,
+                                           /*think=*/100, comps.data());
+  ASSERT_EQ(run.accepted, ops.size());
+  EXPECT_TRUE(run.latency_final);
+  EXPECT_GT(run.uniform_latency, 0u);
+  EXPECT_TRUE(channel->RunValid());
+
+  // Cross-blade write to the shared page: the invalidation wave strips blade 0's copy in
+  // region 2. The run's stamp covers only region 0 — it must survive.
+  const uint64_t inv_before = sys.counters().invalidations;
+  {
+    const AccessResult r = sys.Access(tid_b, 1, shared, AccessType::kWrite, t);
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 1;
+  }
+  ASSERT_GT(sys.counters().invalidations, inv_before);  // The wave really hit blade 0.
+  EXPECT_TRUE(channel->RunValid());
+
+  // The surviving run commits, and the committed hits are real: a serial re-access of a
+  // committed page still hits blade-locally.
+  channel->Commit(comps.data(), comps.size(), submit_clock);
+  {
+    const AccessResult r = sys.Access(tid_a, 0, base, AccessType::kRead, t);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.local_hit);
+    t = r.completion + 1;
+  }
+
+  // A wave inside the run's own region kills it.
+  {
+    const AccessResult r = sys.Access(tid_b, 1, base + 3 * kPageSize, AccessType::kWrite, t);
+    ASSERT_TRUE(r.status.ok());
+  }
+  EXPECT_FALSE(channel->RunValid());
+}
+
+// Same shape for GAM, whose page-granular software directory makes the wave surgical.
+TEST(AccessChannelRegionStamps, GamPrivateRunSurvivesSharedWave) {
+  GamConfig cfg;
+  cfg.num_compute_blades = 2;
+  cfg.num_memory_blades = 2;
+  GamSystem sys(cfg);
+  const VirtAddr base = *sys.Alloc(16ull << 20);
+  const ThreadId tid_a = *sys.RegisterThread(0);
+  const ThreadId tid_b = *sys.RegisterThread(1);
+
+  SimTime t = 0;
+  for (uint64_t p = 0; p < 8; ++p) {
+    const AccessResult r = sys.Access(tid_a, 0, base + p * kPageSize, AccessType::kWrite, t);
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 1;
+  }
+  const VirtAddr shared = base + 2048 * kPageSize;  // Region 4: far from the run.
+  {
+    const AccessResult r = sys.Access(tid_a, 0, shared, AccessType::kRead, t);
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 1;
+  }
+
+  auto channel = sys.OpenChannel(tid_a, 0);
+  ASSERT_NE(channel, nullptr);
+  std::vector<LocalOp> ops;
+  for (uint64_t p = 0; p < 8; ++p) {
+    ops.push_back(LocalOp{base + p * kPageSize, AccessType::kRead});
+  }
+  std::vector<Completion> comps(ops.size());
+  const SubmitResult run =
+      channel->Submit(ops.data(), ops.size(), t, /*think=*/100, comps.data());
+  ASSERT_EQ(run.accepted, ops.size());
+  EXPECT_TRUE(run.latency_final);  // Blade 0 has a single registered thread.
+  EXPECT_GT(run.uniform_latency, 0u);
+  EXPECT_TRUE(channel->RunValid());
+
+  // B steals the shared page: GAM invalidates blade 0's copy of that page only.
+  {
+    const AccessResult r = sys.Access(tid_b, 1, shared, AccessType::kWrite, t);
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 1;
+  }
+  EXPECT_GT(sys.counters().invalidations, 0u);
+  EXPECT_TRUE(channel->RunValid());
+
+  // B steals a page inside the run's region: the run dies.
+  {
+    const AccessResult r = sys.Access(tid_b, 1, base + 3 * kPageSize, AccessType::kWrite, t);
+    ASSERT_TRUE(r.status.ok());
+  }
+  EXPECT_FALSE(channel->RunValid());
+}
+
+}  // namespace
+}  // namespace mind

@@ -1,8 +1,10 @@
-// Determinism tests for the sharded replay engine: replaying the same trace with 1, 2, 4
-// or 8 shards — threads or no threads, any scan window, any drain policy — must produce
-// results bit-identical to the serial ReplayEngine: same makespan, same counter block,
-// same latency histogram (every bucket), same throughput. The epoch-barrier merge design
-// makes this a hard invariant, not a tolerance.
+// Determinism tests for the channel-based replay engine: replaying the same trace with 1,
+// 2, 4 or 8 shards — threads or no threads, any scan window, any drain policy — must
+// produce results bit-identical to the per-op reference path (use_channels = false: every
+// op through MemorySystem::Access on the global min-heap): same makespan, same counter
+// block, same latency histogram (every bucket), same throughput. The epoch-barrier merge
+// design makes this a hard invariant, not a tolerance. Cross-system conformance of the
+// AccessChannel contract itself (MIND, GAM, FastSwap) lives in access_channel_test.cc.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -37,9 +39,21 @@ WorkloadSpec CoherenceHeavySpec(int blades) {
 }
 
 WorkloadSpec HitHeavySpec(int blades) {
-  // TF flavor: mostly per-thread private streaming — long blade-local hit runs, the case
-  // the parallel phase accelerates.
-  return TfSpec(blades, /*threads_per_blade=*/1, /*accesses_per_thread=*/6000);
+  // Blade-resident flavor: per-thread working sets that fit the 2048-frame test cache —
+  // after warmup >80% of ops are blade-local hit runs, the case the parallel phase
+  // accelerates. (The TF preset streams far past this cache and is covered as the
+  // miss-dominant identity case in access_channel_test.cc.)
+  WorkloadSpec spec;
+  spec.name = "blade-resident";
+  spec.num_blades = blades;
+  spec.threads_per_blade = 1;
+  spec.private_pages_per_thread = 1024;
+  spec.private_pattern = Pattern::kUniform;
+  spec.private_write_fraction = 0.5;
+  spec.accesses_per_thread = 6000;
+  spec.think_time = 200;
+  spec.seed = 7;
+  return spec;
 }
 
 void ExpectReportsIdentical(const ReplayReport& want, const ReplayReport& got) {
@@ -62,16 +76,18 @@ void ExpectReportsIdentical(const ReplayReport& want, const ReplayReport& got) {
 
 ReplayReport SerialReference(const WorkloadTraces& traces, const RackConfig& config) {
   MindSystem sys(config);
-  ReplayEngine engine(&sys, &traces);
+  ReplayOptions opts;
+  opts.use_channels = false;  // Per-op reference: one virtual Access per op.
+  ReplayEngine engine(&sys, &traces, opts);
   EXPECT_TRUE(engine.Setup().ok());
   return engine.Run();
 }
 
 ReplayReport RunSharded(const WorkloadTraces& traces, const RackConfig& config,
-                        ShardedReplayOptions opts,
+                        ReplayOptions opts,
                         std::vector<ShardReport>* shard_reports = nullptr) {
   MindSystem sys(config);
-  ShardedReplayEngine engine(&sys, &traces, opts);
+  ReplayEngine engine(&sys, &traces, opts);
   EXPECT_TRUE(engine.Setup().ok());
   ReplayReport report = engine.Run();
   if (shard_reports != nullptr) {
@@ -88,7 +104,7 @@ TEST(ShardedReplay, BitIdenticalAcrossShardCountsCoherenceHeavy) {
   ASSERT_GT(want.counters.invalidations, 0u);  // The workload must cross shards.
   for (const int shards : {1, 2, 8}) {
     SCOPED_TRACE(shards);
-    ShardedReplayOptions opts;
+    ReplayOptions opts;
     opts.shards = shards;
     ExpectReportsIdentical(want, RunSharded(traces, config, opts));
   }
@@ -100,7 +116,7 @@ TEST(ShardedReplay, BitIdenticalAcrossShardCountsHitHeavy) {
   const ReplayReport want = SerialReference(traces, config);
   for (const int shards : {1, 2, 4, 8}) {
     SCOPED_TRACE(shards);
-    ShardedReplayOptions opts;
+    ReplayOptions opts;
     opts.shards = shards;
     std::vector<ShardReport> shard_reports;
     const ReplayReport got = RunSharded(traces, config, opts, &shard_reports);
@@ -111,13 +127,11 @@ TEST(ShardedReplay, BitIdenticalAcrossShardCountsHitHeavy) {
       accounted += sr.parallel_hits + sr.drained_ops;
     }
     EXPECT_EQ(accounted, got.total_ops);
-    if (shards > 1) {
-      uint64_t parallel = 0;
-      for (const ShardReport& sr : shard_reports) {
-        parallel += sr.parallel_hits;
-      }
-      EXPECT_GT(parallel, 0u);  // The fast path must actually engage.
+    uint64_t parallel = 0;
+    for (const ShardReport& sr : shard_reports) {
+      parallel += sr.parallel_hits;
     }
+    EXPECT_GT(parallel, 0u);  // The channel fast path must actually engage.
   }
 }
 
@@ -128,7 +142,7 @@ TEST(ShardedReplay, BitIdenticalUnderPso) {
   const ReplayReport want = SerialReference(traces, config);
   for (const int shards : {2, 4}) {
     SCOPED_TRACE(shards);
-    ShardedReplayOptions opts;
+    ReplayOptions opts;
     opts.shards = shards;
     ExpectReportsIdentical(want, RunSharded(traces, config, opts));
   }
@@ -139,7 +153,7 @@ TEST(ShardedReplay, BitIdenticalWithForcedWorkerThreads) {
   const RackConfig config = TestRackConfig(4);
   const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(4));
   const ReplayReport want = SerialReference(traces, config);
-  ShardedReplayOptions opts;
+  ReplayOptions opts;
   opts.shards = 4;
   opts.force_threads = true;
   ExpectReportsIdentical(want, RunSharded(traces, config, opts));
@@ -151,7 +165,7 @@ TEST(ShardedReplay, BitIdenticalUnderStressedRoundMachinery) {
   const RackConfig config = TestRackConfig(4);
   const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(4));
   const ReplayReport want = SerialReference(traces, config);
-  ShardedReplayOptions opts;
+  ReplayOptions opts;
   opts.shards = 2;
   opts.scan_window_ops = 3;
   opts.drain_max_coherence_ops = 1;
@@ -164,27 +178,52 @@ TEST(ShardedReplay, BitIdenticalWithStoredPayloads) {
   config.store_data = true;  // Payloads flow through the per-blade slab arenas.
   const WorkloadTraces traces = GenerateTraces(CoherenceHeavySpec(2));
   const ReplayReport want = SerialReference(traces, config);
-  ShardedReplayOptions opts;
+  ReplayOptions opts;
   opts.shards = 2;
   ExpectReportsIdentical(want, RunSharded(traces, config, opts));
 }
 
-TEST(ShardedReplay, BaselineWithoutFastPathContractSerializes) {
-  // GAM does not implement Peek/Commit; the contract's default routes every op through
-  // the serialized drain, and the result still matches the serial engine exactly.
-  GamConfig config;
-  config.num_compute_blades = 4;
+// Forwards every MemorySystem call but inherits the default (null) OpenChannel: the
+// opt-out contract must route every op through the serialized drain and still match the
+// per-op reference exactly.
+class NoChannelSystem final : public MemorySystem {
+ public:
+  explicit NoChannelSystem(MemorySystem* inner) : inner_(inner) {}
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] int num_compute_blades() const override {
+    return inner_->num_compute_blades();
+  }
+  Result<VirtAddr> Alloc(uint64_t size) override { return inner_->Alloc(size); }
+  Result<ThreadId> RegisterThread(ComputeBladeId blade) override {
+    return inner_->RegisterThread(blade);
+  }
+  AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
+                      SimTime now) override {
+    return inner_->Access(tid, blade, va, type, now);
+  }
+  [[nodiscard]] SystemCounters counters() const override { return inner_->counters(); }
+  void AdvanceTo(SimTime now) override { inner_->AdvanceTo(now); }
+
+ private:
+  MemorySystem* inner_;
+};
+
+TEST(ShardedReplay, SystemWithoutChannelsSerializes) {
+  const RackConfig config = TestRackConfig(4);
   const WorkloadTraces traces = GenerateTraces(HitHeavySpec(4));
 
-  GamSystem serial_sys(config);
-  ReplayEngine serial(&serial_sys, &traces);
+  MindSystem serial_sys(config);
+  ReplayOptions ref;
+  ref.use_channels = false;
+  ReplayEngine serial(&serial_sys, &traces, ref);
   ASSERT_TRUE(serial.Setup().ok());
   const ReplayReport want = serial.Run();
 
-  GamSystem sharded_sys(config);
-  ShardedReplayOptions opts;
+  MindSystem inner(config);
+  NoChannelSystem sharded_sys(&inner);
+  ReplayOptions opts;
   opts.shards = 4;
-  ShardedReplayEngine sharded(&sharded_sys, &traces, opts);
+  ReplayEngine sharded(&sharded_sys, &traces, opts);
   ASSERT_TRUE(sharded.Setup().ok());
   const ReplayReport got = sharded.Run();
   ExpectReportsIdentical(want, got);
@@ -195,29 +234,33 @@ TEST(ShardedReplay, BaselineWithoutFastPathContractSerializes) {
   EXPECT_EQ(parallel, 0u);
 }
 
-TEST(ShardedReplay, SamplerFallsBackToSerialEngine) {
+TEST(ShardedReplay, SamplerFallsBackToReferencePath) {
   const RackConfig config = TestRackConfig(4);
   const WorkloadTraces traces = GenerateTraces(HitHeavySpec(4));
   MindSystem sys(config);
-  ShardedReplayOptions opts;
+  ReplayOptions opts;
   opts.shards = 4;
-  ShardedReplayEngine engine(&sys, &traces, opts);
+  ReplayEngine engine(&sys, &traces, opts);
   ASSERT_TRUE(engine.Setup().ok());
   int samples = 0;
   const ReplayReport report =
       engine.Run([&](SimTime) { ++samples; }, /*sample_interval=*/50 * kMicrosecond);
   EXPECT_GT(samples, 0);
-  EXPECT_EQ(engine.effective_shards(), 1);  // Documented serial fallback.
+  EXPECT_EQ(engine.effective_shards(), 1);  // Documented per-op fallback.
   EXPECT_GT(report.total_ops, 0u);
+  // Everything drained: the reference path never touches a channel.
+  ASSERT_EQ(engine.shard_reports().size(), 1u);
+  EXPECT_EQ(engine.shard_reports()[0].parallel_hits, 0u);
+  EXPECT_EQ(engine.shard_reports()[0].drained_ops, report.total_ops);
 }
 
 TEST(ShardedReplay, ShardCountClampsToBlades) {
   const RackConfig config = TestRackConfig(2);
   const WorkloadTraces traces = GenerateTraces(HitHeavySpec(2));
   MindSystem sys(config);
-  ShardedReplayOptions opts;
+  ReplayOptions opts;
   opts.shards = 64;
-  ShardedReplayEngine engine(&sys, &traces, opts);
+  ReplayEngine engine(&sys, &traces, opts);
   ASSERT_TRUE(engine.Setup().ok());
   (void)engine.Run();
   EXPECT_EQ(engine.effective_shards(), 2);
@@ -249,6 +292,25 @@ TEST(SystemCountersMerge, AddsEveryFieldWithoutDoubleCounting) {
   const SystemCounters delta = a.DeltaSince(b);
   EXPECT_EQ(delta.total_accesses, 10u);
   EXPECT_EQ(delta.breakdown_sums.inv_queue, 0u);
+}
+
+TEST(LatencyBreakdownDelta, SubtractsEveryField) {
+  LatencyBreakdown a;
+  a.fault = 100;
+  a.network = 200;
+  a.inv_queue = 30;
+  a.inv_tlb = 4;
+  LatencyBreakdown b;
+  b.fault = 60;
+  b.network = 150;
+  b.inv_queue = 30;
+  b.inv_tlb = 1;
+  const LatencyBreakdown d = a - b;
+  EXPECT_EQ(d.fault, 40u);
+  EXPECT_EQ(d.network, 50u);
+  EXPECT_EQ(d.inv_queue, 0u);
+  EXPECT_EQ(d.inv_tlb, 3u);
+  EXPECT_EQ(d.Total(), 93u);
 }
 
 TEST(HistogramMerge, ExactBucketEqualityAfterShardedMerge) {
