@@ -92,10 +92,61 @@ inline std::unique_ptr<MindSystem> MakeMindPsoPlus(int blades) {
   return std::make_unique<MindSystem>(c, "MIND-PSO+");
 }
 
+// MIND_PREFETCH=<none|nextn|stride> opts every RunWorkload replay into that prefetch
+// policy (kNone — no prefetching — remains the default).
+inline PrefetchPolicy PrefetchPolicyFromEnv() {
+  if (const char* s = std::getenv("MIND_PREFETCH"); s != nullptr) {
+    if (auto p = ParsePrefetchPolicy(s); p.has_value()) {
+      return *p;
+    }
+    // Fail fast: silently running a long sweep with the wrong policy is worse.
+    std::fprintf(stderr, "bench: unknown MIND_PREFETCH \"%s\" (want none|nextn|stride)\n",
+                 s);
+    std::exit(2);
+  }
+  return PrefetchPolicy::kNone;
+}
+
+// `--prefetch=<none|nextn|stride>` on a bench/example command line, with MIND_PREFETCH
+// as the fallback.
+inline PrefetchPolicy PrefetchFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--prefetch=", 11) == 0) {
+      if (auto p = ParsePrefetchPolicy(argv[i] + 11); p.has_value()) {
+        return *p;
+      }
+      std::fprintf(stderr, "unknown --prefetch \"%s\" (want none|nextn|stride)\n",
+                   argv[i] + 11);
+      std::exit(2);
+    }
+  }
+  return PrefetchPolicyFromEnv();
+}
+
+// One accounting line per replayed system when prefetching was on: the coverage /
+// accuracy numbers the prefetch figure plots, attached to the system's report.
+inline void PrintPrefetchReportLine(const ReplayReport& report, PrefetchPolicy policy) {
+  if (policy == PrefetchPolicy::kNone) {
+    return;
+  }
+  const PrefetchStats& p = report.prefetch;
+  std::printf("[prefetch] %-8s %-10s policy=%-6s issued=%llu useful=%llu late=%llu "
+              "evicted=%llu stale=%llu coverage=%.1f%% accuracy=%.1f%%\n",
+              report.system.c_str(), report.workload.c_str(), ToString(policy),
+              static_cast<unsigned long long>(p.issued),
+              static_cast<unsigned long long>(p.useful),
+              static_cast<unsigned long long>(p.late),
+              static_cast<unsigned long long>(p.evicted_unused),
+              static_cast<unsigned long long>(p.discarded_stale),
+              100.0 * report.PrefetchCoverage(), 100.0 * p.Accuracy());
+}
+
 // Generates traces for `spec`, replays them on `sys`, returns the report. Every shard
 // count drives the same channel-based engine (results are bit-identical across shard
 // counts and vs the per-op reference path); `shards > 1` adds concurrent execution. A
-// sampler forces the per-op reference path (exact global observation points).
+// sampler forces the per-op reference path (exact global observation points). The
+// MIND_PREFETCH env override (see PrefetchPolicyFromEnv) opts the replay into a prefetch
+// policy and prints the per-system accounting line.
 inline ReplayReport RunWorkload(MemorySystem& sys, const WorkloadSpec& spec,
                                 ReplayEngine::Sampler sampler = nullptr,
                                 SimTime sample_interval = 10 * kMillisecond, int shards = 1) {
@@ -105,13 +156,16 @@ inline ReplayReport RunWorkload(MemorySystem& sys, const WorkloadSpec& spec,
   // A sampler forces the per-op reference path anyway; opting out of channels up front
   // also skips Setup's VA-resolved op materialization for those runs.
   opts.use_channels = sampler == nullptr;
+  opts.prefetch = PrefetchPolicyFromEnv();
   ReplayEngine engine(&sys, &traces, opts);
   const Status s = engine.Setup();
   if (!s.ok()) {
     std::fprintf(stderr, "replay setup failed: %s\n", s.ToString().c_str());
     std::abort();
   }
-  return engine.Run(std::move(sampler), sample_interval);
+  ReplayReport report = engine.Run(std::move(sampler), sample_interval);
+  PrintPrefetchReportLine(report, opts.prefetch);
+  return report;
 }
 
 // `--shards=N` on a bench/example command line, with MIND_REPLAY_SHARDS as the fallback.

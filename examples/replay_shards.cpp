@@ -20,6 +20,9 @@ using namespace mind;
 int main(int argc, char** argv) {
   // --shards=N, or MIND_REPLAY_SHARDS as the fallback (shared bench/example parser).
   const int shards = bench::ShardsFromArgs(argc, argv);
+  // --prefetch=<none|nextn|stride>, or MIND_PREFETCH as the fallback: opt the replay
+  // into pattern-aware prefetching (src/prefetch/prefetch.h). Default: none.
+  const PrefetchPolicy prefetch = bench::PrefetchFromArgs(argc, argv);
 
   RackConfig config;
   config.num_compute_blades = 4;
@@ -29,14 +32,15 @@ int main(int argc, char** argv) {
   MindSystem system(config);
 
   // KVS-style mix at 4 blades: cache-resident per-thread partitions (long blade-local
-  // runs the AccessChannel fast path batches) plus a zipfian shared table with sparse
+  // runs the AccessChannel fast path batches; the sequential scan also gives the warmup
+  // faults a stride for --prefetch to detect) plus a zipfian shared table with sparse
   // writes — real cross-shard invalidation waves for the deterministic merge to sequence.
   WorkloadSpec spec;
   spec.name = "kvs-mix";
   spec.num_blades = 4;
   spec.threads_per_blade = 2;
   spec.private_pages_per_thread = 2048;
-  spec.private_pattern = Pattern::kUniform;
+  spec.private_pattern = Pattern::kSequential;
   spec.private_write_fraction = 0.5;
   spec.shared_pages = 2048;
   spec.shared_pattern = Pattern::kZipfian;
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
 
   ReplayOptions options;
   options.shards = shards;
+  options.prefetch = prefetch;
   ReplayEngine engine(&system, &traces, options);
   if (const Status s = engine.Setup(); !s.ok()) {
     std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
@@ -80,6 +85,12 @@ int main(int argc, char** argv) {
   std::printf("invalidations       : %llu (%.4f per op)\n",
               static_cast<unsigned long long>(report.counters.invalidations),
               report.InvalidationsPerOp());
+  std::printf("prefetch            : %s (issued %llu, useful %llu, late %llu, "
+              "coverage %.1f%%)\n",
+              ToString(prefetch), static_cast<unsigned long long>(report.prefetch.issued),
+              static_cast<unsigned long long>(report.prefetch.useful),
+              static_cast<unsigned long long>(report.prefetch.late),
+              100.0 * report.PrefetchCoverage());
   std::printf("replay wall clock   : %.1f ms\n\n", wall_ms);
 
   std::printf("per-shard breakdown (parallel fast-path hits vs serialized coherence):\n");

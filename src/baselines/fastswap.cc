@@ -1,6 +1,8 @@
 #include "src/baselines/fastswap.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace mind {
 
@@ -27,23 +29,63 @@ Result<ThreadId> FastSwapSystem::RegisterThread(ComputeBladeId blade) {
 
 AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
                                     AccessType type, SimTime now) {
-  (void)tid;
   (void)blade;
   ++counters_.total_accesses;
   AccessResult res;
   const uint64_t page = PageNumber(va);
 
-  DramCache::Frame* frame = cache_->Lookup(page);
-  if (frame != nullptr) {
+  auto hit = [&](DramCache::Frame* frame) {
     // Swap systems install pages read-write; any hit is a plain DRAM access.
     ++counters_.local_hits;
     if (type == AccessType::kWrite) {
       frame->dirty = true;
     }
+    if (frame->prefetched) [[unlikely]] {  // First touch: the prefetch was useful.
+      frame->prefetched = false;
+      prefetch_.OnPrefetchedTouch(page);
+    }
     res.local_hit = true;
     res.latency = config_.latency.local_cache_hit;
     res.completion = now + res.latency;
     return res;
+  };
+  if (DramCache::Frame* frame = cache_->Lookup(page); frame != nullptr) {
+    return hit(frame);
+  }
+
+  // Prefetch hooks live on the fault path only (the stream a swap prefetcher observes):
+  // install arrived pages, join an in-flight fetch, or fall through to the real fault.
+  if (config_.prefetch.enabled()) {
+    InstallReadyPrefetches(now);
+    if (DramCache::Frame* frame = cache_->Lookup(page); frame != nullptr) {
+      return hit(frame);  // An arrived prefetch covers this fault.
+    }
+    if (auto it = prefetch_.in_flight.find(page); it != prefetch_.in_flight.end()) {
+      // Demand fault joins the in-flight swap-in: resolves when the data lands (a late
+      // prefetch — shortened the stall without hiding it). Read-write install, so the
+      // demand completes either way.
+      const BladePrefetchState::InFlight entry = it->second;
+      prefetch_.in_flight.erase(it);
+      prefetch_.RecomputeNextReady();
+      entry.owner->OnLate();
+      ++counters_.remote_accesses;
+      // The thread still takes the page-fault trap, then blocks until the data lands.
+      const SimTime landed =
+          std::max(now + config_.latency.page_fault_entry, entry.ready_at);
+      InstallPage(page, landed, /*prefetched=*/false, nullptr);
+      if (type == AccessType::kWrite) {
+        cache_->MarkDirty(page);
+      }
+      const SimTime done = landed + config_.latency.pte_install;
+      res.latency = done - now;
+      res.completion = done;
+      res.breakdown.fault =
+          config_.latency.page_fault_entry + config_.latency.pte_install;
+      res.breakdown.network = res.latency - res.breakdown.fault;
+      counters_.breakdown_sums += res.breakdown;
+      PrefetchAfterFault(tid, page, done);
+      return res;
+    }
   }
 
   // Page fault: frontswap fetch from the backing memory blade through the ToR switch
@@ -60,15 +102,7 @@ AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr
                                       resp_up.arrival + config_.latency.switch_pipeline);
   t = resp_down.arrival + config_.latency.pte_install;
 
-  auto evicted = cache_->Insert(page, /*writable=*/true, nullptr);
-  if (evicted.has_value() && evicted->dirty) {
-    // Asynchronous write-back of the victim page.
-    ++counters_.pages_flushed;
-    auto wb_up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaWriteRequest, t);
-    (void)fabric_.FromSwitch(Endpoint::Memory(BackingBlade(evicted->page)),
-                             MessageKind::kRdmaWriteRequest,
-                             wb_up.arrival + config_.latency.switch_pipeline);
-  }
+  InstallPage(page, t, /*prefetched=*/false, nullptr);
   if (type == AccessType::kWrite) {
     cache_->MarkDirty(page);
   }
@@ -78,7 +112,98 @@ AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr
   res.breakdown.fault = config_.latency.page_fault_entry + config_.latency.pte_install;
   res.breakdown.network = res.latency - res.breakdown.fault;
   counters_.breakdown_sums += res.breakdown;
+  if (config_.prefetch.enabled()) {
+    PrefetchAfterFault(tid, page, t);
+  }
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// Swap-path prefetching (src/prefetch/prefetch.h): predictions issue after the demand
+// fault completes, pages arrive asynchronously and fill the swap cache read-write.
+// ---------------------------------------------------------------------------
+
+PrefetchEngine& FastSwapSystem::EnsurePrefetchEngine(ThreadId tid) {
+  return EnsureEngine(prefetch_engines_, tid, config_.prefetch);
+}
+
+void FastSwapSystem::InstallPage(uint64_t page, SimTime now, bool prefetched,
+                                 PrefetchEngine* owner) {
+  auto evicted = cache_->Insert(page, /*writable=*/true, nullptr);
+  if (evicted.has_value()) {
+    if (config_.prefetch.enabled()) {
+      prefetch_.OnPageEvicted(evicted->page);  // Evicted-unused feedback.
+    }
+    if (evicted->dirty) {
+      // Asynchronous write-back of the victim page.
+      ++counters_.pages_flushed;
+      auto wb_up =
+          fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaWriteRequest, now);
+      (void)fabric_.FromSwitch(Endpoint::Memory(BackingBlade(evicted->page)),
+                               MessageKind::kRdmaWriteRequest,
+                               wb_up.arrival + config_.latency.switch_pipeline);
+    }
+  }
+  if (prefetched) {
+    if (DramCache::Frame* f = cache_->Find(page); f != nullptr) {
+      f->prefetched = true;
+      prefetch_.unused[page] = owner;
+    }
+  }
+}
+
+void FastSwapSystem::InstallReadyPrefetches(SimTime now) {
+  for (const auto& [page, entry] : prefetch_.TakeReady(now)) {
+    entry.owner->OnInstalled();  // FastSwap has no invalidations: nothing goes stale.
+    if (cache_->Find(page) != nullptr) {
+      continue;
+    }
+    InstallPage(page, entry.ready_at, /*prefetched=*/true, entry.owner);
+  }
+}
+
+void FastSwapSystem::PrefetchAfterFault(ThreadId tid, uint64_t page, SimTime done) {
+  PrefetchEngine& engine = EnsurePrefetchEngine(tid);
+  engine.RecordFault(page);
+  prefetch_scratch_.clear();
+  engine.Predict(page, &prefetch_scratch_);
+  for (const uint64_t p : prefetch_scratch_) {
+    if (!engine.HasInFlightRoom()) {
+      break;  // Bounded in-flight queue.
+    }
+    const VirtAddr va = PageToAddr(p);
+    if (va < first_va_ || va >= next_va_) {
+      continue;  // Never swap in past the allocated address space.
+    }
+    if (cache_->Find(p) != nullptr ||
+        prefetch_.in_flight.find(p) != prefetch_.in_flight.end()) {
+      continue;
+    }
+    // Frontswap read-ahead: the demand fetch's exact hops, issued after it and queueing
+    // behind it on the single blade's NIC.
+    auto up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, done);
+    const MemoryBladeId m = BackingBlade(p);
+    auto req = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadRequest,
+                                  up.arrival + config_.latency.switch_pipeline);
+    auto resp_up = fabric_.ToSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadResponse,
+                                    req.arrival + config_.latency.memory_blade_service);
+    auto resp_down =
+        fabric_.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse,
+                           resp_up.arrival + config_.latency.switch_pipeline);
+    const SimTime ready = resp_down.arrival + config_.latency.pte_install;
+    engine.OnIssued();
+    prefetch_.in_flight[p] =
+        BladePrefetchState::InFlight{ready, 0, &engine, /*pdid=*/0};
+    prefetch_.NoteIssued(ready);
+  }
+}
+
+PrefetchStats FastSwapSystem::prefetch_stats() {
+  prefetch_.ResolveEvictedUnused([&](uint64_t page) {
+    const DramCache::Frame* f = cache_->Peek(page);
+    return f != nullptr && f->prefetched;
+  });
+  return MergeEngineStats(prefetch_engines_);
 }
 
 // ---------------------------------------------------------------------------
@@ -127,6 +252,10 @@ class FastSwapSystem::Channel final : public AccessChannel {
       cache.Touch(frame);
       if ((tagged & 1) != 0) {
         frame->dirty = true;
+      }
+      if (frame->prefetched) [[unlikely]] {  // First touch of a prefetched page: useful.
+        frame->prefetched = false;
+        sys_->prefetch_.OnPrefetchedTouch(frame->page);
       }
     }
   }

@@ -11,11 +11,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "src/baselines/memory_system.h"
 #include "src/blade/dram_cache.h"
 #include "src/common/types.h"
 #include "src/net/fabric.h"
+#include "src/prefetch/prefetch.h"
 #include "src/sim/latency_model.h"
 
 namespace mind {
@@ -25,6 +27,10 @@ struct FastSwapConfig {
   uint64_t compute_cache_bytes = 512ull * 1024 * 1024;
   uint64_t chunk_pages = 512;  // Remote placement granularity (2 MB).
   LatencyModel latency;
+  // Swap-path prefetching (the canonical beneficiary — Leap runs exactly here): engines
+  // watch the fault stream and fill the swap cache ahead of it, read-write like every
+  // swapped-in page. Default off (src/prefetch/prefetch.h).
+  PrefetchConfig prefetch;
 };
 
 class FastSwapSystem final : public MemorySystem {
@@ -47,6 +53,12 @@ class FastSwapSystem final : public MemorySystem {
   // replay.
   std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade) override;
 
+  bool SetPrefetchPolicy(PrefetchPolicy policy) override {
+    config_.prefetch.policy = policy;
+    return true;
+  }
+  PrefetchStats prefetch_stats() override;
+
  private:
   class Channel;
   [[nodiscard]] MemoryBladeId BackingBlade(uint64_t page) const {
@@ -54,12 +66,23 @@ class FastSwapSystem final : public MemorySystem {
                                       static_cast<uint64_t>(config_.num_memory_blades));
   }
 
+  // --- Prefetch internals (all driven from the serialized Access path) ---
+  PrefetchEngine& EnsurePrefetchEngine(ThreadId tid);
+  // Swap-in of one page at `now`: insert read-write, flush the dirty victim if any.
+  void InstallPage(uint64_t page, SimTime now, bool prefetched, PrefetchEngine* owner);
+  void InstallReadyPrefetches(SimTime now);
+  void PrefetchAfterFault(ThreadId tid, uint64_t page, SimTime done);
+
   FastSwapConfig config_;
   Fabric fabric_;
   std::unique_ptr<DramCache> cache_;
   SystemCounters counters_;
   VirtAddr next_va_ = 0x0000'7000'0000'0000ull;
+  const VirtAddr first_va_ = next_va_;  // Prefetch candidates stay inside [first, next).
   ThreadId next_tid_ = 1;
+  std::unordered_map<ThreadId, std::unique_ptr<PrefetchEngine>> prefetch_engines_;
+  BladePrefetchState prefetch_;  // Single compute blade.
+  std::vector<uint64_t> prefetch_scratch_;
 };
 
 }  // namespace mind

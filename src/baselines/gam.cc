@@ -1,6 +1,8 @@
 #include "src/baselines/gam.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace mind {
 
@@ -109,11 +111,72 @@ AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
   SimTime t = lib_done;
 
   DramCache::Frame* frame = local.cache->Lookup(page);
-  const bool hit = frame != nullptr && (type == AccessType::kRead || frame->writable);
+  auto is_hit = [&] {
+    return frame != nullptr && (type == AccessType::kRead || frame->writable);
+  };
+  bool hit = is_hit();
+  if (!hit && config_.prefetch.enabled()) {
+    // Prefetch hooks live on the miss path only: install arrived pages, retry the hit,
+    // then try joining an in-flight fetch before paying the full remote path.
+    InstallReadyPrefetches(blade, now);
+    frame = local.cache->Lookup(page);
+    hit = is_hit();
+    if (!hit) {
+      if (auto it = local.prefetch.in_flight.find(page);
+          it != local.prefetch.in_flight.end()) {
+        const BladePrefetchState::InFlight entry = it->second;
+        local.prefetch.in_flight.erase(it);
+        local.prefetch.RecomputeNextReady();
+        const bool stale =
+            local.cache->region_inval_version(DramCache::RegionOf(page)) !=
+            entry.inval_stamp;
+        if (!stale && type == AccessType::kRead && frame == nullptr) {
+          // Demand read joins the in-flight fetch: the library blocks until the data
+          // lands (a late prefetch — shortened the stall without hiding it).
+          entry.owner->OnLate();
+          ++counters_.remote_accesses;
+          const SimTime landed = std::max(t, entry.ready_at);
+          auto evicted = local.cache->Insert(page, /*writable=*/false, nullptr);
+          if (evicted.has_value()) {
+            local.prefetch.OnPageEvicted(evicted->page);
+            if (evicted->dirty) {
+              (void)FlushToMemory(evicted->page, blade, landed);
+              ++counters_.pages_flushed;
+            }
+          }
+          const SimTime done = landed + config_.latency.gam_local_access;
+          res.latency = done - req_now;
+          res.completion = done;
+          res.breakdown.fault = config_.latency.gam_local_access;
+          res.breakdown.network = done - req_now > res.breakdown.fault
+                                      ? done - req_now - res.breakdown.fault
+                                      : 0;
+          counters_.breakdown_sums += res.breakdown;
+          PrefetchAfterFault(tid, blade, page, done);
+          return res;
+        }
+        // Stale copy, or a write that needs M anyway: drop the speculation and miss.
+        if (stale) {
+          entry.owner->OnDiscardedStale();
+        } else {
+          entry.owner->OnLate();
+        }
+      }
+      if (frame != nullptr && frame->prefetched) {
+        // Write upgrade on a prefetched read-only page: its first real use.
+        frame->prefetched = false;
+        local.prefetch.OnPrefetchedTouch(page);
+      }
+    }
+  }
   if (hit) {
     ++counters_.local_hits;
     if (type == AccessType::kWrite) {
       frame->dirty = true;
+    }
+    if (frame->prefetched) [[unlikely]] {  // First touch: the prefetch was useful.
+      frame->prefetched = false;
+      local.prefetch.OnPrefetchedTouch(page);
     }
     res.local_hit = true;
     res.latency = t - req_now;  // Includes any PSO read-barrier stall.
@@ -199,9 +262,14 @@ AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
   // Install locally; evict write-backs as needed.
   if (need_data) {
     auto evicted = local.cache->Insert(page, type == AccessType::kWrite, nullptr);
-    if (evicted.has_value() && evicted->dirty) {
-      (void)FlushToMemory(evicted->page, blade, done);
-      ++counters_.pages_flushed;
+    if (evicted.has_value()) {
+      if (config_.prefetch.enabled()) {
+        local.prefetch.OnPageEvicted(evicted->page);  // Evicted-unused feedback.
+      }
+      if (evicted->dirty) {
+        (void)FlushToMemory(evicted->page, blade, done);
+        ++counters_.pages_flushed;
+      }
     }
   } else if (type == AccessType::kWrite) {
     local.cache->MakeWritable(page);
@@ -223,7 +291,113 @@ AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
   } else {
     res.latency = done - req_now;
   }
+  if (config_.prefetch.enabled()) {
+    PrefetchAfterFault(tid, blade, page, done);
+  }
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// Software prefetching in the GAM library (src/prefetch/prefetch.h): predictions issue
+// behind the per-blade FIFO library lock and register as sharers at the home directory.
+// ---------------------------------------------------------------------------
+
+PrefetchEngine& GamSystem::EnsurePrefetchEngine(ThreadId tid) {
+  return EnsureEngine(prefetch_engines_, tid, config_.prefetch);
+}
+
+void GamSystem::InstallReadyPrefetches(ComputeBladeId blade, SimTime now) {
+  BladeState& local = blades_[blade];
+  BladePrefetchState& bp = local.prefetch;
+  for (const auto& [page, entry] : bp.TakeReady(now)) {
+    if (local.cache->region_inval_version(DramCache::RegionOf(page)) !=
+        entry.inval_stamp) {
+      // An invalidation reached the blade before the data: the copy is stale.
+      entry.owner->OnDiscardedStale();
+      continue;
+    }
+    entry.owner->OnInstalled();
+    if (local.cache->Find(page) != nullptr) {
+      continue;  // A demand fault re-fetched it meanwhile.
+    }
+    auto evicted = local.cache->Insert(page, /*writable=*/false, nullptr);
+    if (evicted.has_value()) {
+      bp.OnPageEvicted(evicted->page);
+      if (evicted->dirty) {
+        (void)FlushToMemory(evicted->page, blade, entry.ready_at);
+        ++counters_.pages_flushed;
+      }
+    }
+    if (DramCache::Frame* f = local.cache->Find(page); f != nullptr) {
+      f->prefetched = true;
+      bp.unused[page] = entry.owner;
+    }
+  }
+}
+
+void GamSystem::PrefetchAfterFault(ThreadId tid, ComputeBladeId blade, uint64_t page,
+                                   SimTime done) {
+  PrefetchEngine& engine = EnsurePrefetchEngine(tid);
+  engine.RecordFault(page);
+  prefetch_scratch_.clear();
+  engine.Predict(page, &prefetch_scratch_);
+  BladeState& local = blades_[blade];
+  for (const uint64_t p : prefetch_scratch_) {
+    if (!engine.HasInFlightRoom()) {
+      break;  // Bounded in-flight queue.
+    }
+    const VirtAddr va = PageToAddr(p);
+    if (va < first_va_ || va >= next_va_) {
+      continue;  // Never speculate past the allocated address space.
+    }
+    if (local.cache->Find(p) != nullptr ||
+        local.prefetch.in_flight.find(p) != local.prefetch.in_flight.end()) {
+      continue;
+    }
+    // The library issues the speculative read behind the blade's FIFO lock: speculation
+    // pays the same serialized entry every demand access does.
+    const auto grant = local.lock.Acquire(done, config_.lock_service);
+    SimTime t = grant.finish;
+    const ComputeBladeId home = HomeOf(p);
+    if (home != blade) {
+      t = BladeToBlade(blade, home, MessageKind::kRdmaReadRequest, t);
+    }
+    BladeState& home_state = blades_[home];
+    const auto handler_grant =
+        home_state.handler.Acquire(t, config_.latency.gam_software_handler);
+    t = handler_grant.finish;
+    DirEntry& dir = home_state.directory[p];
+    if (dir.state == MsiState::kModified && dir.owner != blade) {
+      continue;  // Fetching would force an owner flush: no invalidations for guesses.
+    }
+    if (dir.busy_until > t) {
+      continue;  // Transition in flight: never wait speculatively.
+    }
+    // Register as a reader: the page installs Shared, so a later writer's invalidation
+    // reaches this blade (and an in-flight fetch goes stale through the region stamp).
+    if (dir.state == MsiState::kInvalid) {
+      dir.state = MsiState::kShared;
+    }
+    if (dir.state == MsiState::kShared) {
+      dir.sharers |= BladeBit(blade);
+    }
+    const SimTime ready = FetchFromMemory(p, blade, t);
+    engine.OnIssued();
+    local.prefetch.in_flight[p] = BladePrefetchState::InFlight{
+        ready, local.cache->region_inval_version(DramCache::RegionOf(p)), &engine,
+        /*pdid=*/0};
+    local.prefetch.NoteIssued(ready);
+  }
+}
+
+PrefetchStats GamSystem::prefetch_stats() {
+  for (auto& b : blades_) {
+    b.prefetch.ResolveEvictedUnused([&](uint64_t page) {
+      const DramCache::Frame* f = b.cache->Peek(page);
+      return f != nullptr && f->prefetched;
+    });
+  }
+  return MergeEngineStats(prefetch_engines_);
 }
 
 // ---------------------------------------------------------------------------
@@ -307,6 +481,10 @@ class GamSystem::Channel final : public AccessChannel {
       blade.cache->Touch(frame);
       if (is_write) {
         frame->dirty = true;
+      }
+      if (frame->prefetched) [[unlikely]] {  // First touch of a prefetched page: useful.
+        frame->prefetched = false;
+        blade.prefetch.OnPrefetchedTouch(frame->page);
       }
       completions[i].latency = lib_done - clock;
       clock += completions[i].latency + think_;

@@ -25,6 +25,7 @@
 #include "src/blade/dram_cache.h"
 #include "src/common/types.h"
 #include "src/net/fabric.h"
+#include "src/prefetch/prefetch.h"
 #include "src/sim/latency_model.h"
 #include "src/sim/resource.h"
 
@@ -37,6 +38,10 @@ struct GamConfig {
   uint64_t home_chunk_pages = 512;  // 2 MB home-partition granularity.
   LatencyModel latency;
   SimTime lock_service = 150;       // Serialized slice of the per-access library work.
+  // Software prefetching in the user-level library: predictions issue behind the blade's
+  // FIFO library lock (speculation pays the same serialized entry every access does) and
+  // register as sharers at the home directory. Default off (src/prefetch/prefetch.h).
+  PrefetchConfig prefetch;
 };
 
 class GamSystem final : public MemorySystem {
@@ -62,6 +67,12 @@ class GamSystem final : public MemorySystem {
   // src/core/access_channel.h).
   std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade) override;
 
+  bool SetPrefetchPolicy(PrefetchPolicy policy) override {
+    config_.prefetch.policy = policy;
+    return true;
+  }
+  PrefetchStats prefetch_stats() override;
+
  private:
   class Channel;
   // Page-granularity directory entry, held in the home blade's DRAM (unbounded).
@@ -77,6 +88,7 @@ class GamSystem final : public MemorySystem {
     FifoResource lock;     // User-level library lock (every access).
     FifoResource handler;  // Home-node request handler (software, one CPU path).
     std::unordered_map<uint64_t, DirEntry> directory;  // Pages homed at this blade.
+    BladePrefetchState prefetch;  // In-flight/unused prefetch tables for this blade.
   };
 
   [[nodiscard]] ComputeBladeId HomeOf(uint64_t page) const {
@@ -112,6 +124,11 @@ class GamSystem final : public MemorySystem {
   SimTime EnterLibrary(ThreadId tid, ComputeBladeId blade, uint64_t page, AccessType type,
                        SimTime now);
 
+  // --- Prefetch internals (all driven from the serialized Access path) ---
+  PrefetchEngine& EnsurePrefetchEngine(ThreadId tid);
+  void InstallReadyPrefetches(ComputeBladeId blade, SimTime now);
+  void PrefetchAfterFault(ThreadId tid, ComputeBladeId blade, uint64_t page, SimTime done);
+
   GamConfig config_;
   Fabric fabric_;
   std::vector<BladeState> blades_;
@@ -119,7 +136,10 @@ class GamSystem final : public MemorySystem {
   std::unordered_map<ThreadId, std::vector<PendingWrite>> pending_writes_;
   SystemCounters counters_;
   VirtAddr next_va_ = 0x0000'7000'0000'0000ull;
+  const VirtAddr first_va_ = next_va_;  // Prefetch candidates stay inside [first, next).
   ThreadId next_tid_ = 1;
+  std::unordered_map<ThreadId, std::unique_ptr<PrefetchEngine>> prefetch_engines_;
+  std::vector<uint64_t> prefetch_scratch_;
 };
 
 }  // namespace mind

@@ -22,6 +22,7 @@
 #include "src/common/types.h"
 #include "src/core/access.h"
 #include "src/core/access_channel.h"
+#include "src/prefetch/prefetch.h"
 
 namespace mind {
 
@@ -102,6 +103,17 @@ class MemorySystem {
   // without performing an access. The replay engine calls this once after the final op so
   // trailing epoch boundaries run exactly as they would under serial replay.
   virtual void AdvanceTo(SimTime /*now*/) {}
+
+  // --- Pattern-aware prefetching (src/prefetch/prefetch.h) ---
+  //
+  // Selects the prefetch policy for subsequent accesses (call before replay starts; the
+  // default kNone keeps every system bit-identical to its non-prefetching behavior).
+  // Returns false when the system has no prefetch support (the interface default).
+  virtual bool SetPrefetchPolicy(PrefetchPolicy /*policy*/) { return false; }
+
+  // Aggregated prefetch accounting across the system's engines. Non-const: systems may
+  // lazily classify still-installed-but-evicted pages while aggregating.
+  virtual PrefetchStats prefetch_stats() { return {}; }
 };
 
 }  // namespace mind

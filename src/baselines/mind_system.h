@@ -49,6 +49,12 @@ class MindSystem final : public MemorySystem {
   }
   void AdvanceTo(SimTime now) override { rack_->AdvanceSplittingEpochs(now); }
 
+  bool SetPrefetchPolicy(PrefetchPolicy policy) override {
+    rack_->SetPrefetchPolicy(policy);
+    return true;
+  }
+  PrefetchStats prefetch_stats() override { return rack_->prefetch_stats(); }
+
   [[nodiscard]] SystemCounters counters() const override {
     const RackStats& s = rack_->stats();
     SystemCounters c;

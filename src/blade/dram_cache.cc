@@ -101,8 +101,10 @@ std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writabl
                                                      ProtDomainId pdid) {
   BumpRegion(page);  // Membership or permissions may change on either path below.
   if (Frame* existing = Find(page); existing != nullptr) {
-    // Re-insert: permission upgrade and/or fresh data.
+    // Re-insert: permission upgrade and/or fresh data. A demand re-insert counts as the
+    // page's first real use, so it sheds any prefetched marking.
     existing->writable = existing->writable || writable;
+    existing->prefetched = false;
     existing->pdid = pdid;
     if (store_data_ && bytes != nullptr) {
       if (existing->data == nullptr) {
@@ -124,6 +126,7 @@ std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writabl
   Frame& frame = FrameAt(idx);
   frame.writable = writable;
   frame.dirty = false;
+  frame.prefetched = false;  // Arena slots recycle; callers mark prefetched installs.
   frame.pdid = pdid;
   frame.page = page;
   frame.self = idx;
@@ -215,6 +218,19 @@ void DramCache::ForEachPageInRange(uint64_t page_begin, uint64_t page_end, Fn&& 
 DramCache::RangeInvalidation DramCache::InvalidateRange(uint64_t page_begin,
                                                         uint64_t page_end) {
   RangeInvalidation result;
+  if (page_begin < page_end) {
+    // Stamp the invalidation even over pages the cache does not hold: an in-flight
+    // prefetch for this range must observe the wave and discard its (stale) install.
+    const uint64_t first = RegionOf(page_begin);
+    const uint64_t last = RegionOf(page_end - 1);
+    if (last - first >= kWideInvalRegions) {
+      wide_inval_version_ = ++version_;  // Whole-VMA shoot-down: one wide epoch.
+    } else {
+      for (uint64_t r = first; r <= last; ++r) {
+        region_inval_versions_.Upsert(r, ++version_);
+      }
+    }
+  }
   ForEachPageInRange<true>(page_begin, page_end, [&](uint64_t page) {
     Eviction ev = RemoveFrame(*index_.Find(page));
     if (ev.dirty) {

@@ -22,6 +22,7 @@
 #ifndef MIND_SRC_BLADE_DRAM_CACHE_H_
 #define MIND_SRC_BLADE_DRAM_CACHE_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -51,6 +52,10 @@ class DramCache {
   struct Frame {
     bool dirty = false;
     bool writable = false;
+    // Installed by a prefetch and not yet demand-touched. The hit paths clear it on the
+    // first touch (classifying the prefetch useful); always false when prefetching is
+    // off, so the flag costs the fast path one perfectly-predicted branch.
+    bool prefetched = false;
     // Protection domain that faulted the page in. A hit from a different domain re-checks
     // against the switch's protection table (MPK-style domain tags on local PTEs), so one
     // session can never ride another session's cached pages (§4.2).
@@ -125,6 +130,18 @@ class DramCache {
     return v == nullptr ? 0 : *v;
   }
   [[nodiscard]] static uint64_t RegionOf(uint64_t page) { return page / kRegionPages; }
+
+  // Per-2MB-region *invalidation* version: the last mutation ordinal at which pages of
+  // the region were dropped by a coherence/permission event (InvalidateRange — waves,
+  // shoot-downs, munmap), but NOT by inserts, LRU evictions or downgrades. In-flight
+  // prefetches stamp this at issue time: a wave that lands in the region between issue
+  // and arrival makes the fetched copy stale, so the install is discarded. Whole-range
+  // invalidations spanning many regions bump one wide epoch instead of every region
+  // (max() of the two sides keeps the comparison exact either way).
+  [[nodiscard]] uint64_t region_inval_version(uint64_t region) const {
+    const uint64_t* v = region_inval_versions_.Find(region);
+    return std::max(wide_inval_version_, v == nullptr ? 0 : *v);
+  }
 
   // Per-region page index granularity: one bitmap (and one state version) per aligned
   // 512-page (2 MB) region.
@@ -211,6 +228,12 @@ class DramCache {
   uint64_t version_ = 0;           // Global mutation ordinal feeding region_version().
   // Region number -> last mutation version (never erased; see region_version()).
   FlatMap64<uint64_t> region_versions_;
+  // Invalidation-only versions (see region_inval_version): narrow InvalidateRange calls
+  // bump the overlapped regions' entries; calls spanning > kWideInvalRegions regions bump
+  // the wide epoch once instead.
+  FlatMap64<uint64_t> region_inval_versions_;
+  uint64_t wide_inval_version_ = 0;
+  static constexpr uint64_t kWideInvalRegions = 32;
   std::unordered_map<uint64_t, Region> regions_;  // Region number -> presence bitmap.
 };
 

@@ -13,6 +13,7 @@
 #include "src/controlplane/allocator.h"
 #include "src/controlplane/bounded_splitting.h"
 #include "src/net/reliability.h"
+#include "src/prefetch/prefetch.h"
 #include "src/sim/latency_model.h"
 
 namespace mind {
@@ -50,6 +51,10 @@ struct RackConfig {
   BoundedSplittingConfig splitting;
   AllocatorConfig alloc;
   ReliabilityConfig reliability;
+  // Pattern-aware swap-path prefetching on the remote-fault path (default off; see
+  // src/prefetch/prefetch.h). Prefetched pages install Shared through the directory
+  // state machine and are discarded when an invalidation wave outraces their arrival.
+  PrefetchConfig prefetch;
 
   [[nodiscard]] uint64_t cache_frames() const { return compute_cache_bytes >> kPageShift; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <utility>
 
 namespace mind {
 
@@ -25,6 +26,7 @@ Rack::Rack(RackConfig config)
         static_cast<ComputeBladeId>(i), config.cache_frames(), config.store_data,
         config.latency));
   }
+  blade_prefetch_.resize(static_cast<size_t>(config.num_compute_blades));
   memory_blades_.reserve(static_cast<size_t>(config.num_memory_blades));
   for (int i = 0; i < config.num_memory_blades; ++i) {
     memory_blades_.push_back(std::make_unique<MemoryBlade>(static_cast<MemoryBladeId>(i),
@@ -105,6 +107,9 @@ void Rack::InsertIntoCache(ComputeBladeId blade_id, uint64_t page, bool writable
   auto evicted = cache.Insert(page, writable, bytes, pdid);
   if (evicted.has_value()) {
     ++cache_epoch_;  // A frame left a cache; memoized frame pointers may now dangle.
+    if (config_.prefetch.enabled()) {
+      blade_prefetch_[blade_id].OnPageEvicted(evicted->page);  // Evicted-unused feedback.
+    }
   }
   if (evicted.has_value() && evicted->dirty) {
     // Write-back on eviction keeps memory the source of truth for uncached pages — the
@@ -316,6 +321,10 @@ bool Rack::TryLocalHit(const AccessRequest& req, SimTime now, AccessResult* res,
                              ? pslot.read_ok
                              : (pslot.write_ok && pslot.frame->writable);
     if (allowed) {
+      // No prefetched-touch check here: a memoized frame can never carry the flag. The
+      // slot is only populated after a demand use (which clears it), the flag is only
+      // ever set on freshly inserted frames, and arena reuse of a freed frame implies an
+      // eviction, which bumps cache_epoch_ and invalidates the slot.
       blade.cache().Touch(pslot.frame);  // Keep LRU order exactly as the slow path would.
       if (req.type == AccessType::kWrite) {
         pslot.frame->dirty = true;
@@ -343,6 +352,10 @@ bool Rack::TryLocalHit(const AccessRequest& req, SimTime now, AccessResult* res,
   }
   if (req.type == AccessType::kWrite) {
     frame->dirty = true;
+  }
+  if (frame->prefetched) [[unlikely]] {  // First touch: the prefetch was useful.
+    frame->prefetched = false;
+    blade_prefetch_[req.blade].OnPrefetchedTouch(page);
   }
   PopulatePipeline(req, page, frame, pslot_valid ? pslot.dir_entry : nullptr);
   res->local_hit = true;
@@ -433,6 +446,10 @@ class Rack::Channel final : public AccessChannel {
       if ((tagged & 1) != 0) {
         frame->dirty = true;
       }
+      if (frame->prefetched) [[unlikely]] {  // First touch of a prefetched page: useful.
+        frame->prefetched = false;
+        rack_->blade_prefetch_[blade_].OnPrefetchedTouch(frame->page);
+      }
     }
   }
 
@@ -471,6 +488,15 @@ AccessResult Rack::Access(const AccessRequest& req) {
   if (TryLocalHit(req, now, &res, &frame, &pslot_valid)) {
     ++stats_.local_hits;
     return res;
+  }
+
+  // Prefetch hooks live entirely on the miss path (out of line so the hit path above
+  // stays as tight as pre-prefetch): installs, late joins and new issues all trigger at
+  // demand faults — the stream a swap prefetcher actually observes.
+  if (config_.prefetch.enabled()) [[unlikely]] {
+    if (ServiceViaPrefetch(req, now, page, &frame, &pslot_valid, &res)) {
+      return res;
+    }
   }
   PipelineSlot& pslot = pipeline_[req.tid & (kPipelineSlots - 1)];
 
@@ -666,7 +692,189 @@ AccessResult Rack::Access(const AccessRequest& req) {
   } else {
     res.latency = done - req.now;
   }
+  if (config_.prefetch.enabled()) {
+    // Speculative fetches go out once the demand fault is fully serviced — off its
+    // critical path, serialized behind it on the blade's egress link.
+    PrefetchAfterFault(req, page, done);
+  }
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern-aware prefetching over the remote-fault path (src/prefetch/prefetch.h).
+// ---------------------------------------------------------------------------
+
+bool Rack::ServiceViaPrefetch(const AccessRequest& req, SimTime now, uint64_t page,
+                              DramCache::Frame** frame, bool* pslot_valid,
+                              AccessResult* res) {
+  ComputeBlade& blade = *compute_blades_[req.blade];
+  InstallReadyPrefetches(req.blade, now);
+  BladePrefetchState& bp = blade_prefetch_[req.blade];
+  const bool had_frame = *frame != nullptr;
+  // Installs may evict arbitrary frames — including the one the hit path just probed —
+  // so re-resolve before anything dereferences it.
+  *frame = blade.cache().Find(page);
+  if (!had_frame && *frame != nullptr) {
+    // An arrived prefetch covers this fault: replay the ordinary hit path (LRU, memo,
+    // useful classification, domain re-validation) at the same timestamp.
+    if (TryLocalHit(req, now, res, frame, pslot_valid)) {
+      ++stats_.local_hits;
+      return true;
+    }
+  }
+  // Speculation never widens access: everything below re-checks the protection table
+  // for the *demanding* (thread, domain), exactly as the fault path would.
+  const bool allowed = protection_.Allows(req.pdid, req.va, req.type);
+  if (auto it = bp.in_flight.find(page); allowed && it != bp.in_flight.end()) {
+    const BladePrefetchState::InFlight entry = it->second;
+    bp.in_flight.erase(it);
+    bp.RecomputeNextReady();
+    const bool stale = blade.cache().region_inval_version(DramCache::RegionOf(page)) !=
+                       entry.inval_stamp;
+    if (!stale && req.type == AccessType::kRead && *frame == nullptr) {
+      // Demand read joins the in-flight fetch: the thread still takes the page-fault
+      // trap, then blocks until the data lands (a late prefetch — it shortened the
+      // stall without hiding it).
+      entry.owner->OnLate();
+      ++stats_.remote_accesses;
+      const SimTime landed = std::max(now + lat_.page_fault_entry, entry.ready_at);
+      InsertIntoCache(req.blade, page, /*writable=*/false, PeekPageBytes(req.va), landed,
+                      req.pdid);
+      const SimTime done = landed + lat_.pte_install;
+      PopulatePipeline(req, page, blade.cache().Find(page), nullptr);
+      res->local_hit = false;
+      res->latency = done - req.now;
+      res->completion = done;
+      res->breakdown.fault = lat_.page_fault_entry + lat_.pte_install;
+      res->breakdown.network =
+          res->latency > res->breakdown.fault ? res->latency - res->breakdown.fault : 0;
+      stats_.breakdown_sums += res->breakdown;
+      PrefetchAfterFault(req, page, done);
+      return true;
+    }
+    // Stale copy, or a write that needs M anyway: drop the speculation and fault.
+    if (stale) {
+      entry.owner->OnDiscardedStale();
+    } else {
+      entry.owner->OnLate();
+    }
+  }
+  if (*frame != nullptr && (*frame)->prefetched && allowed) {
+    // Write upgrade on a prefetched read-only page: its first real use. Denied accesses
+    // never count as useful — the fault path is about to reject them untouched.
+    (*frame)->prefetched = false;
+    bp.OnPrefetchedTouch(page);
+  }
+  return false;
+}
+
+PrefetchEngine& Rack::EnsurePrefetchEngine(ThreadId tid) {
+  return EnsureEngine(prefetch_engines_, tid, config_.prefetch);
+}
+
+const PageData* Rack::PeekPageBytes(VirtAddr va) {
+  if (!config_.store_data) {
+    return nullptr;
+  }
+  Translation tr;
+  if (!TranslatePage(va, &tr)) {
+    return nullptr;
+  }
+  return memory_blades_[tr.blade]->ReadPage(PageNumber(tr.phys_addr));
+}
+
+void Rack::InstallReadyPrefetches(ComputeBladeId blade_id, SimTime now) {
+  BladePrefetchState& bp = blade_prefetch_[blade_id];
+  DramCache& cache = compute_blades_[blade_id]->cache();
+  for (const auto& [page, entry] : bp.TakeReady(now)) {
+    if (cache.region_inval_version(DramCache::RegionOf(page)) != entry.inval_stamp) {
+      // An invalidation wave outran the fetch: the copy is stale, never install it.
+      entry.owner->OnDiscardedStale();
+      continue;
+    }
+    entry.owner->OnInstalled();
+    if (cache.Find(page) != nullptr) {
+      continue;  // A demand fault re-fetched it meanwhile; nothing to install.
+    }
+    InsertIntoCache(blade_id, page, /*writable=*/false, PeekPageBytes(PageToAddr(page)),
+                    entry.ready_at, entry.pdid);
+    if (DramCache::Frame* f = cache.Find(page); f != nullptr) {
+      f->prefetched = true;
+      bp.unused[page] = entry.owner;
+    }
+  }
+}
+
+void Rack::PrefetchAfterFault(const AccessRequest& req, uint64_t page, SimTime done) {
+  PrefetchEngine& engine = EnsurePrefetchEngine(req.tid);
+  engine.RecordFault(page);
+  prefetch_scratch_.clear();
+  engine.Predict(page, &prefetch_scratch_);
+  if (prefetch_scratch_.empty()) {
+    return;
+  }
+  BladePrefetchState& bp = blade_prefetch_[req.blade];
+  DramCache& cache = compute_blades_[req.blade]->cache();
+  for (const uint64_t p : prefetch_scratch_) {
+    if (!engine.HasInFlightRoom()) {
+      break;  // Bounded in-flight queue.
+    }
+    if (cache.Find(p) != nullptr || bp.in_flight.find(p) != bp.in_flight.end()) {
+      continue;
+    }
+    const VirtAddr va = PageToAddr(p);
+    if (!protection_.Allows(req.pdid, va, AccessType::kRead)) {
+      continue;  // Speculation never crosses a protection boundary.
+    }
+    SimTime t = done;
+    Status err;
+    DirectoryEntry* entry = EnsureDirectoryEntry(va, t, &err);
+    if (entry == nullptr) {
+      continue;
+    }
+    if (entry->busy_until > t) {
+      continue;  // Transition in flight: never wait speculatively.
+    }
+    if ((entry->state == MsiState::kModified || entry->state == MsiState::kExclusive) &&
+        entry->owner != req.blade) {
+      continue;  // Fetching would force an owner flush: no invalidations for guesses.
+    }
+    const SttEntry& row =
+        stt_.Lookup(entry->state, AccessType::kRead, entry->RoleOf(req.blade));
+    if (row.invalidate != InvalidateTargets::kNone) {
+      continue;  // Defensive: mirrors the owner check above.
+    }
+    // Join the sharer list through the ordinary read transition, demoted to Shared: a
+    // speculative page never takes E/M, so its first write still pays the upgrade.
+    if (entry->state == MsiState::kInvalid) {
+      entry->state = MsiState::kShared;
+    }
+    entry->sharers |= BladeBit(req.blade);
+    // Requester NIC -> switch (pipeline + directory recirculation) -> memory blade ->
+    // requester: the demand fetch's exact hops, issued after it and queueing behind it.
+    auto up = fabric_.ToSwitch(Endpoint::Compute(req.blade), MessageKind::kRdmaReadRequest,
+                               t);
+    const SimTime at_switch =
+        up.arrival + lat_.switch_pipeline + lat_.switch_recirculation;
+    const PageData* bytes = nullptr;  // Payload is re-read from memory at install time.
+    const SimTime ready =
+        FetchPageFromMemory(va, req.blade, at_switch, &bytes) + lat_.pte_install;
+    engine.OnIssued();
+    bp.in_flight[p] = BladePrefetchState::InFlight{
+        ready, cache.region_inval_version(DramCache::RegionOf(p)), &engine, req.pdid};
+    bp.NoteIssued(ready);
+  }
+}
+
+PrefetchStats Rack::prefetch_stats() {
+  for (size_t b = 0; b < blade_prefetch_.size(); ++b) {
+    const DramCache& cache = compute_blades_[b]->cache();
+    blade_prefetch_[b].ResolveEvictedUnused([&](uint64_t page) {
+      const DramCache::Frame* f = cache.Peek(page);
+      return f != nullptr && f->prefetched;
+    });
+  }
+  return MergeEngineStats(prefetch_engines_);
 }
 
 AccessResult Rack::AccessByThread(ThreadId tid, VirtAddr va, AccessType type, SimTime now) {

@@ -91,6 +91,17 @@ class Rack {
   // after the last serialized access).
   void AdvanceSplittingEpochs(SimTime now) { splitting_.MaybeRunEpoch(now); }
 
+  // --- Pattern-aware prefetching (src/prefetch/prefetch.h) ---
+  //
+  // Per-(thread, blade) engines watch the fault stream and speculatively fetch ahead of
+  // it. Prefetched pages install Shared through the ordinary directory state machine
+  // (join-sharers transitions only — a prefetch never triggers an invalidation wave or
+  // takes E/M), and an in-flight fetch whose 2 MB region is hit by an invalidation wave
+  // before arrival is discarded via DramCache::region_inval_version. With the default
+  // kNone policy nothing here runs and the data path is bit-identical to pre-prefetch.
+  void SetPrefetchPolicy(PrefetchPolicy policy) { config_.prefetch.policy = policy; }
+  [[nodiscard]] PrefetchStats prefetch_stats();
+
   // Resolves the thread's blade and protection domain, then runs Access.
   AccessResult AccessByThread(ThreadId tid, VirtAddr va, AccessType type, SimTime now);
 
@@ -169,6 +180,11 @@ class Rack {
   SimTime WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* data,
                         SimTime start);
 
+  // Current backing bytes of the page containing `va` (store_data mode only; null
+  // otherwise, or when the va is no longer translated). Prefetch installs re-read the
+  // memory blade here instead of holding payload pointers across in-flight time.
+  [[nodiscard]] const PageData* PeekPageBytes(VirtAddr va);
+
   // Inserts a fetched page into the requester's cache, handling dirty LRU eviction.
   void InsertIntoCache(ComputeBladeId blade, uint64_t page, bool writable,
                        const PageData* bytes, SimTime now, ProtDomainId pdid = 0);
@@ -188,6 +204,22 @@ class Rack {
   // Read-only flavor for PeekLocalHit: same barrier value, no pruning (pruning only drops
   // entries whose completion can never raise a later barrier, so skipping it is invisible).
   [[nodiscard]] SimTime PsoPeekBarrier(ThreadId tid, VirtAddr va, SimTime now) const;
+
+  // --- Prefetch internals (serialized drain only; see SetPrefetchPolicy above) ---
+
+  // Lazily creates the (thread, blade) engine on the thread's first demand fault.
+  PrefetchEngine& EnsurePrefetchEngine(ThreadId tid);
+  // Installs arrived in-flight prefetches for `blade` (discarding stale ones) — runs at
+  // the top of every Access so a covered fault becomes a plain local hit.
+  void InstallReadyPrefetches(ComputeBladeId blade, SimTime now);
+  // Records the fault, predicts ahead and issues speculative fetches starting at the
+  // demand access's completion time `done`.
+  void PrefetchAfterFault(const AccessRequest& req, uint64_t page, SimTime done);
+  // The prefetch slice of the miss path, out of line to keep Access's hit path tight:
+  // installs arrived pages (retrying the hit), joins in-flight fetches (late) and
+  // classifies prefetched write-upgrades. True when the access was fully serviced.
+  bool ServiceViaPrefetch(const AccessRequest& req, SimTime now, uint64_t page,
+                          DramCache::Frame** frame, bool* pslot_valid, AccessResult* res);
 
   // The blade-local hit path of Access (steps 0/1): pipeline-memo short-circuit, then the
   // MMU/DRAM-cache probe with domain re-validation. `now` is the post-PSO-barrier time.
@@ -269,6 +301,12 @@ class Rack {
   // implementation would reuse the balanced allocator; a bump cursor suffices for the
   // migration feature and keeps PAs disjoint from the identity-mapped partitions.
   PhysAddr migration_cursor_ = 1ull << 44;
+  // Prefetch state: per-thread engines plus per-blade in-flight/unused tables (mutated on
+  // the serialized drain; channel commits touch only their own blade's entry). Kept after
+  // the hot pipeline/translation memo arrays so their cache placement is unchanged.
+  std::unordered_map<ThreadId, std::unique_ptr<PrefetchEngine>> prefetch_engines_;
+  std::vector<BladePrefetchState> blade_prefetch_;
+  std::vector<uint64_t> prefetch_scratch_;
 };
 
 }  // namespace mind

@@ -1,0 +1,88 @@
+#include "src/prefetch/prefetch.h"
+
+namespace mind {
+
+std::optional<PrefetchPolicy> ParsePrefetchPolicy(std::string_view s) {
+  if (s == "none") {
+    return PrefetchPolicy::kNone;
+  }
+  if (s == "nextn") {
+    return PrefetchPolicy::kNextN;
+  }
+  if (s == "stride") {
+    return PrefetchPolicy::kMajorityStride;
+  }
+  return std::nullopt;
+}
+
+int64_t StrideDetector::MajorityStride() const {
+  if (size_ < 2) {
+    return 0;
+  }
+  const uint32_t deltas = size_ - 1;
+  if (deltas < kWarmupDeltas) {
+    return 0;
+  }
+  const uint32_t cap = static_cast<uint32_t>(ring_.size());
+  const uint32_t oldest = (head_ + cap - size_) % cap;
+  auto delta_at = [&](uint32_t i) {
+    const uint64_t a = ring_[(oldest + i) % cap];
+    const uint64_t b = ring_[(oldest + i + 1) % cap];
+    return static_cast<int64_t>(b - a);
+  };
+  // Boyer-Moore majority vote, then a verification count: the candidate is only a real
+  // stride if strictly more than half the deltas agree (Leap's majority criterion, which
+  // is what keeps interleaved streams and random noise from producing a bogus stride).
+  int64_t candidate = 0;
+  uint32_t votes = 0;
+  for (uint32_t i = 0; i < deltas; ++i) {
+    const int64_t d = delta_at(i);
+    if (votes == 0) {
+      candidate = d;
+      votes = 1;
+    } else if (d == candidate) {
+      ++votes;
+    } else {
+      --votes;
+    }
+  }
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < deltas; ++i) {
+    if (delta_at(i) == candidate) {
+      ++count;
+    }
+  }
+  if (candidate == 0 || count * 2 <= deltas) {
+    return 0;
+  }
+  return candidate;
+}
+
+void PrefetchEngine::Predict(uint64_t page, std::vector<uint64_t>* out) const {
+  int64_t stride = 0;
+  switch (config_.policy) {
+    case PrefetchPolicy::kNone:
+      return;
+    case PrefetchPolicy::kNextN:
+      stride = 1;
+      break;
+    case PrefetchPolicy::kMajorityStride:
+      stride = detector_.MajorityStride();
+      if (stride == 0) {
+        return;  // No majority pattern: speculating would only pollute the cache.
+      }
+      break;
+  }
+  uint64_t p = page;
+  for (uint32_t k = 0; k < window_; ++k) {
+    const uint64_t next = p + static_cast<uint64_t>(stride);
+    // Stop at address-space edges instead of wrapping into foreign mappings.
+    if (stride > 0 ? next < p : next > p) {
+      break;
+    }
+    out->push_back(next);
+    p = next;
+  }
+}
+
+}  // namespace mind

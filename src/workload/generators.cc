@@ -11,12 +11,29 @@ namespace {
 // Stateful per-thread page-index generator for one segment.
 class IndexGen {
  public:
-  IndexGen(Pattern pattern, uint64_t pages, double zipf_theta, uint64_t seed)
-      : pattern_(pattern), pages_(std::max<uint64_t>(pages, 1)) {
+  IndexGen(Pattern pattern, uint64_t pages, double zipf_theta, uint64_t seed,
+           uint64_t stride_pages = 4)
+      : pattern_(pattern),
+        pages_(std::max<uint64_t>(pages, 1)),
+        stride_(std::max<uint64_t>(stride_pages % pages_, 1)) {
     if (pattern_ == Pattern::kZipfian) {
       zipf_ = std::make_unique<ZipfianGenerator>(pages_, zipf_theta);
     }
-    cursor_ = seed % pages_;  // Stagger sequential scans across threads.
+    if (pattern_ == Pattern::kPointerChase) {
+      // Sattolo's algorithm yields a uniformly random *cyclic* permutation, so following
+      // next = perm[current] walks every page exactly once before returning to the
+      // start — a deterministic pointer chase with no exploitable stride.
+      Rng perm_rng(seed * 0x9e3779b97f4a7c15ull + 1);
+      perm_.resize(pages_);
+      for (uint64_t i = 0; i < pages_; ++i) {
+        perm_[i] = i;
+      }
+      for (uint64_t i = pages_ - 1; i >= 1; --i) {
+        const uint64_t j = perm_rng.NextBelow(i);  // j < i: Sattolo, not Fisher-Yates.
+        std::swap(perm_[i], perm_[j]);
+      }
+    }
+    cursor_ = seed % pages_;  // Stagger sequential/strided scans across threads.
   }
 
   uint64_t Next(Rng& rng) {
@@ -27,6 +44,14 @@ class IndexGen {
         return rng.NextBelow(pages_);
       case Pattern::kZipfian:
         return zipf_->Next(rng);
+      case Pattern::kStrided: {
+        const uint64_t page = cursor_;
+        cursor_ = (cursor_ + stride_) % pages_;
+        return page;
+      }
+      case Pattern::kPointerChase:
+        cursor_ = perm_[cursor_];
+        return cursor_;
     }
     return 0;
   }
@@ -34,8 +59,10 @@ class IndexGen {
  private:
   Pattern pattern_;
   uint64_t pages_;
+  uint64_t stride_;
   uint64_t cursor_ = 0;
   std::unique_ptr<ZipfianGenerator> zipf_;
+  std::vector<uint64_t> perm_;  // kPointerChase only.
 };
 
 }  // namespace
@@ -71,9 +98,10 @@ WorkloadTraces GenerateTraces(const WorkloadSpec& spec) {
 
     IndexGen shared_gen(spec.shared_pattern,
                         spec.partitioned ? partition_pages : spec.shared_pages,
-                        spec.zipf_theta, static_cast<uint64_t>(t) * 7919);
+                        spec.zipf_theta, static_cast<uint64_t>(t) * 7919,
+                        spec.stride_pages);
     IndexGen private_gen(spec.private_pattern, spec.private_pages_per_thread, spec.zipf_theta,
-                         static_cast<uint64_t>(t) * 104729);
+                         static_cast<uint64_t>(t) * 104729, spec.stride_pages);
     // Metadata pages are few and hot: zipfian regardless of the main pattern.
     IndexGen metadata_gen(Pattern::kZipfian, spec.metadata_pages, 0.99,
                           static_cast<uint64_t>(t));

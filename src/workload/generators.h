@@ -30,6 +30,10 @@ enum class Pattern : uint8_t {
   kSequential = 0,  // Streaming scan with wraparound.
   kUniform,
   kZipfian,
+  kStrided,       // Fixed-stride scan (WorkloadSpec::stride_pages) with wraparound.
+  kPointerChase,  // Deterministic RNG-permuted chase: page -> perm[page] along a single
+                  // cycle (Sattolo), so every page is visited once per lap and
+                  // consecutive deltas carry no majority stride to detect.
 };
 
 struct WorkloadSpec {
@@ -44,6 +48,7 @@ struct WorkloadSpec {
   uint64_t private_pages_per_thread = 0;
   Pattern private_pattern = Pattern::kSequential;
   double private_write_fraction = 0.5;
+  uint64_t stride_pages = 4;  // Step of kStrided scans (private and shared patterns).
 
   // Shared segment (one, visible to all threads).
   uint64_t shared_pages = 0;

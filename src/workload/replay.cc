@@ -15,6 +15,11 @@ Status ReplayEngine::Setup() {
   if (setup_done_) {
     return Status(ErrorCode::kExists, "Setup called twice");
   }
+  if (options_.prefetch != PrefetchPolicy::kNone &&
+      !system_->SetPrefetchPolicy(options_.prefetch)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "system does not support prefetch policies");
+  }
   segments_.reserve(traces_->segments.size());
   for (const auto& seg : traces_->segments) {
     SegmentMap map;
@@ -167,6 +172,7 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   }
 
   const SystemCounters before = system->counters();
+  const PrefetchStats prefetch_before = system->prefetch_stats();
 
   // --- Phase bodies -------------------------------------------------------
 
@@ -558,6 +564,7 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   report.workload = traces.name;
   report.total_ops = total_ops;
   report.counters = system->counters().DeltaSince(before);
+  report.prefetch = system->prefetch_stats().DeltaSince(prefetch_before);
   uint64_t latency_sum = 0;
   shard_reports_.clear();
   shard_reports_.reserve(shards.size());

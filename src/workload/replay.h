@@ -47,6 +47,7 @@ struct ReplayReport {
   double avg_latency_us = 0.0;    // Mean thread-visible latency.
   Histogram latency_histogram;
   SystemCounters counters;        // Delta over the run.
+  PrefetchStats prefetch;         // Delta over the run (all-zero with policy kNone).
 
   // Derived per-access rates (Fig. 6).
   [[nodiscard]] double RemoteAccessesPerOp() const {
@@ -63,6 +64,15 @@ struct ReplayReport {
     return total_ops == 0 ? 0.0
                           : static_cast<double>(counters.pages_flushed) /
                                 static_cast<double>(total_ops);
+  }
+
+  // Remote-fault coverage of the prefetcher: the fraction of would-be remote faults a
+  // prefetched page turned into local hits. Useful prefetches removed their fault from
+  // counters.remote_accesses, so the denominator reassembles the no-prefetch fault count.
+  [[nodiscard]] double PrefetchCoverage() const {
+    const double would_fault =
+        static_cast<double>(prefetch.useful + counters.remote_accesses);
+    return would_fault == 0.0 ? 0.0 : static_cast<double>(prefetch.useful) / would_fault;
   }
 };
 
@@ -90,6 +100,12 @@ struct ReplayOptions {
   // Base seed for the per-shard RNG streams (stream s draws from seed ^ f(s); reserved
   // for stochastic replay extensions such as jittered think times).
   uint64_t seed = 1;
+  // Prefetch policy applied to the system at Setup (MemorySystem::SetPrefetchPolicy).
+  // kNone — the default — leaves the system untouched, so replay stays bit-identical to
+  // the pre-prefetch engine for every shard count. With a real policy, replay is
+  // deterministic for a fixed configuration, and the report carries the prefetch
+  // accounting delta (issued/useful/late + derived coverage).
+  PrefetchPolicy prefetch = PrefetchPolicy::kNone;
 };
 
 // Per-shard accounting, exposed for tests and perf analysis. The merged ReplayReport is

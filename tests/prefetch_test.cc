@@ -1,0 +1,496 @@
+// Tests for the prefetch subsystem (src/prefetch/prefetch.h):
+//   1. StrideDetector vs a naive reference model — warm-up, stride changes, interleaved
+//      streams, random noise.
+//   2. PrefetchEngine policy predictions, adaptive window and in-flight bounds.
+//   3. End-to-end coverage on all three systems: streaming/strided workloads must cover
+//      a large fraction of would-be remote faults; pointer chase must not speculate.
+//   4. Invalidation safety: a wave that lands between issue and arrival discards the
+//      stale in-flight copy.
+//   5. kNone conformance: with the default policy, channel replay at 1 and 4 shards is
+//      bit-identical to the pre-prefetch per-op reference path for every system.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/fastswap.h"
+#include "src/baselines/gam.h"
+#include "src/baselines/mind_system.h"
+#include "src/common/rng.h"
+#include "src/prefetch/prefetch.h"
+#include "src/workload/generators.h"
+#include "src/workload/replay.h"
+
+namespace mind {
+namespace {
+
+// --- Part 1: stride detector vs naive reference -------------------------------
+
+// Naive model: keep the last `history` pages, recompute every delta's count, report the
+// unique delta with a strict majority (and at least kWarmupDeltas deltas), else 0.
+class NaiveDetector {
+ public:
+  explicit NaiveDetector(uint32_t history) : history_(history < 2 ? 2 : history) {}
+
+  void Record(uint64_t page) {
+    pages_.push_back(page);
+    if (pages_.size() > history_) {
+      pages_.erase(pages_.begin());
+    }
+  }
+
+  [[nodiscard]] int64_t MajorityStride() const {
+    if (pages_.size() < 2) {
+      return 0;
+    }
+    const size_t deltas = pages_.size() - 1;
+    if (deltas < StrideDetector::kWarmupDeltas) {
+      return 0;
+    }
+    std::map<int64_t, size_t> counts;
+    for (size_t i = 0; i + 1 < pages_.size(); ++i) {
+      ++counts[static_cast<int64_t>(pages_[i + 1] - pages_[i])];
+    }
+    for (const auto& [delta, count] : counts) {
+      if (delta != 0 && count * 2 > deltas) {
+        return delta;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  uint32_t history_;
+  std::vector<uint64_t> pages_;
+};
+
+TEST(StrideDetector, WarmupProducesNoStride) {
+  StrideDetector d(32);
+  d.Record(100);
+  d.Record(101);
+  d.Record(102);
+  EXPECT_EQ(d.MajorityStride(), 0) << "2 deltas is below the warm-up threshold";
+  d.Record(103);  // 3 deltas: warm.
+  EXPECT_EQ(d.MajorityStride(), 1);
+}
+
+TEST(StrideDetector, MatchesNaiveReferenceOnRandomSequences) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t history = 4 + static_cast<uint32_t>(rng.NextBelow(60));
+    StrideDetector detector(history);
+    NaiveDetector naive(history);
+    uint64_t page = 1'000'000;
+    for (int step = 0; step < 400; ++step) {
+      // Mix of steady strides, jumps and noise so majorities form and dissolve.
+      const uint64_t kind = rng.NextBelow(10);
+      if (kind < 6) {
+        page += 3;  // Dominant stride.
+      } else if (kind < 8) {
+        page += rng.NextBelow(1000);
+      } else {
+        page -= rng.NextBelow(500);
+      }
+      detector.Record(page);
+      naive.Record(page);
+      ASSERT_EQ(detector.MajorityStride(), naive.MajorityStride())
+          << "trial " << trial << " step " << step << " history " << history;
+    }
+  }
+}
+
+TEST(StrideDetector, AdaptsToStrideChange) {
+  StrideDetector d(16);
+  uint64_t page = 500;
+  for (int i = 0; i < 16; ++i) {
+    d.Record(page += 3);
+  }
+  EXPECT_EQ(d.MajorityStride(), 3);
+  // After the new stride fills a majority of the ring, the vote flips.
+  for (int i = 0; i < 10; ++i) {
+    d.Record(page += 9);
+  }
+  EXPECT_EQ(d.MajorityStride(), 9);
+}
+
+TEST(StrideDetector, InterleavedStreamsNeedADominantStride) {
+  // 2:1 interleave of a stride-2 stream and a far-away random stream: only 1 in 3
+  // deltas equals 2, so the majority vote must refuse to guess.
+  StrideDetector d(30);
+  Rng rng(7);
+  uint64_t a = 1'000'000;
+  for (int i = 0; i < 30; ++i) {
+    d.Record(a += 2);
+    d.Record(a += 2);
+    d.Record(4'000'000'000ull + rng.NextBelow(1'000'000));
+  }
+  EXPECT_EQ(d.MajorityStride(), 0);
+  // 5:1 interleave: 4 of every 6 deltas equal 2 — a real majority survives the noise.
+  StrideDetector d2(30);
+  for (int i = 0; i < 30; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      d2.Record(a += 2);
+    }
+    d2.Record(4'000'000'000ull + rng.NextBelow(1'000'000));
+  }
+  EXPECT_EQ(d2.MajorityStride(), 2);
+}
+
+// --- Part 2: engine predictions, window adaptation, in-flight bounds ----------
+
+PrefetchConfig TestConfig(PrefetchPolicy policy) {
+  PrefetchConfig c;
+  c.policy = policy;
+  c.min_window = 2;
+  c.initial_window = 4;
+  c.max_window = 16;
+  c.max_in_flight = 8;
+  return c;
+}
+
+TEST(PrefetchEngine, NextNPredictsSequentialReadahead) {
+  PrefetchEngine e(TestConfig(PrefetchPolicy::kNextN));
+  std::vector<uint64_t> out;
+  e.Predict(100, &out);
+  ASSERT_EQ(out.size(), e.window());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 101 + i);
+  }
+}
+
+TEST(PrefetchEngine, MajorityStridePredictsOnlyAfterAPatternForms) {
+  PrefetchEngine e(TestConfig(PrefetchPolicy::kMajorityStride));
+  std::vector<uint64_t> out;
+  e.Predict(100, &out);
+  EXPECT_TRUE(out.empty()) << "no history: no speculation";
+  uint64_t page = 100;
+  for (int i = 0; i < 6; ++i) {
+    e.RecordFault(page += 5);
+  }
+  e.Predict(page, &out);
+  ASSERT_EQ(out.size(), e.window());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], page + 5 * (i + 1));
+  }
+}
+
+TEST(PrefetchEngine, WindowGrowsOnUsefulAndShrinksOnFeedback) {
+  PrefetchEngine e(TestConfig(PrefetchPolicy::kNextN));
+  EXPECT_EQ(e.window(), 4u);
+  e.OnUseful(1);
+  EXPECT_EQ(e.window(), 8u);
+  e.OnUseful(2);
+  e.OnUseful(3);
+  EXPECT_EQ(e.window(), 16u) << "growth saturates at max_window";
+  e.OnIssued();
+  e.OnLate();
+  EXPECT_EQ(e.window(), 8u);
+  e.OnIssued();
+  e.OnDiscardedStale();
+  EXPECT_EQ(e.window(), 4u);
+  e.OnEvictedUnused();
+  e.OnEvictedUnused();
+  EXPECT_EQ(e.window(), 2u) << "shrink saturates at min_window";
+}
+
+TEST(PrefetchEngine, InFlightBudgetIsBounded) {
+  PrefetchEngine e(TestConfig(PrefetchPolicy::kNextN));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(e.HasInFlightRoom());
+    e.OnIssued();
+  }
+  EXPECT_FALSE(e.HasInFlightRoom());
+  e.OnInstalled();
+  EXPECT_TRUE(e.HasInFlightRoom());
+  EXPECT_EQ(e.stats().issued, 8u);
+}
+
+// --- Part 3: end-to-end coverage on all three systems -------------------------
+
+// Streaming scan far past the cache: without prefetching every op is a remote fault.
+WorkloadSpec StreamSpec(int blades, Pattern pattern) {
+  WorkloadSpec s;
+  s.name = "stream";
+  s.num_blades = blades;
+  s.threads_per_blade = 1;
+  s.private_pages_per_thread = 6000;
+  s.private_pattern = pattern;
+  s.stride_pages = 7;
+  s.private_write_fraction = 0.3;
+  s.accesses_per_thread = 8000;
+  s.think_time = 600;
+  s.seed = 3;
+  return s;
+}
+
+RackConfig SmallRack(int blades) {
+  RackConfig c;
+  c.num_compute_blades = blades;
+  c.num_memory_blades = 2;
+  c.memory_blade_capacity = 2ull << 30;
+  c.compute_cache_bytes = 8ull << 20;  // 2048 frames: far below the working set.
+  return c;
+}
+
+ReplayReport Replay(MemorySystem& sys, const WorkloadTraces& traces,
+                    PrefetchPolicy policy, int shards = 1) {
+  ReplayOptions opts;
+  opts.shards = shards;
+  opts.prefetch = policy;
+  ReplayEngine engine(&sys, &traces, opts);
+  EXPECT_TRUE(engine.Setup().ok());
+  return engine.Run();
+}
+
+TEST(PrefetchEndToEnd, MindStrideCoversStreamingFaults) {
+  const WorkloadTraces traces = GenerateTraces(StreamSpec(2, Pattern::kSequential));
+  MindSystem base(SmallRack(2));
+  const ReplayReport none = Replay(base, traces, PrefetchPolicy::kNone);
+  EXPECT_EQ(none.prefetch.issued, 0u);
+
+  MindSystem sys(SmallRack(2));
+  const ReplayReport got = Replay(sys, traces, PrefetchPolicy::kMajorityStride);
+  EXPECT_GT(got.prefetch.issued, 0u);
+  EXPECT_GT(got.prefetch.useful, 0u);
+  EXPECT_GT(got.PrefetchCoverage(), 0.3) << "acceptance bar: >= 30% fault coverage";
+  EXPECT_GT(got.prefetch.Accuracy(), 0.5);
+  EXPECT_LT(got.makespan, none.makespan) << "covered faults must shorten the run";
+  EXPECT_LT(got.counters.remote_accesses, none.counters.remote_accesses);
+  EXPECT_EQ(got.total_ops, none.total_ops);
+}
+
+TEST(PrefetchEndToEnd, FastSwapStrideCoversStridedFaults) {
+  const WorkloadTraces traces = GenerateTraces(StreamSpec(1, Pattern::kStrided));
+  FastSwapConfig cfg;
+  cfg.num_memory_blades = 2;
+  cfg.compute_cache_bytes = 8ull << 20;
+  FastSwapSystem base(cfg);
+  const ReplayReport none = Replay(base, traces, PrefetchPolicy::kNone);
+
+  FastSwapSystem sys(cfg);
+  const ReplayReport got = Replay(sys, traces, PrefetchPolicy::kMajorityStride);
+  EXPECT_GT(got.prefetch.useful, 0u);
+  EXPECT_GT(got.PrefetchCoverage(), 0.3) << "acceptance bar: >= 30% fault coverage";
+  EXPECT_LT(got.makespan, none.makespan);
+  EXPECT_EQ(got.total_ops, none.total_ops);
+}
+
+TEST(PrefetchEndToEnd, MindStoreDataModeInstallsRealPayloads) {
+  // store_data exercises the install-time payload re-read (Rack::PeekPageBytes): the
+  // prefetched copy must come from the memory blade, not a dangling fetch-time pointer.
+  RackConfig cfg = SmallRack(1);
+  cfg.store_data = true;
+  MindSystem sys(cfg);
+  WorkloadSpec spec = StreamSpec(1, Pattern::kSequential);
+  spec.accesses_per_thread = 3000;
+  const WorkloadTraces traces = GenerateTraces(spec);
+  const ReplayReport got = Replay(sys, traces, PrefetchPolicy::kMajorityStride);
+  EXPECT_GT(got.prefetch.useful, 0u);
+  EXPECT_GT(got.PrefetchCoverage(), 0.3);
+}
+
+TEST(PrefetchEndToEnd, GamIssuesBehindTheLibraryLock) {
+  const WorkloadTraces traces = GenerateTraces(StreamSpec(2, Pattern::kSequential));
+  GamConfig cfg;
+  cfg.num_compute_blades = 2;
+  cfg.num_memory_blades = 2;
+  cfg.compute_cache_bytes = 8ull << 20;
+  GamSystem sys(cfg);
+  const ReplayReport got = Replay(sys, traces, PrefetchPolicy::kMajorityStride);
+  EXPECT_GT(got.prefetch.issued, 0u);
+  EXPECT_GT(got.prefetch.useful, 0u);
+  EXPECT_GT(got.PrefetchCoverage(), 0.3);
+}
+
+// Prefetch state under real worker threads (TSan coverage): engines and per-blade
+// tables are only ever touched by their own blade's channel commits or the serialized
+// drain, so sharded replay with prefetching on must be race-free and deterministic.
+TEST(PrefetchEndToEnd, ShardedReplayWithThreadsIsDeterministic) {
+  const WorkloadTraces traces = GenerateTraces(StreamSpec(4, Pattern::kSequential));
+  auto run = [&](int shards) {
+    MindSystem sys(SmallRack(4));
+    ReplayOptions opts;
+    opts.shards = shards;
+    opts.force_threads = true;
+    opts.prefetch = PrefetchPolicy::kMajorityStride;
+    ReplayEngine engine(&sys, &traces, opts);
+    EXPECT_TRUE(engine.Setup().ok());
+    return engine.Run();
+  };
+  const ReplayReport a = run(4);
+  const ReplayReport b = run(4);
+  EXPECT_GT(a.prefetch.useful, 0u);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.counters.local_hits, b.counters.local_hits);
+  EXPECT_EQ(a.prefetch.issued, b.prefetch.issued);
+  EXPECT_EQ(a.prefetch.useful, b.prefetch.useful);
+  EXPECT_TRUE(a.latency_histogram == b.latency_histogram);
+}
+
+TEST(PrefetchEndToEnd, PointerChaseProducesNoStrideSpeculation) {
+  const WorkloadTraces traces = GenerateTraces(StreamSpec(1, Pattern::kPointerChase));
+  MindSystem sys(SmallRack(1));
+  const ReplayReport got = Replay(sys, traces, PrefetchPolicy::kMajorityStride);
+  // No majority stride exists in a permuted chase, so the detector must sit out.
+  EXPECT_EQ(got.prefetch.issued, 0u);
+}
+
+// --- Part 4: invalidation waves discard stale in-flight prefetches ------------
+
+TEST(PrefetchInvalidation, WaveBetweenIssueAndArrivalDiscardsTheCopy) {
+  MindSystem sys(SmallRack(2));
+  ASSERT_TRUE(sys.SetPrefetchPolicy(PrefetchPolicy::kMajorityStride));
+  const VirtAddr base = *sys.Alloc(8ull << 20);
+  const ThreadId tid_a = *sys.RegisterThread(0);
+  const ThreadId tid_b = *sys.RegisterThread(1);
+
+  // Blade 0 faults pages 0..3 sequentially: after the warm-up deltas the detector locks
+  // onto stride 1 and issues prefetches for the pages ahead.
+  SimTime t = 0;
+  for (uint64_t p = 0; p < 4; ++p) {
+    const AccessResult r =
+        sys.Access(tid_a, 0, base + p * kPageSize, AccessType::kRead, t);
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 100;
+  }
+  PrefetchStats stats = sys.prefetch_stats();
+  ASSERT_GT(stats.issued, 0u) << "stride prefetches must be in flight";
+
+  // Blade 1 writes page 5 while those fetches are still in flight: the invalidation
+  // wave hits blade 0's region, so the in-flight copies are stale.
+  {
+    const AccessResult r =
+        sys.Access(tid_b, 1, base + 5 * kPageSize, AccessType::kWrite, t);
+    ASSERT_TRUE(r.status.ok());
+  }
+
+  // Long after every fetch has landed, blade 0 touches page 4: the stale install must
+  // have been discarded, so this is a real remote fault, not a stale local hit.
+  t += 200 * kMicrosecond;
+  const AccessResult r = sys.Access(tid_a, 0, base + 4 * kPageSize, AccessType::kRead, t);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.local_hit);
+  stats = sys.prefetch_stats();
+  EXPECT_GT(stats.discarded_stale, 0u);
+  EXPECT_EQ(stats.useful, 0u);
+}
+
+// A foreign protection domain can neither join an in-flight prefetch nor consume it:
+// speculation must never widen access beyond what the fault path would grant.
+TEST(PrefetchInvalidation, JoinPathRespectsProtectionDomains) {
+  RackConfig cfg;
+  cfg.num_compute_blades = 1;
+  cfg.num_memory_blades = 1;
+  cfg.prefetch.policy = PrefetchPolicy::kMajorityStride;  // Config-level opt-in path.
+  Rack rack(cfg);
+  const ProcessId pid_a = *rack.Exec("owner");
+  const ProcessId pid_b = *rack.Exec("intruder");
+  const ProtDomainId pdid_a = *rack.controller().PdidOf(pid_a);
+  const ProtDomainId pdid_b = *rack.controller().PdidOf(pid_b);
+  const ThreadId tid_a = rack.SpawnThread(pid_a, 0)->tid;
+  const ThreadId tid_b = rack.SpawnThread(pid_b, 0)->tid;
+  const VirtAddr base = *rack.Mmap(pid_a, 1 << 20, PermClass::kReadWrite);
+
+  // A's sequential faults arm the detector and put pages 4.. in flight.
+  SimTime t = 0;
+  for (uint64_t p = 0; p < 4; ++p) {
+    const AccessResult r =
+        rack.Access({tid_a, 0, pdid_a, base + p * kPageSize, AccessType::kRead, t});
+    ASSERT_TRUE(r.status.ok());
+    t = r.completion + 100;
+  }
+  ASSERT_GT(rack.prefetch_stats().issued, 0u);
+
+  // B (no grant for A's vma) demand-reads an in-flight page: denied, exactly as the
+  // fault path would rule, and the in-flight entry is not consumed.
+  const VirtAddr target = base + 4 * kPageSize;
+  const AccessResult denied =
+      rack.Access({tid_b, 0, pdid_b, target, AccessType::kRead, t});
+  EXPECT_FALSE(denied.status.ok());
+
+  // A's own access long after arrival still gets the prefetched page as a local hit.
+  t += 200 * kMicrosecond;
+  const AccessResult r = rack.Access({tid_a, 0, pdid_a, target, AccessType::kRead, t});
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.local_hit);
+  EXPECT_GT(rack.prefetch_stats().useful, 0u);
+}
+
+// --- Part 5: kNone conformance — bit-identical to the per-op reference --------
+
+void ExpectReportsIdentical(const ReplayReport& want, const ReplayReport& got) {
+  EXPECT_EQ(want.makespan, got.makespan);
+  EXPECT_EQ(want.total_ops, got.total_ops);
+  EXPECT_EQ(want.counters.total_accesses, got.counters.total_accesses);
+  EXPECT_EQ(want.counters.local_hits, got.counters.local_hits);
+  EXPECT_EQ(want.counters.remote_accesses, got.counters.remote_accesses);
+  EXPECT_EQ(want.counters.invalidations, got.counters.invalidations);
+  EXPECT_EQ(want.counters.pages_flushed, got.counters.pages_flushed);
+  EXPECT_EQ(want.counters.false_invalidations, got.counters.false_invalidations);
+  EXPECT_TRUE(want.latency_histogram == got.latency_histogram);
+  EXPECT_DOUBLE_EQ(want.avg_latency_us, got.avg_latency_us);
+  EXPECT_DOUBLE_EQ(want.throughput_mops, got.throughput_mops);
+}
+
+TEST(PrefetchNoneConformance, AllSystemsBitIdenticalAtOneAndFourShards) {
+  WorkloadSpec spec = MemcachedASpec(4, 2, /*accesses_per_thread=*/2000);
+  spec.shared_pages = 4096;
+  const WorkloadTraces traces = GenerateTraces(spec);
+
+  const auto check = [&](auto make_system) {
+    auto ref_sys = make_system();
+    ReplayOptions ref_opts;
+    ref_opts.use_channels = false;  // The pre-prefetch per-op reference path.
+    ReplayEngine ref(ref_sys.get(), &traces, ref_opts);
+    ASSERT_TRUE(ref.Setup().ok());
+    const ReplayReport want = ref.Run();
+    ASSERT_GT(want.total_ops, 0u);
+    for (const int shards : {1, 4}) {
+      SCOPED_TRACE(shards);
+      auto sys = make_system();
+      const ReplayReport got = Replay(*sys, traces, PrefetchPolicy::kNone, shards);
+      ExpectReportsIdentical(want, got);
+      EXPECT_EQ(got.prefetch.issued, 0u);
+      EXPECT_EQ(got.prefetch.useful, 0u);
+    }
+  };
+
+  {
+    SCOPED_TRACE("MIND");
+    RackConfig cfg = SmallRack(4);
+    cfg.directory_slots = 2048;
+    check([cfg] { return std::make_unique<MindSystem>(cfg); });
+  }
+  {
+    SCOPED_TRACE("GAM");
+    GamConfig cfg;
+    cfg.num_compute_blades = 4;
+    cfg.num_memory_blades = 2;
+    cfg.compute_cache_bytes = 8ull << 20;
+    check([cfg] { return std::make_unique<GamSystem>(cfg); });
+  }
+  {
+    SCOPED_TRACE("FastSwap");
+    WorkloadSpec fs_spec = spec;
+    fs_spec.num_blades = 1;
+    const WorkloadTraces fs_traces = GenerateTraces(fs_spec);
+    FastSwapConfig cfg;
+    cfg.compute_cache_bytes = 8ull << 20;
+    auto ref_sys = std::make_unique<FastSwapSystem>(cfg);
+    ReplayOptions ref_opts;
+    ref_opts.use_channels = false;
+    ReplayEngine ref(ref_sys.get(), &fs_traces, ref_opts);
+    ASSERT_TRUE(ref.Setup().ok());
+    const ReplayReport want = ref.Run();
+    for (const int shards : {1, 4}) {
+      SCOPED_TRACE(shards);
+      FastSwapSystem sys(cfg);
+      const ReplayReport got = Replay(sys, fs_traces, PrefetchPolicy::kNone, shards);
+      ExpectReportsIdentical(want, got);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mind

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <set>
 
 #include "src/baselines/fastswap.h"
 #include "src/baselines/mind_system.h"
@@ -139,6 +141,91 @@ TEST(Generators, MicroRespectsSharingRatio) {
     }
     EXPECT_NEAR(static_cast<double>(shared) / static_cast<double>(total), sharing, 0.03);
   }
+}
+
+TEST(Generators, StridedPatternStepsByTheConfiguredStride) {
+  WorkloadSpec spec;
+  spec.name = "strided";
+  spec.num_blades = 2;
+  spec.threads_per_blade = 1;
+  spec.private_pages_per_thread = 997;  // Prime: coprime with any stride, full coverage.
+  spec.private_pattern = Pattern::kStrided;
+  spec.stride_pages = 7;
+  spec.accesses_per_thread = 3000;
+  const auto traces = GenerateTraces(spec);
+  for (size_t t = 0; t < traces.threads.size(); ++t) {
+    const auto& ops = traces.threads[t].ops;
+    ASSERT_GT(ops.size(), 100u);
+    std::set<uint64_t> distinct;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      ASSERT_EQ(ops[i].segment, 2 + t);  // Private-only spec.
+      distinct.insert(ops[i].page);
+      if (i > 0) {
+        // Every consecutive delta is exactly the stride, mod the segment size.
+        const uint64_t delta =
+            (ops[i].page + spec.private_pages_per_thread - ops[i - 1].page) %
+            spec.private_pages_per_thread;
+        ASSERT_EQ(delta, spec.stride_pages) << "thread " << t << " op " << i;
+      }
+    }
+    // A page-coprime stride visits the whole segment before repeating.
+    EXPECT_EQ(distinct.size(), spec.private_pages_per_thread);
+  }
+}
+
+TEST(Generators, PointerChaseIsAPermutedCycleWithoutAStride) {
+  WorkloadSpec spec;
+  spec.name = "chase";
+  spec.num_blades = 1;
+  spec.threads_per_blade = 1;
+  spec.private_pages_per_thread = 512;
+  spec.private_pattern = Pattern::kPointerChase;
+  spec.accesses_per_thread = 1024;  // Two full laps of the cycle.
+  const auto traces = GenerateTraces(spec);
+  const auto& ops = traces.threads[0].ops;
+  ASSERT_EQ(ops.size(), 1024u);
+  // One lap visits every page exactly once (Sattolo builds a single cycle)...
+  std::set<uint64_t> lap;
+  for (size_t i = 0; i < 512; ++i) {
+    lap.insert(ops[i].page);
+  }
+  EXPECT_EQ(lap.size(), 512u);
+  // ...and the second lap replays the identical order (deterministic chase).
+  for (size_t i = 0; i < 512; ++i) {
+    ASSERT_EQ(ops[i].page, ops[i + 512].page);
+  }
+  // Distribution shape: no consecutive delta reaches a majority — the property that
+  // makes the workload prefetch-hostile (the stride detector must sit out).
+  std::map<int64_t, size_t> deltas;
+  for (size_t i = 1; i < 512; ++i) {
+    ++deltas[static_cast<int64_t>(ops[i].page - ops[i - 1].page)];
+  }
+  for (const auto& [delta, count] : deltas) {
+    EXPECT_LT(count, 256u) << "delta " << delta << " has a majority";
+  }
+}
+
+TEST(Generators, PointerChaseIsDeterministicForSeed) {
+  WorkloadSpec spec;
+  spec.num_blades = 1;
+  spec.threads_per_blade = 2;
+  spec.private_pages_per_thread = 256;
+  spec.private_pattern = Pattern::kPointerChase;
+  spec.accesses_per_thread = 500;
+  const auto a = GenerateTraces(spec);
+  const auto b = GenerateTraces(spec);
+  for (size_t t = 0; t < a.threads.size(); ++t) {
+    ASSERT_EQ(a.threads[t].ops.size(), b.threads[t].ops.size());
+    for (size_t i = 0; i < a.threads[t].ops.size(); ++i) {
+      ASSERT_EQ(a.threads[t].ops[i].page, b.threads[t].ops[i].page);
+    }
+  }
+  // Different threads chase different permutations (per-thread seeding).
+  bool differs = false;
+  for (size_t i = 0; i < 100; ++i) {
+    differs |= a.threads[0].ops[i].page != a.threads[1].ops[i].page;
+  }
+  EXPECT_TRUE(differs);
 }
 
 TEST(Generators, MicroFootprintMatchesTotalPages) {
