@@ -131,13 +131,14 @@ inline void PrintPrefetchReportLine(const ReplayReport& report, PrefetchPolicy p
   }
   const PrefetchStats& p = report.prefetch;
   std::printf("[prefetch] %-8s %-10s policy=%-6s issued=%llu useful=%llu late=%llu "
-              "evicted=%llu stale=%llu coverage=%.1f%% accuracy=%.1f%%\n",
+              "evicted=%llu stale=%llu rearmed=%llu coverage=%.1f%% accuracy=%.1f%%\n",
               report.system.c_str(), report.workload.c_str(), ToString(policy),
               static_cast<unsigned long long>(p.issued),
               static_cast<unsigned long long>(p.useful),
               static_cast<unsigned long long>(p.late),
               static_cast<unsigned long long>(p.evicted_unused),
               static_cast<unsigned long long>(p.discarded_stale),
+              static_cast<unsigned long long>(p.rearmed),
               100.0 * report.PrefetchCoverage(), 100.0 * p.Accuracy());
 }
 

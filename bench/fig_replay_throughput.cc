@@ -28,6 +28,7 @@ struct Timed {
   ReplayReport report;
   double wall_ns = 0.0;
   uint64_t parallel_hits = 0;
+  uint64_t grouped_ops = 0;
 };
 
 // Headline series: the shape sharded replay targets — multi-blade, cache-resident
@@ -57,8 +58,37 @@ WorkloadSpec CoherenceBoundSpec() {
   return TfSpec(/*blades=*/8, /*threads_per_blade=*/1, bench::ScaledOps(150'000));
 }
 
-Timed RunSerial(const WorkloadTraces& traces) {
-  auto sys = bench::MakeMind(8);
+// Channel-group series: GAM with heavy intra-blade contention — 4 threads per blade all
+// queue on the per-blade library lock, so per-thread channels can only lower-bound hit
+// latencies and (pre-groups) every committed op paid a virtual Commit +
+// FifoResource::Acquire round-trip. The per-blade ChannelGroup replays the merged lock
+// queue once per round instead; this series is the regression guard for that path.
+WorkloadSpec GamContendedSpec() {
+  WorkloadSpec s;
+  s.name = "gam-contended";
+  s.num_blades = 4;
+  s.threads_per_blade = 4;
+  s.private_pages_per_thread = 2000;
+  s.private_pattern = Pattern::kUniform;
+  s.private_write_fraction = 0.5;
+  s.shared_pages = 512;
+  s.shared_access_fraction = 0.02;
+  s.shared_write_fraction = 0.2;
+  s.accesses_per_thread = bench::ScaledOps(250'000);
+  s.think_time = 200;
+  s.seed = 11;
+  return s;
+}
+
+using SystemFactory = std::unique_ptr<MemorySystem> (*)();
+
+std::unique_ptr<MemorySystem> MakeMind8() { return bench::MakeMind(8); }
+std::unique_ptr<MemorySystem> MakeGam4() {
+  return std::make_unique<GamSystem>(bench::PaperGamConfig(4));
+}
+
+Timed RunSerial(const WorkloadTraces& traces, SystemFactory make_system) {
+  auto sys = make_system();
   ReplayOptions opts;
   opts.use_channels = false;  // Per-op reference path: one virtual Access per op.
   ReplayEngine engine(sys.get(), &traces, opts);
@@ -71,8 +101,8 @@ Timed RunSerial(const WorkloadTraces& traces) {
   return out;
 }
 
-Timed RunSharded(const WorkloadTraces& traces, int shards) {
-  auto sys = bench::MakeMind(8);
+Timed RunSharded(const WorkloadTraces& traces, int shards, SystemFactory make_system) {
+  auto sys = make_system();
   ReplayOptions opts;
   opts.shards = shards;
   ReplayEngine engine(sys.get(), &traces, opts);
@@ -84,6 +114,7 @@ Timed RunSharded(const WorkloadTraces& traces, int shards) {
                     .count();
   for (const ShardReport& sr : engine.shard_reports()) {
     out.parallel_hits += sr.parallel_hits;
+    out.grouped_ops += sr.grouped_ops;
   }
   return out;
 }
@@ -96,7 +127,7 @@ int main(int argc, char** argv) {
   std::vector<bench::BenchResult> results;
 
   auto run_series = [&](const std::string& tag, const WorkloadTraces& traces,
-                        const std::vector<int>& shard_points) {
+                        const std::vector<int>& shard_points, SystemFactory make_system) {
     const uint64_t ops = traces.TotalOps();
     std::printf("\nReplay wall-clock throughput — %s (%s), %llu ops, %d blades, "
                 "%u host cores\n",
@@ -105,19 +136,21 @@ int main(int argc, char** argv) {
     std::printf("(simulator performance; simulated-time results are bit-identical across "
                 "rows)\n");
     TablePrinter table({"config", "wall ms", "ns/op", "Mops/s wall", "parallel hits",
-                        "sim ms"});
+                        "grouped", "sim ms"});
     table.PrintHeader();
     auto add = [&](const std::string& name, const Timed& t) {
       const double ns_per_op = t.wall_ns / static_cast<double>(ops);
       table.PrintRow(name, TablePrinter::Fmt(t.wall_ns / 1e6, 1),
                      TablePrinter::Fmt(ns_per_op, 1), TablePrinter::Fmt(1e3 / ns_per_op, 2),
-                     t.parallel_hits, TablePrinter::Fmt(ToMillis(t.report.makespan), 2));
+                     t.parallel_hits, t.grouped_ops,
+                     TablePrinter::Fmt(ToMillis(t.report.makespan), 2));
       results.push_back(
           bench::BenchResult{"FigReplayWallclock/" + tag + "/" + name, ns_per_op, ops});
     };
-    add("serial-1shard", RunSerial(traces));
+    add("serial-1shard", RunSerial(traces, make_system));
     for (const int shards : shard_points) {
-      add("sharded-" + std::to_string(shards) + "shard", RunSharded(traces, shards));
+      add("sharded-" + std::to_string(shards) + "shard",
+          RunSharded(traces, shards, make_system));
     }
   };
 
@@ -129,11 +162,16 @@ int main(int argc, char** argv) {
   }
   {
     const WorkloadTraces traces = GenerateTraces(HotSpec());
-    run_series("blade_resident", traces, shard_points);
+    run_series("blade_resident", traces, shard_points, MakeMind8);
   }
   {
     const WorkloadTraces traces = GenerateTraces(CoherenceBoundSpec());
-    run_series("tf_coherence_bound", traces, shard_points);
+    run_series("tf_coherence_bound", traces, shard_points, MakeMind8);
+  }
+  {
+    // 4 blades: shard counts past 4 clamp to 4, so the series stops there.
+    const WorkloadTraces traces = GenerateTraces(GamContendedSpec());
+    run_series("gam_contended", traces, {1, 2, 4}, MakeGam4);
   }
   bench::AppendTrajectoryEntry(results, "fig-replay-wallclock");
   return 0;

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/channel_group.h"
+
 namespace mind {
 
 FastSwapSystem::FastSwapSystem(FastSwapConfig config)
@@ -129,7 +131,12 @@ PrefetchEngine& FastSwapSystem::EnsurePrefetchEngine(ThreadId tid) {
 
 void FastSwapSystem::InstallPage(uint64_t page, SimTime now, bool prefetched,
                                  PrefetchEngine* owner) {
-  auto evicted = cache_->Insert(page, /*writable=*/true, nullptr);
+  // Speculative swap-ins enter at the adaptive cold LRU depth (prefetch-aware eviction
+  // priority); demand swap-ins stay MRU.
+  auto evicted = prefetched
+                     ? cache_->InsertPrefetched(page, /*writable=*/true, nullptr,
+                                                /*pdid=*/0, prefetch_.cold_insert_depth())
+                     : cache_->Insert(page, /*writable=*/true, nullptr);
   if (evicted.has_value()) {
     if (config_.prefetch.enabled()) {
       prefetch_.OnPageEvicted(evicted->page);  // Evicted-unused feedback.
@@ -145,10 +152,7 @@ void FastSwapSystem::InstallPage(uint64_t page, SimTime now, bool prefetched,
     }
   }
   if (prefetched) {
-    if (DramCache::Frame* f = cache_->Find(page); f != nullptr) {
-      f->prefetched = true;
-      prefetch_.unused[page] = owner;
-    }
+    prefetch_.unused[page] = owner;
   }
 }
 
@@ -160,13 +164,28 @@ void FastSwapSystem::InstallReadyPrefetches(SimTime now) {
     }
     InstallPage(page, entry.ready_at, /*prefetched=*/true, entry.owner);
   }
+  if (!prefetch_.rearm_requests.empty()) {
+    // Re-arm requests from hit paths and channel/group commits: issue the next window at
+    // the blade's first serialized point (see the same hook in Rack).
+    for (size_t i = 0; i < prefetch_.rearm_requests.size(); ++i) {
+      const BladePrefetchState::Rearm rearm = prefetch_.rearm_requests[i];
+      IssuePrefetches(*rearm.engine, rearm.page, now);
+    }
+    prefetch_.rearm_requests.clear();
+  }
 }
 
 void FastSwapSystem::PrefetchAfterFault(ThreadId tid, uint64_t page, SimTime done) {
   PrefetchEngine& engine = EnsurePrefetchEngine(tid);
   engine.RecordFault(page);
+  IssuePrefetches(engine, page, done);
+}
+
+void FastSwapSystem::IssuePrefetches(PrefetchEngine& engine, uint64_t page, SimTime done) {
   prefetch_scratch_.clear();
   engine.Predict(page, &prefetch_scratch_);
+  uint64_t last_issued = page;
+  bool issued_any = false;
   for (const uint64_t p : prefetch_scratch_) {
     if (!engine.HasInFlightRoom()) {
       break;  // Bounded in-flight queue.
@@ -195,6 +214,11 @@ void FastSwapSystem::PrefetchAfterFault(ThreadId tid, uint64_t page, SimTime don
     prefetch_.in_flight[p] =
         BladePrefetchState::InFlight{ready, 0, &engine, /*pdid=*/0};
     prefetch_.NoteIssued(ready);
+    last_issued = p;
+    issued_any = true;
+  }
+  if (issued_any) {
+    engine.NoteIssuedWindow(page, last_issued);
   }
 }
 
@@ -247,20 +271,14 @@ class FastSwapSystem::Channel final : public AccessChannel {
   void Commit(Completion* completions, size_t n, SimTime /*clock*/) override {
     DramCache& cache = *sys_->cache_;
     for (size_t i = 0; i < n; ++i) {
-      const uint64_t tagged = completions[i].token.bits;
-      auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
-      cache.Touch(frame);
-      if ((tagged & 1) != 0) {
-        frame->dirty = true;
-      }
-      if (frame->prefetched) [[unlikely]] {  // First touch of a prefetched page: useful.
-        frame->prefetched = false;
-        sys_->prefetch_.OnPrefetchedTouch(frame->page);
-      }
+      ApplyCommitToken(cache, completions[i],
+                       [&](uint64_t page) { sys_->prefetch_.OnPrefetchedTouch(page); });
     }
   }
 
  private:
+  friend class FastSwapSystem::Group;
+
   FastSwapSystem* sys_;
   DramCache::RegionStamps stamps_;  // Dependency footprint of the last submitted run.
 };
@@ -268,6 +286,53 @@ class FastSwapSystem::Channel final : public AccessChannel {
 std::unique_ptr<AccessChannel> FastSwapSystem::OpenChannel(ThreadId /*tid*/,
                                                            ComputeBladeId blade) {
   return blade == 0 ? std::make_unique<Channel>(this) : nullptr;
+}
+
+// ChannelGroup over the single swap cache (contract in access_channel.h, merge machinery
+// in channel_group.h): the trivial uniform path. Every member's hit latency is the fixed
+// local_cache_hit, so the merged batch is pure LRU/dirty interleaving in (clock, thread)
+// order with one RecordN per lane; one stamp pass validates every member's run.
+class FastSwapSystem::Group final : public ChannelGroup {
+ public:
+  explicit Group(FastSwapSystem* sys) : sys_(sys) {}
+
+  size_t Add(AccessChannel* channel) override {
+    members_.push_back(static_cast<Channel*>(channel));
+    return members_.size() - 1;
+  }
+
+  [[nodiscard]] uint64_t ValidMask() const override {
+    const DramCache& cache = *sys_->cache_;
+    uint64_t mask = 0;
+    for (size_t m = 0; m < members_.size(); ++m) {
+      if (members_[m]->stamps_.Valid(cache)) {
+        mask |= uint64_t{1} << m;
+      }
+    }
+    return mask;
+  }
+
+  uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
+                        Histogram& hist) override {
+    DramCache& cache = *sys_->cache_;
+    return GroupMergeCommit(
+        lanes, n, horizon, think, hist,
+        [](GroupLane& ln, size_t idx) {
+          return ln.uniform_latency != 0 ? ln.uniform_latency : ln.comps[idx].latency;
+        },
+        [&](GroupLane& ln, size_t idx) {
+          ApplyCommitToken(cache, ln.comps[idx],
+                           [&](uint64_t page) { sys_->prefetch_.OnPrefetchedTouch(page); });
+        });
+  }
+
+ private:
+  FastSwapSystem* sys_;
+  std::vector<Channel*> members_;
+};
+
+std::unique_ptr<ChannelGroup> FastSwapSystem::OpenChannelGroup(ComputeBladeId blade) {
+  return blade == 0 ? std::make_unique<Group>(this) : nullptr;
 }
 
 }  // namespace mind

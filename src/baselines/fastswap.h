@@ -53,6 +53,11 @@ class FastSwapSystem final : public MemorySystem {
   // replay.
   std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade) override;
 
+  // Per-blade channel group (trivially uniform: every hit costs the fixed swap-cache
+  // latency, so the merged batch accounts across threads with one RecordN per lane; the
+  // merge itself still interleaves LRU recency in exact (clock, thread) order).
+  std::unique_ptr<ChannelGroup> OpenChannelGroup(ComputeBladeId blade) override;
+
   bool SetPrefetchPolicy(PrefetchPolicy policy) override {
     config_.prefetch.policy = policy;
     return true;
@@ -61,6 +66,7 @@ class FastSwapSystem final : public MemorySystem {
 
  private:
   class Channel;
+  class Group;
   [[nodiscard]] MemoryBladeId BackingBlade(uint64_t page) const {
     return static_cast<MemoryBladeId>((page / config_.chunk_pages) %
                                       static_cast<uint64_t>(config_.num_memory_blades));
@@ -72,6 +78,8 @@ class FastSwapSystem final : public MemorySystem {
   void InstallPage(uint64_t page, SimTime now, bool prefetched, PrefetchEngine* owner);
   void InstallReadyPrefetches(SimTime now);
   void PrefetchAfterFault(ThreadId tid, uint64_t page, SimTime done);
+  // The issue half of PrefetchAfterFault, also driven by re-arm requests.
+  void IssuePrefetches(PrefetchEngine& engine, uint64_t page, SimTime done);
 
   FastSwapConfig config_;
   Fabric fabric_;

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/channel_group.h"
+
 namespace mind {
 
 GamSystem::GamSystem(GamConfig config)
@@ -320,7 +322,10 @@ void GamSystem::InstallReadyPrefetches(ComputeBladeId blade, SimTime now) {
     if (local.cache->Find(page) != nullptr) {
       continue;  // A demand fault re-fetched it meanwhile.
     }
-    auto evicted = local.cache->Insert(page, /*writable=*/false, nullptr);
+    // Speculative install at the blade's adaptive cold LRU depth (prefetch-aware
+    // eviction priority): a mispredicting burst evicts its own guesses first.
+    auto evicted = local.cache->InsertPrefetched(page, /*writable=*/false, nullptr,
+                                                 /*pdid=*/0, bp.cold_insert_depth());
     if (evicted.has_value()) {
       bp.OnPageEvicted(evicted->page);
       if (evicted->dirty) {
@@ -328,10 +333,16 @@ void GamSystem::InstallReadyPrefetches(ComputeBladeId blade, SimTime now) {
         ++counters_.pages_flushed;
       }
     }
-    if (DramCache::Frame* f = local.cache->Find(page); f != nullptr) {
-      f->prefetched = true;
-      bp.unused[page] = entry.owner;
+    bp.unused[page] = entry.owner;
+  }
+  if (!bp.rearm_requests.empty()) {
+    // Re-arm requests from hit paths and channel/group commits: issue the next window at
+    // the blade's first serialized point (see the same hook in Rack).
+    for (size_t i = 0; i < bp.rearm_requests.size(); ++i) {
+      const BladePrefetchState::Rearm rearm = bp.rearm_requests[i];
+      IssuePrefetches(*rearm.engine, blade, rearm.page, now);
     }
+    bp.rearm_requests.clear();
   }
 }
 
@@ -339,9 +350,16 @@ void GamSystem::PrefetchAfterFault(ThreadId tid, ComputeBladeId blade, uint64_t 
                                    SimTime done) {
   PrefetchEngine& engine = EnsurePrefetchEngine(tid);
   engine.RecordFault(page);
+  IssuePrefetches(engine, blade, page, done);
+}
+
+void GamSystem::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade,
+                                uint64_t page, SimTime done) {
   prefetch_scratch_.clear();
   engine.Predict(page, &prefetch_scratch_);
   BladeState& local = blades_[blade];
+  uint64_t last_issued = page;
+  bool issued_any = false;
   for (const uint64_t p : prefetch_scratch_) {
     if (!engine.HasInFlightRoom()) {
       break;  // Bounded in-flight queue.
@@ -387,6 +405,11 @@ void GamSystem::PrefetchAfterFault(ThreadId tid, ComputeBladeId blade, uint64_t 
         ready, local.cache->region_inval_version(DramCache::RegionOf(p)), &engine,
         /*pdid=*/0};
     local.prefetch.NoteIssued(ready);
+    last_issued = p;
+    issued_any = true;
+  }
+  if (issued_any) {
+    engine.NoteIssuedWindow(page, last_issued);
   }
 }
 
@@ -419,8 +442,12 @@ class GamSystem::Channel final : public AccessChannel {
     think_ = think;
     // With one registered thread on the blade, nothing but this channel ever moves the
     // blade's library lock, so the simulated queue below is exact and latencies are final
-    // at Submit. Under intra-blade contention the same simulation yields lower bounds
-    // (the lock horizon only ever moves later), finalized per op at Commit.
+    // at Submit. Under intra-blade contention latencies depend on how same-blade threads
+    // interleave — which only the commit pass (per-blade group merge, or op-by-op
+    // Commit) knows — so the contended branch classifies ONLY: hit checks and region
+    // stamps, plus a queue-free latency lower bound for the end-clock horizon (the PSO
+    // barrier and other threads' lock holds can only push real latencies later). Per-op
+    // latencies stay unwritten; the commit pass writes the exact values.
     const bool sole_thread = sys_->blade_thread_counts_[blade_] == 1;
     SimTime busy = blade.lock.busy_until();
     bool uniform = true;
@@ -439,6 +466,16 @@ class GamSystem::Channel final : public AccessChannel {
         break;
       }
       stamps_.Add(cache, DramCache::RegionOf(page));
+      completions[i].token.bits =
+          reinterpret_cast<uintptr_t>(frame) | static_cast<uintptr_t>(is_write);
+      if (!sole_thread) {
+        // Contended blade, classification only: queue-free latency lower bound, no PSO
+        // peek, latency field left unwritten (see the loop header comment).
+        const SimTime start = std::max(clock, busy);
+        busy = start + service;
+        clock = (busy + local_work) + think;
+        continue;
+      }
       SimTime arrival = clock;
       if (!is_write) {
         arrival = sys_->PsoPeekBarrier(tid_, page, arrival);
@@ -452,8 +489,6 @@ class GamSystem::Channel final : public AccessChannel {
         uniform &= latency == first_latency;
       }
       completions[i].latency = latency;
-      completions[i].token.bits =
-          reinterpret_cast<uintptr_t>(frame) | static_cast<uintptr_t>(is_write);
       clock += latency + think;
     }
     out.accepted = i;
@@ -471,27 +506,23 @@ class GamSystem::Channel final : public AccessChannel {
     BladeState& blade = sys_->blades_[blade_];
     for (size_t i = 0; i < n; ++i) {
       const uint64_t tagged = completions[i].token.bits;
-      auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
+      const auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
       const bool is_write = (tagged & 1) != 0;
       // Replays the serial hit path through the shared library-entry helper: real PSO
       // barrier (pruning), real FIFO lock acquisition, LRU touch, dirty bit.
       const SimTime lib_done = sys_->EnterLibrary(
           tid_, blade_, frame->page, is_write ? AccessType::kWrite : AccessType::kRead,
           clock);
-      blade.cache->Touch(frame);
-      if (is_write) {
-        frame->dirty = true;
-      }
-      if (frame->prefetched) [[unlikely]] {  // First touch of a prefetched page: useful.
-        frame->prefetched = false;
-        blade.prefetch.OnPrefetchedTouch(frame->page);
-      }
+      ApplyCommitToken(*blade.cache, completions[i],
+                       [&](uint64_t page) { blade.prefetch.OnPrefetchedTouch(page); });
       completions[i].latency = lib_done - clock;
       clock += completions[i].latency + think_;
     }
   }
 
  private:
+  friend class GamSystem::Group;
+
   GamSystem* sys_;
   ThreadId tid_;
   ComputeBladeId blade_;
@@ -504,6 +535,100 @@ std::unique_ptr<AccessChannel> GamSystem::OpenChannel(ThreadId tid, ComputeBlade
     return nullptr;
   }
   return std::make_unique<Channel>(this, tid, blade);
+}
+
+// Per-blade ChannelGroup over the GAM library (contract in access_channel.h, merge
+// machinery in channel_group.h). This is the group layer's biggest winner: under
+// intra-blade contention a per-thread Submit can only lower-bound hit latencies (the
+// FIFO library lock's queueing delay depends on how same-blade threads interleave), so
+// the per-thread path finalizes op by op through Commit — one virtual call and one
+// FifoResource::Acquire per op. The group knows the whole interleaving: it replays the
+// lock queue across the merged (clock, thread) stream in one pass — arrival (post
+// PSO-read-barrier, with the same pruning EnterLibrary performs), start = max(arrival,
+// busy), busy += service — writes the exact latency into each completion, and advances
+// the blade's lock once per batch with the aggregate stats the per-op Acquires would
+// have recorded.
+class GamSystem::Group final : public ChannelGroup {
+ public:
+  Group(GamSystem* sys, ComputeBladeId blade) : sys_(sys), blade_(blade) {}
+
+  size_t Add(AccessChannel* channel) override {
+    members_.push_back(static_cast<Channel*>(channel));
+    return members_.size() - 1;
+  }
+
+  [[nodiscard]] uint64_t ValidMask() const override {
+    const DramCache& cache = *sys_->blades_[blade_].cache;
+    uint64_t mask = 0;
+    for (size_t m = 0; m < members_.size(); ++m) {
+      if (members_[m]->stamps_.Valid(cache)) {
+        mask |= uint64_t{1} << m;
+      }
+    }
+    return mask;
+  }
+
+  uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
+                        Histogram& hist) override {
+    BladeState& blade = sys_->blades_[blade_];
+    const SimTime service = sys_->config_.lock_service;
+    const SimTime local_work = sys_->config_.latency.gam_local_access;
+    SimTime busy = blade.lock.busy_until();
+    uint64_t jobs = 0;
+    SimTime total_wait = 0;
+    // Per-member pending-write lists, resolved once per batch instead of once per read
+    // op: hits never add pending writes (only write misses do, and those run on the
+    // drain), so after warmup most members have none and the per-op PSO barrier check
+    // collapses to an empty test. Pruning inside PsoReadBarrier mutates the vector in
+    // place, never the map, so the pointers stay stable across the batch.
+    pso_pending_.assign(members_.size(), nullptr);
+    for (size_t m = 0; m < members_.size(); ++m) {
+      if (auto it = sys_->pending_writes_.find(members_[m]->tid_);
+          it != sys_->pending_writes_.end()) {
+        pso_pending_[m] = &it->second;
+      }
+    }
+    const uint64_t total = GroupMergeCommit(
+        lanes, n, horizon, think, hist,
+        [&](GroupLane& ln, size_t idx) {
+          Completion& c = ln.comps[idx];
+          auto* frame = reinterpret_cast<DramCache::Frame*>(c.token.bits & ~uint64_t{1});
+          const SimTime clock = ln.end_clock;  // The op's start clock (merge cursor).
+          SimTime arrival = clock;
+          if ((c.token.bits & 1) == 0 && pso_pending_[ln.member] != nullptr &&
+              !pso_pending_[ln.member]->empty()) {
+            // Real PSO read barrier (with pruning), exactly as EnterLibrary would.
+            arrival = sys_->PsoReadBarrier(members_[ln.member]->tid_, frame->page, clock);
+          }
+          const SimTime start = std::max(arrival, busy);
+          total_wait += start - arrival;
+          busy = start + service;
+          ++jobs;
+          // Exact at group commit: the merged interleaving fully determines the queue.
+          c.latency = (busy + local_work) - clock;
+          return c.latency;
+        },
+        [&](GroupLane& ln, size_t idx) {
+          ApplyCommitToken(*blade.cache, ln.comps[idx],
+                           [&](uint64_t page) { blade.prefetch.OnPrefetchedTouch(page); });
+        });
+    blade.lock.AcquireBatch(jobs, static_cast<SimTime>(jobs) * service, total_wait, busy);
+    return total;
+  }
+
+ private:
+  GamSystem* sys_;
+  ComputeBladeId blade_;
+  std::vector<Channel*> members_;
+  // Batch-scoped scratch: member slot -> the thread's PSO pending-write list (or null).
+  std::vector<std::vector<PendingWrite>*> pso_pending_;
+};
+
+std::unique_ptr<ChannelGroup> GamSystem::OpenChannelGroup(ComputeBladeId blade) {
+  if (blade >= config_.num_compute_blades) {
+    return nullptr;
+  }
+  return std::make_unique<Group>(this, blade);
 }
 
 }  // namespace mind

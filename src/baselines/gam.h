@@ -67,6 +67,13 @@ class GamSystem final : public MemorySystem {
   // src/core/access_channel.h).
   std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade) override;
 
+  // Per-blade channel group: the group replays the blade's FIFO library-lock queue over
+  // the *merged* (clock, thread) stream of its members in one pass, so every grouped op's
+  // latency is exact at group-commit time — the interleaving the per-thread Submit could
+  // not know (and had to finalize op by op through Commit) is fully determined inside the
+  // batch — and the blade's lock advances once per batch with identical aggregate stats.
+  std::unique_ptr<ChannelGroup> OpenChannelGroup(ComputeBladeId blade) override;
+
   bool SetPrefetchPolicy(PrefetchPolicy policy) override {
     config_.prefetch.policy = policy;
     return true;
@@ -75,6 +82,7 @@ class GamSystem final : public MemorySystem {
 
  private:
   class Channel;
+  class Group;
   // Page-granularity directory entry, held in the home blade's DRAM (unbounded).
   struct DirEntry {
     MsiState state = MsiState::kInvalid;
@@ -128,6 +136,9 @@ class GamSystem final : public MemorySystem {
   PrefetchEngine& EnsurePrefetchEngine(ThreadId tid);
   void InstallReadyPrefetches(ComputeBladeId blade, SimTime now);
   void PrefetchAfterFault(ThreadId tid, ComputeBladeId blade, uint64_t page, SimTime done);
+  // The issue half of PrefetchAfterFault, also driven by re-arm requests.
+  void IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade, uint64_t page,
+                       SimTime done);
 
   GamConfig config_;
   Fabric fabric_;

@@ -99,6 +99,17 @@ class MemorySystem {
     return nullptr;
   }
 
+  // Opens the per-blade channel group over this system's channels (ChannelGroup contract
+  // in src/core/access_channel.h): when >= 2 replay threads share a blade, the engine
+  // registers their channels as members, validates all their submitted runs in one pass
+  // per blade, and commits the merged (clock, thread) stream as one batch per round.
+  // Returning null opts the system out; the engine then falls back to per-thread channel
+  // commits, which are always correct (and remain the conformance baseline alongside the
+  // per-op reference path).
+  virtual std::unique_ptr<ChannelGroup> OpenChannelGroup(ComputeBladeId /*blade*/) {
+    return nullptr;
+  }
+
   // Advances time-driven control-plane work (e.g. bounded-splitting epochs) to `now`
   // without performing an access. The replay engine calls this once after the final op so
   // trailing epoch boundaries run exactly as they would under serial replay.

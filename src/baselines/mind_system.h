@@ -47,6 +47,9 @@ class MindSystem final : public MemorySystem {
   std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade) override {
     return rack_->OpenChannel(tid, blade, pdid_);
   }
+  std::unique_ptr<ChannelGroup> OpenChannelGroup(ComputeBladeId blade) override {
+    return rack_->OpenChannelGroup(blade);
+  }
   void AdvanceTo(SimTime now) override { rack_->AdvanceSplittingEpochs(now); }
 
   bool SetPrefetchPolicy(PrefetchPolicy policy) override {

@@ -30,6 +30,31 @@ void DramCache::LruPushFront(Frame& frame) {
   lru_head_ = frame.self;
 }
 
+void DramCache::LruInsertAtDepth(Frame& frame, uint32_t depth) {
+  // Walk `depth` frames up from the cold end; the new frame links between the walked
+  // prefix (stays colder) and the rest (stays warmer). O(depth), bounded by the caller's
+  // adaptive depth — and only ever paid on speculative installs, never on hits.
+  uint32_t colder = kNilFrame;    // Becomes frame.lru_next.
+  uint32_t warmer = lru_tail_;    // Becomes frame.lru_prev.
+  while (depth > 0 && warmer != kNilFrame) {
+    colder = warmer;
+    warmer = FrameAt(warmer).lru_prev;
+    --depth;
+  }
+  frame.lru_next = colder;
+  frame.lru_prev = warmer;
+  if (colder != kNilFrame) {
+    FrameAt(colder).lru_prev = frame.self;
+  } else {
+    lru_tail_ = frame.self;
+  }
+  if (warmer != kNilFrame) {
+    FrameAt(warmer).lru_next = frame.self;
+  } else {
+    lru_head_ = frame.self;
+  }
+}
+
 void DramCache::IndexSetPage(uint64_t page) {
   Region& region = regions_[page / kRegionPages];
   const uint64_t bit = page % kRegionPages;
@@ -96,6 +121,35 @@ PagePtr DramCache::MakePayload(const PageData* bytes) {
   return data;
 }
 
+std::optional<DramCache::Eviction> DramCache::EmplaceNewFrame(uint64_t page, bool writable,
+                                                              const PageData* bytes,
+                                                              ProtDomainId pdid,
+                                                              bool prefetched,
+                                                              uint32_t lru_depth) {
+  std::optional<Eviction> evicted;
+  if (index_.size() >= capacity_ && capacity_ > 0) {
+    assert(lru_tail_ != kNilFrame);
+    evicted = RemoveFrame(lru_tail_);
+  }
+  const uint32_t idx = arena_.Alloc();
+  Frame& frame = FrameAt(idx);
+  frame.writable = writable;
+  frame.dirty = false;
+  frame.prefetched = prefetched;  // Arena slots recycle: always written explicitly.
+  frame.pdid = pdid;
+  frame.page = page;
+  frame.self = idx;
+  frame.data = store_data_ ? MakePayload(bytes) : nullptr;
+  if (lru_depth == kMruDepth) {
+    LruPushFront(frame);
+  } else {
+    LruInsertAtDepth(frame, lru_depth);
+  }
+  index_.Upsert(page, idx);
+  IndexSetPage(page);
+  return evicted;
+}
+
 std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writable,
                                                      const PageData* bytes,
                                                      ProtDomainId pdid) {
@@ -115,26 +169,19 @@ std::optional<DramCache::Eviction> DramCache::Insert(uint64_t page, bool writabl
     Touch(existing);
     return std::nullopt;
   }
+  return EmplaceNewFrame(page, writable, bytes, pdid, /*prefetched=*/false, kMruDepth);
+}
 
-  std::optional<Eviction> evicted;
-  if (index_.size() >= capacity_ && capacity_ > 0) {
-    assert(lru_tail_ != kNilFrame);
-    evicted = RemoveFrame(lru_tail_);
+std::optional<DramCache::Eviction> DramCache::InsertPrefetched(uint64_t page, bool writable,
+                                                               const PageData* bytes,
+                                                               ProtDomainId pdid,
+                                                               uint32_t lru_depth) {
+  if (Find(page) != nullptr) {
+    // Callers dedup before speculative installs; a racing demand insert wins.
+    return Insert(page, writable, bytes, pdid);
   }
-
-  const uint32_t idx = arena_.Alloc();
-  Frame& frame = FrameAt(idx);
-  frame.writable = writable;
-  frame.dirty = false;
-  frame.prefetched = false;  // Arena slots recycle; callers mark prefetched installs.
-  frame.pdid = pdid;
-  frame.page = page;
-  frame.self = idx;
-  frame.data = store_data_ ? MakePayload(bytes) : nullptr;
-  LruPushFront(frame);
-  index_.Upsert(page, idx);
-  IndexSetPage(page);
-  return evicted;
+  BumpRegion(page);
+  return EmplaceNewFrame(page, writable, bytes, pdid, /*prefetched=*/true, lru_depth);
 }
 
 void DramCache::MakeWritable(uint64_t page) {

@@ -92,6 +92,17 @@ class DramCache {
   std::optional<Eviction> Insert(uint64_t page, bool writable,
                                  const PageData* bytes = nullptr, ProtDomainId pdid = 0);
 
+  // Speculative install for prefetched pages (prefetch-aware eviction priority): like
+  // Insert, but the new frame enters the recency order `lru_depth` frames above the cold
+  // end instead of at MRU — so under pressure a burst of guesses evicts its own earlier
+  // guesses before any demand-faulted page — and is marked Frame::prefetched (the first
+  // demand touch promotes it through the ordinary Touch path). `lru_depth` >= current
+  // size degenerates to an MRU insert. Callers are expected to have deduplicated against
+  // the cache (a page already present takes the demand-style Insert path instead).
+  std::optional<Eviction> InsertPrefetched(uint64_t page, bool writable,
+                                           const PageData* bytes, ProtDomainId pdid,
+                                           uint32_t lru_depth);
+
   // Upgrades an existing frame to writable (S->M locally). No-op if absent.
   void MakeWritable(uint64_t page);
   // Marks a cached page dirty after a store. No-op if absent.
@@ -157,8 +168,10 @@ class DramCache {
     void Clear() {
       stamps_.clear();
       tags_.fill(0);
+      global_ = 0;
     }
     void Add(const DramCache& cache, uint64_t region) {
+      global_ = cache.version_;  // Snapshot of the global mutation ordinal (see Valid).
       uint64_t& tag = tags_[region & (kTagSlots - 1)];
       if (tag == region + 1) {
         return;  // Already stamped (tags store region + 1 so 0 means empty).
@@ -172,6 +185,13 @@ class DramCache {
       stamps_.push_back(Stamp{region, cache.region_version(region)});
     }
     [[nodiscard]] bool Valid(const DramCache& cache) const {
+      if (cache.version_ == global_) {
+        // Nothing in the whole cache mutated membership/permissions since the stamps
+        // were recorded (recency and dirtiness don't advance the ordinal), so every
+        // per-region check would pass — validation is one comparison per round in the
+        // common no-mutation case instead of a hash probe per stamped region.
+        return true;
+      }
       for (const Stamp& s : stamps_) {
         if (cache.region_version(s.region) != s.version) {
           return false;
@@ -188,6 +208,7 @@ class DramCache {
     };
     std::array<uint64_t, kTagSlots> tags_{};
     std::vector<Stamp> stamps_;
+    uint64_t global_ = 0;  // Cache-wide ordinal at recording time (0 = no stamps yet).
   };
 
  private:
@@ -202,6 +223,15 @@ class DramCache {
 
   void LruUnlink(Frame& frame);
   void LruPushFront(Frame& frame);
+  // Links a new frame so exactly min(depth, size) existing frames are colder than it.
+  void LruInsertAtDepth(Frame& frame, uint32_t depth);
+  // The shared construction path of Insert and InsertPrefetched for a page not yet
+  // cached: evict under capacity pressure, build the frame, link at `lru_depth`
+  // (kMruDepth = MRU), index. Callers bump the region themselves.
+  static constexpr uint32_t kMruDepth = UINT32_MAX;
+  std::optional<Eviction> EmplaceNewFrame(uint64_t page, bool writable,
+                                          const PageData* bytes, ProtDomainId pdid,
+                                          bool prefetched, uint32_t lru_depth);
   void IndexSetPage(uint64_t page);
   void IndexClearPage(uint64_t page);
   // Advances the global version and records it as `page`'s region version.

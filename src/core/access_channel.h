@@ -74,17 +74,20 @@ struct SubmitResult {
   bool latency_final = true;
 };
 
+class Histogram;
+
 class AccessChannel {
  public:
   virtual ~AccessChannel() = default;
 
   // Classifies a run of `n` consecutive ops for this channel's thread starting at `clock`
   // with `think` time between ops. Fills completions[0..accepted): tokens always; latency
-  // fields always written when the run is not reported uniform (final per latency_final
-  // above), but MAY be left unwritten for a uniform run — the reported uniform value
-  // applies to every op, which is what lets callers account such runs in O(1). Mutates
-  // nothing outside the channel's own bookkeeping; records the region stamps RunValid()
-  // checks.
+  // fields always written for a latency_final run that is not reported uniform, but MAY
+  // be left unwritten for a uniform run (the reported uniform value applies to every op,
+  // which is what lets callers account such runs in O(1)) and for a non-latency_final
+  // run (they would only be lower bounds; the commit pass — per-op Commit or a group
+  // merge — writes the exact values). Mutates nothing outside the channel's own
+  // bookkeeping; records the region stamps RunValid() checks.
   virtual SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
                               Completion* completions) = 0;
 
@@ -100,6 +103,76 @@ class AccessChannel {
   // latency_final runs the recorded latencies are authoritative; otherwise n must be 1 and
   // completions[0].latency is rewritten with the exact value.
   virtual void Commit(Completion* completions, size_t n, SimTime clock) = 0;
+};
+
+// --- Per-blade channel groups -----------------------------------------------
+//
+// MIND's fabric sees the *merged* per-blade access stream, not per-thread slices (§4, §5);
+// ChannelGroup is the aggregation layer that restores that view to the commit path. One
+// group spans every same-blade channel a replay shard owns. Each round the engine still
+// Submits per thread (classification of a thread's run is thread-local by construction),
+// but validation and commit happen per *blade*:
+//
+//   * ValidMask re-checks every member's submitted run in one pass — the blade-global
+//     epochs (e.g. the protection-table version) are compared once per blade instead of
+//     once per thread, then each member's region stamps against the one cache.
+//   * CommitMerged merges the members' uncommitted runs into a single (clock, thread)
+//     ordered stream and commits its horizon-eligible prefix as one batch: one virtual
+//     call per blade per round instead of one per op. Latencies that per-thread Submit
+//     could only lower-bound (GAM's per-blade library lock under intra-blade contention)
+//     are finalized exactly here, in the same single pass — the group replays the lock
+//     queue over the merged stream and advances the blade's FIFO resource once per batch,
+//     so grouped ops report exact latencies instead of op-at-a-time commit-finalization.
+//
+// The same phase discipline as AccessChannel applies: group calls for different blades
+// may run concurrently; a group call may only touch state owned by its blade plus
+// member-thread-private state, and never bumps SystemCounters (the engine accounts
+// committed ops itself). Groups support up to kMaxGroupLanes members; the engine falls
+// back to per-thread commits beyond that.
+
+// One member thread's slice of a group commit round. The engine fills the top block from
+// the member's submitted-run state; CommitMerged writes the bottom block back.
+struct GroupLane {
+  // Engine-filled:
+  size_t member = 0;            // Member slot from ChannelGroup::Add.
+  size_t thread_index = 0;      // Global thread index: the (clock, thread) merge tie-break.
+  SimTime clock = 0;            // Thread frontier at the first uncommitted op.
+  SimTime uniform_latency = 0;  // From the member's SubmitResult (0: per-op latencies).
+  Completion* comps = nullptr;  // Uncommitted slice of the member's submitted run.
+  size_t count = 0;             // Ops available in the slice.
+  // Written by CommitMerged:
+  size_t committed = 0;         // Leading ops committed (start clock strictly below horizon).
+  SimTime end_clock = 0;        // Thread frontier after the committed prefix.
+  SimTime last_start = 0;       // Start clock of the lane's last committed op.
+  uint64_t latency_sum = 0;     // Sum of finalized latencies over the committed prefix.
+};
+
+class ChannelGroup {
+ public:
+  static constexpr size_t kMaxGroupLanes = 64;  // ValidMask is one word.
+
+  virtual ~ChannelGroup() = default;
+
+  // Registers a member channel (must belong to this group's blade and have been handed
+  // out by the same system). Returns the member slot used by GroupLane::member and
+  // ValidMask. Members are registered once, before the first round.
+  virtual size_t Add(AccessChannel* channel) = 0;
+
+  // One validity pass for the whole blade: blade-global epochs checked once, then every
+  // member's last-submitted region stamps. Bit m of the result = member m's run is still
+  // valid. The bit of a member that never submitted is unspecified; the engine's own run
+  // bookkeeping gates actual reuse.
+  [[nodiscard]] virtual uint64_t ValidMask() const = 0;
+
+  // Merges the lanes' uncommitted runs in (clock, thread_index) order and commits every
+  // op whose start clock lies strictly below `horizon` as one batch: per-op side effects
+  // (LRU recency, dirty bits, prefetched-touch classification) apply in exactly the order
+  // serial per-op replay would produce, and latencies are finalized against live blade
+  // state where Submit could only bound them. Latency accounting goes straight into
+  // `hist` — uniform lanes in O(1) via Histogram::RecordN, per-op otherwise — and the
+  // per-lane outcome scatters back into `lanes`. Returns total ops committed.
+  virtual uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
+                                Histogram& hist) = 0;
 };
 
 }  // namespace mind

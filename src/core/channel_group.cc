@@ -1,0 +1,23 @@
+#include "src/core/channel_group.h"
+
+namespace mind {
+
+void RecordLaneLatencies(const GroupLane* lanes, size_t n, Histogram& hist) {
+  for (size_t i = 0; i < n; ++i) {
+    const GroupLane& ln = lanes[i];
+    if (ln.committed == 0) {
+      continue;
+    }
+    if (ln.uniform_latency != 0) {
+      // Uniform run: every committed op of the lane had exactly this latency (the
+      // completions may legitimately be unwritten — see the Submit contract).
+      hist.RecordN(ln.uniform_latency, ln.committed);
+    } else {
+      for (size_t j = 0; j < ln.committed; ++j) {
+        hist.Record(ln.comps[j].latency);
+      }
+    }
+  }
+}
+
+}  // namespace mind

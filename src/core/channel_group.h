@@ -1,0 +1,106 @@
+// Shared machinery behind the per-blade ChannelGroup implementations (contract in
+// src/core/access_channel.h).
+//
+// Every in-tree system commits a group the same way: k-way merge the member lanes'
+// uncommitted runs in (clock, thread) order — the exact order serial per-op replay
+// interleaves same-blade threads — and walk the merged stream once, applying per-op side
+// effects and finalizing latencies as the walk goes. Only two steps differ per system:
+// how an op's latency is produced (read back from the submitted completions when Submit
+// was exact, or re-simulated against live blade state — GAM's library lock — when it
+// could only bound them) and what the per-op apply does. GroupMergeCommit factors the
+// merge so those two steps are inlined lambdas: no per-op virtual dispatch anywhere in a
+// group commit.
+#ifndef MIND_SRC_CORE_CHANNEL_GROUP_H_
+#define MIND_SRC_CORE_CHANNEL_GROUP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/blade/dram_cache.h"
+#include "src/common/histogram.h"
+#include "src/core/access_channel.h"
+
+namespace mind {
+
+// The per-op apply shared by every in-tree commit path — per-thread Channel::Commit and
+// per-blade group merges alike: untag the frame-pointer token (bit 0 = write), bump LRU
+// recency, set the dirty bit, and classify a first touch of a prefetched page through
+// `on_prefetched_touch(page)`. Keeping this in ONE place is what keeps the six commit
+// sites bit-identical to each other (the conformance suite's core guarantee).
+template <typename OnPrefetchedTouch>
+inline void ApplyCommitToken(DramCache& cache, const Completion& completion,
+                             OnPrefetchedTouch&& on_prefetched_touch) {
+  const uint64_t tagged = completion.token.bits;
+  auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
+  cache.Touch(frame);
+  if ((tagged & 1) != 0) {
+    frame->dirty = true;
+  }
+  if (frame->prefetched) [[unlikely]] {  // First touch of a prefetched page: useful.
+    frame->prefetched = false;
+    on_prefetched_touch(frame->page);
+  }
+}
+
+// Folds each lane's committed latencies into `hist`: O(1) per uniform lane via RecordN —
+// the cross-thread batched accounting MIND's TSO hit runs get — and per-op otherwise
+// (non-uniform lanes always carry written completion latencies). The shared tail of every
+// CommitMerged.
+void RecordLaneLatencies(const GroupLane* lanes, size_t n, Histogram& hist);
+
+// The shared merge-commit walk. Merges the lanes in (clock, thread_index) order and
+// commits every op whose start clock lies strictly below `horizon`:
+//
+//   latency_of(lane, op_index) -> SimTime   finalized latency of lane.comps[op_index];
+//                                           called with lane.end_clock holding the op's
+//                                           start clock, and may rewrite the completion
+//                                           (systems finalizing against live blade state
+//                                           record the exact value there).
+//   apply(lane, op_index)                   per-op side effects (LRU recency, dirty bit,
+//                                           prefetched-touch), in merged order.
+//
+// Lane out-fields (committed / end_clock / last_start / latency_sum) are (re)written from
+// scratch; accounting goes to `hist` via RecordLaneLatencies. Returns total committed.
+template <typename LatencyFn, typename ApplyFn>
+uint64_t GroupMergeCommit(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
+                          Histogram& hist, LatencyFn&& latency_of, ApplyFn&& apply) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    GroupLane& ln = lanes[i];
+    ln.committed = 0;
+    ln.end_clock = ln.clock;
+    ln.last_start = ln.clock;
+    ln.latency_sum = 0;
+  }
+  for (;;) {
+    GroupLane* best = nullptr;
+    for (size_t i = 0; i < n; ++i) {
+      GroupLane& ln = lanes[i];
+      if (ln.committed >= ln.count || ln.end_clock >= horizon) {
+        continue;
+      }
+      if (best == nullptr || ln.end_clock < best->end_clock ||
+          (ln.end_clock == best->end_clock && ln.thread_index < best->thread_index)) {
+        best = &ln;
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    const size_t idx = best->committed;
+    const SimTime start = best->end_clock;
+    const SimTime latency = latency_of(*best, idx);
+    apply(*best, idx);
+    best->last_start = start;
+    best->latency_sum += latency;
+    best->end_clock = start + latency + think;
+    ++best->committed;
+    ++total;
+  }
+  RecordLaneLatencies(lanes, n, hist);
+  return total;
+}
+
+}  // namespace mind
+
+#endif  // MIND_SRC_CORE_CHANNEL_GROUP_H_

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "src/core/channel_group.h"
+
 namespace mind {
 
 Rack::Rack(RackConfig config)
@@ -100,11 +102,16 @@ SimTime Rack::WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* 
 }
 
 void Rack::InsertIntoCache(ComputeBladeId blade_id, uint64_t page, bool writable,
-                           const PageData* bytes, SimTime now, ProtDomainId pdid) {
+                           const PageData* bytes, SimTime now, ProtDomainId pdid,
+                           bool prefetched) {
   auto& cache = compute_blades_[blade_id]->cache();
   // Payload storage comes from the blade's slab arena inside Insert (copy of `bytes`, or
-  // a zero-filled recycled slot) — no per-fault heap allocation.
-  auto evicted = cache.Insert(page, writable, bytes, pdid);
+  // a zero-filled recycled slot) — no per-fault heap allocation. Speculative installs
+  // enter at the blade's adaptive cold LRU depth (prefetch-aware eviction priority).
+  auto evicted =
+      prefetched ? cache.InsertPrefetched(page, writable, bytes, pdid,
+                                          blade_prefetch_[blade_id].cold_insert_depth())
+                 : cache.Insert(page, writable, bytes, pdid);
   if (evicted.has_value()) {
     ++cache_epoch_;  // A frame left a cache; memoized frame pointers may now dangle.
     if (config_.prefetch.enabled()) {
@@ -355,7 +362,7 @@ bool Rack::TryLocalHit(const AccessRequest& req, SimTime now, AccessResult* res,
   }
   if (frame->prefetched) [[unlikely]] {  // First touch: the prefetch was useful.
     frame->prefetched = false;
-    blade_prefetch_[req.blade].OnPrefetchedTouch(page);
+    blade_prefetch_[req.blade].OnPrefetchedTouch(page, req.pdid);
   }
   PopulatePipeline(req, page, frame, pslot_valid ? pslot.dir_entry : nullptr);
   res->local_hit = true;
@@ -439,21 +446,16 @@ class Rack::Channel final : public AccessChannel {
 
   void Commit(Completion* completions, size_t n, SimTime /*clock*/) override {
     DramCache& cache = rack_->compute_blades_[blade_]->cache();
+    BladePrefetchState& bp = rack_->blade_prefetch_[blade_];
     for (size_t i = 0; i < n; ++i) {
-      const uint64_t tagged = completions[i].token.bits;
-      auto* frame = reinterpret_cast<DramCache::Frame*>(tagged & ~uint64_t{1});
-      cache.Touch(frame);
-      if ((tagged & 1) != 0) {
-        frame->dirty = true;
-      }
-      if (frame->prefetched) [[unlikely]] {  // First touch of a prefetched page: useful.
-        frame->prefetched = false;
-        rack_->blade_prefetch_[blade_].OnPrefetchedTouch(frame->page);
-      }
+      ApplyCommitToken(cache, completions[i],
+                       [&](uint64_t page) { bp.OnPrefetchedTouch(page, pdid_); });
     }
   }
 
  private:
+  friend class Rack::Group;
+
   Rack* rack_;
   ThreadId tid_;
   ComputeBladeId blade_;
@@ -465,6 +467,63 @@ class Rack::Channel final : public AccessChannel {
 std::unique_ptr<AccessChannel> Rack::OpenChannel(ThreadId tid, ComputeBladeId blade,
                                                  ProtDomainId pdid) {
   return std::make_unique<Channel>(this, tid, blade, pdid);
+}
+
+// Per-blade ChannelGroup over the MIND hit path (contract in access_channel.h, merge
+// machinery in channel_group.h). Hit latencies are always exact at Submit, so the group's
+// whole job is the single-pass blade view: ValidMask compares the protection-table
+// version once per blade (instead of once per member) before the members' region stamps,
+// and CommitMerged interleaves the members' runs in (clock, thread) order — the exact
+// LRU/dirty order serial replay produces — with uniform TSO runs accounted across all
+// member threads through Histogram::RecordN.
+class Rack::Group final : public ChannelGroup {
+ public:
+  Group(Rack* rack, ComputeBladeId blade) : rack_(rack), blade_(blade) {}
+
+  size_t Add(AccessChannel* channel) override {
+    members_.push_back(static_cast<Channel*>(channel));
+    return members_.size() - 1;
+  }
+
+  [[nodiscard]] uint64_t ValidMask() const override {
+    const DramCache& cache = rack_->compute_blades_[blade_]->cache();
+    const uint64_t protection_version = rack_->protection_.version();
+    uint64_t mask = 0;
+    for (size_t m = 0; m < members_.size(); ++m) {
+      if (members_[m]->protection_version_ == protection_version &&
+          members_[m]->stamps_.Valid(cache)) {
+        mask |= uint64_t{1} << m;
+      }
+    }
+    return mask;
+  }
+
+  uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
+                        Histogram& hist) override {
+    DramCache& cache = rack_->compute_blades_[blade_]->cache();
+    BladePrefetchState& bp = rack_->blade_prefetch_[blade_];
+    return GroupMergeCommit(
+        lanes, n, horizon, think, hist,
+        [](GroupLane& ln, size_t idx) {
+          // Exact at Submit: the uniform value, or the per-op latency PSO displacement
+          // forced Submit to record.
+          return ln.uniform_latency != 0 ? ln.uniform_latency : ln.comps[idx].latency;
+        },
+        [&](GroupLane& ln, size_t idx) {
+          ApplyCommitToken(cache, ln.comps[idx], [&](uint64_t page) {
+            bp.OnPrefetchedTouch(page, members_[ln.member]->pdid_);
+          });
+        });
+  }
+
+ private:
+  Rack* rack_;
+  ComputeBladeId blade_;
+  std::vector<Channel*> members_;
+};
+
+std::unique_ptr<ChannelGroup> Rack::OpenChannelGroup(ComputeBladeId blade) {
+  return std::make_unique<Group>(this, blade);
 }
 
 AccessResult Rack::Access(const AccessRequest& req) {
@@ -763,7 +822,7 @@ bool Rack::ServiceViaPrefetch(const AccessRequest& req, SimTime now, uint64_t pa
     // Write upgrade on a prefetched read-only page: its first real use. Denied accesses
     // never count as useful — the fault path is about to reject them untouched.
     (*frame)->prefetched = false;
-    bp.OnPrefetchedTouch(page);
+    bp.OnPrefetchedTouch(page, req.pdid);
   }
   return false;
 }
@@ -797,24 +856,39 @@ void Rack::InstallReadyPrefetches(ComputeBladeId blade_id, SimTime now) {
       continue;  // A demand fault re-fetched it meanwhile; nothing to install.
     }
     InsertIntoCache(blade_id, page, /*writable=*/false, PeekPageBytes(PageToAddr(page)),
-                    entry.ready_at, entry.pdid);
-    if (DramCache::Frame* f = cache.Find(page); f != nullptr) {
-      f->prefetched = true;
-      bp.unused[page] = entry.owner;
+                    entry.ready_at, entry.pdid, /*prefetched=*/true);
+    bp.unused[page] = entry.owner;
+  }
+  if (!bp.rearm_requests.empty()) {
+    // Re-arm requests recorded by hit paths and channel/group commits: engines whose
+    // useful touches crossed their issued window's midpoint issue the next window here —
+    // the first serialized point on the blade — so a fully-covered stream keeps fetching
+    // without waiting for coverage to run dry and a real fault to restart the pipeline.
+    for (size_t i = 0; i < bp.rearm_requests.size(); ++i) {
+      const BladePrefetchState::Rearm rearm = bp.rearm_requests[i];
+      IssuePrefetches(*rearm.engine, blade_id, rearm.pdid, rearm.page, now);
     }
+    bp.rearm_requests.clear();
   }
 }
 
 void Rack::PrefetchAfterFault(const AccessRequest& req, uint64_t page, SimTime done) {
   PrefetchEngine& engine = EnsurePrefetchEngine(req.tid);
   engine.RecordFault(page);
+  IssuePrefetches(engine, req.blade, req.pdid, page, done);
+}
+
+void Rack::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade_id,
+                           ProtDomainId pdid, uint64_t page, SimTime start) {
   prefetch_scratch_.clear();
   engine.Predict(page, &prefetch_scratch_);
   if (prefetch_scratch_.empty()) {
     return;
   }
-  BladePrefetchState& bp = blade_prefetch_[req.blade];
-  DramCache& cache = compute_blades_[req.blade]->cache();
+  BladePrefetchState& bp = blade_prefetch_[blade_id];
+  DramCache& cache = compute_blades_[blade_id]->cache();
+  uint64_t last_issued = page;
+  bool issued_any = false;
   for (const uint64_t p : prefetch_scratch_) {
     if (!engine.HasInFlightRoom()) {
       break;  // Bounded in-flight queue.
@@ -823,10 +897,10 @@ void Rack::PrefetchAfterFault(const AccessRequest& req, uint64_t page, SimTime d
       continue;
     }
     const VirtAddr va = PageToAddr(p);
-    if (!protection_.Allows(req.pdid, va, AccessType::kRead)) {
+    if (!protection_.Allows(pdid, va, AccessType::kRead)) {
       continue;  // Speculation never crosses a protection boundary.
     }
-    SimTime t = done;
+    SimTime t = start;
     Status err;
     DirectoryEntry* entry = EnsureDirectoryEntry(va, t, &err);
     if (entry == nullptr) {
@@ -836,11 +910,11 @@ void Rack::PrefetchAfterFault(const AccessRequest& req, uint64_t page, SimTime d
       continue;  // Transition in flight: never wait speculatively.
     }
     if ((entry->state == MsiState::kModified || entry->state == MsiState::kExclusive) &&
-        entry->owner != req.blade) {
+        entry->owner != blade_id) {
       continue;  // Fetching would force an owner flush: no invalidations for guesses.
     }
     const SttEntry& row =
-        stt_.Lookup(entry->state, AccessType::kRead, entry->RoleOf(req.blade));
+        stt_.Lookup(entry->state, AccessType::kRead, entry->RoleOf(blade_id));
     if (row.invalidate != InvalidateTargets::kNone) {
       continue;  // Defensive: mirrors the owner check above.
     }
@@ -849,20 +923,25 @@ void Rack::PrefetchAfterFault(const AccessRequest& req, uint64_t page, SimTime d
     if (entry->state == MsiState::kInvalid) {
       entry->state = MsiState::kShared;
     }
-    entry->sharers |= BladeBit(req.blade);
+    entry->sharers |= BladeBit(blade_id);
     // Requester NIC -> switch (pipeline + directory recirculation) -> memory blade ->
     // requester: the demand fetch's exact hops, issued after it and queueing behind it.
-    auto up = fabric_.ToSwitch(Endpoint::Compute(req.blade), MessageKind::kRdmaReadRequest,
+    auto up = fabric_.ToSwitch(Endpoint::Compute(blade_id), MessageKind::kRdmaReadRequest,
                                t);
     const SimTime at_switch =
         up.arrival + lat_.switch_pipeline + lat_.switch_recirculation;
     const PageData* bytes = nullptr;  // Payload is re-read from memory at install time.
     const SimTime ready =
-        FetchPageFromMemory(va, req.blade, at_switch, &bytes) + lat_.pte_install;
+        FetchPageFromMemory(va, blade_id, at_switch, &bytes) + lat_.pte_install;
     engine.OnIssued();
     bp.in_flight[p] = BladePrefetchState::InFlight{
-        ready, cache.region_inval_version(DramCache::RegionOf(p)), &engine, req.pdid};
+        ready, cache.region_inval_version(DramCache::RegionOf(p)), &engine, pdid};
     bp.NoteIssued(ready);
+    last_issued = p;
+    issued_any = true;
+  }
+  if (issued_any) {
+    engine.NoteIssuedWindow(page, last_issued);
   }
 }
 

@@ -86,6 +86,13 @@ class Rack {
   std::unique_ptr<AccessChannel> OpenChannel(ThreadId tid, ComputeBladeId blade,
                                              ProtDomainId pdid);
 
+  // Opens the per-blade channel group over the rack's channels (ChannelGroup contract in
+  // src/core/access_channel.h): one protection-version + region-stamp validation pass per
+  // blade covers every member's submitted run, and the merged (clock, thread) stream of
+  // the blade's threads commits as one batch — under TSO a single uniform-latency batch
+  // accounted across threads with Histogram::RecordN.
+  std::unique_ptr<ChannelGroup> OpenChannelGroup(ComputeBladeId blade);
+
   // Runs any bounded-splitting epoch boundaries at or before `now` (the data path does
   // this implicitly on every Access; sharded replay calls it for boundaries that fall
   // after the last serialized access).
@@ -148,6 +155,8 @@ class Rack {
  private:
   // AccessChannel implementation over the blade-local hit path (defined in rack.cc).
   class Channel;
+  // Per-blade ChannelGroup over those channels (defined in rack.cc).
+  class Group;
 
   // Result of delivering one invalidation wave to a set of blades.
   struct InvalidationWave {
@@ -186,8 +195,11 @@ class Rack {
   [[nodiscard]] const PageData* PeekPageBytes(VirtAddr va);
 
   // Inserts a fetched page into the requester's cache, handling dirty LRU eviction.
+  // `prefetched` installs speculatively: marked Frame::prefetched and linked at the
+  // blade's adaptive cold LRU depth instead of MRU (prefetch-aware eviction priority).
   void InsertIntoCache(ComputeBladeId blade, uint64_t page, bool writable,
-                       const PageData* bytes, SimTime now, ProtDomainId pdid = 0);
+                       const PageData* bytes, SimTime now, ProtDomainId pdid = 0,
+                       bool prefetched = false);
 
   // Drops cached pages of [base, base+size) at every compute blade, writing dirty pages
   // back to memory first. Used on permission changes and teardown.
@@ -215,6 +227,11 @@ class Rack {
   // Records the fault, predicts ahead and issues speculative fetches starting at the
   // demand access's completion time `done`.
   void PrefetchAfterFault(const AccessRequest& req, uint64_t page, SimTime done);
+  // The issue half of PrefetchAfterFault, also driven by re-arm requests (a useful touch
+  // past the issued window's midpoint, possibly observed by a channel/group commit):
+  // predicts from `page` and issues `engine`'s next window starting at `start`.
+  void IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade_id, ProtDomainId pdid,
+                       uint64_t page, SimTime start);
   // The prefetch slice of the miss path, out of line to keep Access's hit path tight:
   // installs arrived pages (retrying the hit), joins in-flight fetches (late) and
   // classifies prefetched write-upgrades. True when the access was fully serviced.

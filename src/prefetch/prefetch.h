@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -85,6 +86,7 @@ struct PrefetchStats {
   uint64_t late = 0;             // Demand arrived while the prefetch was in flight.
   uint64_t evicted_unused = 0;   // Installed but evicted/invalidated before any use.
   uint64_t discarded_stale = 0;  // In-flight fetch invalidated before arrival.
+  uint64_t rearmed = 0;          // Windows re-armed by touches past the issued midpoint.
 
   void Merge(const PrefetchStats& o) {
     issued += o.issued;
@@ -92,6 +94,7 @@ struct PrefetchStats {
     late += o.late;
     evicted_unused += o.evicted_unused;
     discarded_stale += o.discarded_stale;
+    rearmed += o.rearmed;
   }
 
   [[nodiscard]] PrefetchStats DeltaSince(const PrefetchStats& before) const {
@@ -101,6 +104,7 @@ struct PrefetchStats {
     d.late = late - before.late;
     d.evicted_unused = evicted_unused - before.evicted_unused;
     d.discarded_stale = discarded_stale - before.discarded_stale;
+    d.rearmed = rearmed - before.rearmed;
     return d;
   }
 
@@ -184,11 +188,44 @@ class PrefetchEngine {
 
   // First demand touch of an installed prefetched page. Grows the window and feeds the
   // touch into the history — the minor-fault stream Leap observes — so a fully covered
-  // stream keeps its true stride visible to the detector.
+  // stream keeps its true stride visible to the detector. A touch past the midpoint of
+  // the last *issued* window re-arms the engine (the readahead-marker analog): the next
+  // window should go out at the blade's next serialized opportunity instead of waiting
+  // for coverage to run dry and a real fault to restart the pipeline. Touches reach here
+  // from the serialized hit paths AND from channel/group commits, which is what lets a
+  // fully-covered stream that never faults keep its pipeline full.
   void OnUseful(uint64_t page) {
     ++stats_.useful;
     detector_.Record(page);
     window_ = std::min(window_ * 2, config_.max_window);
+    if (issued_window_active_) {
+      const auto covered = static_cast<int64_t>(page - issued_anchor_);
+      const auto span = static_cast<int64_t>(issued_end_ - issued_anchor_);
+      if (2 * std::abs(covered) >= std::abs(span)) {
+        issued_window_active_ = false;  // Arm at most once per issued window.
+        rearm_pending_ = true;
+        rearm_page_ = page;
+        ++stats_.rearmed;
+      }
+    }
+  }
+
+  // Records the span of an issued prefetch window: `anchor` is the demand page the
+  // predictions grew from, `end` the farthest page actually issued (either direction).
+  void NoteIssuedWindow(uint64_t anchor, uint64_t end) {
+    issued_anchor_ = anchor;
+    issued_end_ = end;
+    issued_window_active_ = true;
+  }
+
+  // Consumes a pending re-arm request: the page to predict the next window from, if a
+  // useful touch crossed the issued window's midpoint since the last call.
+  [[nodiscard]] std::optional<uint64_t> TakeRearm() {
+    if (!rearm_pending_) {
+      return std::nullopt;
+    }
+    rearm_pending_ = false;
+    return rearm_page_;
   }
   // Installed page left the cache without ever being touched.
   void OnEvictedUnused() {
@@ -210,6 +247,12 @@ class PrefetchEngine {
   uint32_t window_;
   uint32_t in_flight_ = 0;
   PrefetchStats stats_;
+  // Issued-window tracking for the re-arm trigger (see OnUseful).
+  bool issued_window_active_ = false;
+  bool rearm_pending_ = false;
+  uint64_t issued_anchor_ = 0;
+  uint64_t issued_end_ = 0;
+  uint64_t rearm_page_ = 0;
 };
 
 // Per-blade bookkeeping shared by that blade's engines: the in-flight table (page ->
@@ -226,6 +269,17 @@ class BladePrefetchState {
 
   std::unordered_map<uint64_t, InFlight> in_flight;        // page -> pending fetch.
   std::unordered_map<uint64_t, PrefetchEngine*> unused;    // installed, never touched.
+
+  // Re-arm requests recorded by hit paths and channel/group commits (an engine whose
+  // useful touches crossed its issued window's midpoint, with the page to predict from
+  // and the toucher's protection domain). The owning system drains these at its next
+  // serialized prefetch point — the first place issuing new fetches is safe.
+  struct Rearm {
+    PrefetchEngine* engine = nullptr;
+    uint64_t page = 0;
+    ProtDomainId pdid = 0;
+  };
+  std::vector<Rearm> rearm_requests;
 
   // Earliest in-flight arrival; lets the per-access install hook skip the table scan
   // while nothing can be ready yet.
@@ -265,6 +319,16 @@ class BladePrefetchState {
     return ready;
   }
 
+  // Adaptive cold-insertion depth for speculative installs (prefetch-aware eviction
+  // priority, DramCache::InsertPrefetched): prefetched pages enter the blade cache this
+  // many frames above the LRU tail instead of at MRU, so a mispredicting burst churns
+  // its own guesses instead of evicting demand-faulted pages. Useful touches walk the
+  // depth up (accurate speculation earns residency ahead of more of the cold tail);
+  // every evicted-unused event halves it.
+  [[nodiscard]] uint32_t cold_insert_depth() const { return cold_depth_; }
+  static constexpr uint32_t kMinColdDepth = 8;
+  static constexpr uint32_t kMaxColdDepth = 512;
+
   // Resolves installed-but-unused entries whose pages already left the cache (waves drop
   // clean pages without reporting them, so evicted-unused classifies lazily here).
   // `still_prefetched(page)` reports whether the page is still cached with its
@@ -276,18 +340,25 @@ class BladePrefetchState {
         ++it;
       } else {
         it->second->OnEvictedUnused();
+        ShrinkColdDepth();
         it = unused.erase(it);
       }
     }
   }
 
-  // First demand touch of an installed prefetched page (hit paths and channel commits
-  // call this with frame->prefetched already checked true by the caller).
-  void OnPrefetchedTouch(uint64_t page) {
+  // First demand touch of an installed prefetched page (hit paths and channel/group
+  // commits call this with frame->prefetched already checked true by the caller; `pdid`
+  // is the toucher's domain, threaded through to any re-arm issue it triggers).
+  void OnPrefetchedTouch(uint64_t page, ProtDomainId pdid = 0) {
     auto it = unused.find(page);
     if (it != unused.end()) {
-      it->second->OnUseful(page);
+      PrefetchEngine* engine = it->second;
+      engine->OnUseful(page);
       unused.erase(it);
+      cold_depth_ = std::min(cold_depth_ + 8, kMaxColdDepth);
+      if (auto rearm = engine->TakeRearm(); rearm.has_value()) {
+        rearm_requests.push_back(Rearm{engine, *rearm, pdid});
+      }
     }
   }
 
@@ -296,12 +367,16 @@ class BladePrefetchState {
     auto it = unused.find(page);
     if (it != unused.end()) {
       it->second->OnEvictedUnused();
+      ShrinkColdDepth();
       unused.erase(it);
     }
   }
 
  private:
+  void ShrinkColdDepth() { cold_depth_ = std::max(cold_depth_ / 2, kMinColdDepth); }
+
   SimTime next_ready_ = ~SimTime{0};
+  uint32_t cold_depth_ = 64;
 };
 
 // Per-thread engine registries, shared by the three systems' Access paths.

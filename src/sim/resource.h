@@ -39,6 +39,18 @@ class FifoResource {
   // until invalidation ACKs return, not just while the switch pipeline processes a packet).
   void BlockUntil(SimTime t) { busy_until_ = std::max(busy_until_, t); }
 
+  // Applies a batch of `jobs` grants simulated externally in one pass (a ChannelGroup
+  // replaying the FIFO queue over a merged same-blade stream): advances the horizon and
+  // folds in exactly the aggregate stats the equivalent per-op Acquire calls would have
+  // recorded.
+  void AcquireBatch(uint64_t jobs, SimTime total_service, SimTime total_wait,
+                    SimTime busy_until) {
+    busy_until_ = std::max(busy_until_, busy_until);
+    total_busy_ += total_service;
+    total_wait_ += total_wait;
+    jobs_ += jobs;
+  }
+
   [[nodiscard]] SimTime busy_until() const { return busy_until_; }
   [[nodiscard]] SimTime total_busy() const { return total_busy_; }
   [[nodiscard]] SimTime total_wait() const { return total_wait_; }

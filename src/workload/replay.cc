@@ -94,6 +94,7 @@ struct ThreadRt {
   ComputeBladeId blade = 0;
   int shard = 0;
   AccessChannel* channel = nullptr;  // Null: every op takes the serialized drain.
+  size_t group_member = 0;           // Member slot in the blade's ChannelGroup (if any).
   bool finished = false;
   // Submitted-run state.
   bool buf_valid = false;
@@ -112,6 +113,8 @@ struct ThreadRt {
 struct ShardRt {
   std::vector<size_t> threads;                     // Owned global thread indices.
   std::vector<std::vector<size_t>> blade_threads;  // Grouped by owned blade.
+  std::vector<ChannelGroup*> blade_groups;         // Parallel to blade_threads (or null).
+  std::vector<GroupLane> lanes;                    // Per-round group-commit scratch.
   SimTime barrier = kNoHorizon;  // Scan result: earliest clock this shard cannot pass.
   bool any_blocked = false;
   Rng rng{0};  // Per-shard stream (reserved for stochastic replay extensions).
@@ -171,6 +174,40 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
     sh.blade_threads[static_cast<size_t>(th.blade) / num_shards].push_back(t);
   }
 
+  // Per-blade channel groups: wherever >= 2 channel-driven threads share a blade (and the
+  // system hands out a group for it), the blade's runs validate in one pass and commit as
+  // one merged batch per round. Everything else keeps the per-thread commit path.
+  std::vector<std::unique_ptr<ChannelGroup>> groups;
+  for (ShardRt& sh : shards) {
+    sh.blade_groups.assign(sh.blade_threads.size(), nullptr);
+    if (reference_mode || !options_.use_channel_groups) {
+      continue;
+    }
+    for (size_t g = 0; g < sh.blade_threads.size(); ++g) {
+      const std::vector<size_t>& group_threads = sh.blade_threads[g];
+      size_t with_channels = 0;
+      for (const size_t t : group_threads) {
+        if (threads[t].channel != nullptr) {
+          ++with_channels;
+        }
+      }
+      if (with_channels < 2 || with_channels > ChannelGroup::kMaxGroupLanes) {
+        continue;
+      }
+      auto group = system->OpenChannelGroup(threads[group_threads[0]].blade);
+      if (group == nullptr) {
+        continue;
+      }
+      for (const size_t t : group_threads) {
+        if (threads[t].channel != nullptr) {
+          threads[t].group_member = group->Add(threads[t].channel);
+        }
+      }
+      sh.blade_groups[g] = group.get();
+      groups.push_back(std::move(group));
+    }
+  }
+
   const SystemCounters before = system->counters();
   const PrefetchStats prefetch_before = system->prefetch_stats();
 
@@ -182,56 +219,66 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
     ShardRt& sh = shards[s];
     sh.barrier = kNoHorizon;
     sh.any_blocked = false;
-    for (const size_t t : sh.threads) {
-      ThreadRt& th = threads[t];
-      if (th.finished) {
-        continue;
-      }
-      const bool keep = th.buf_valid && !th.ran_in_drain && th.buf_pos < th.buf_len &&
-                        th.channel != nullptr && th.channel->RunValid();
-      if (!keep) {
-        if (th.buf_valid && th.channel != nullptr) {
-          if (th.buf_pos >= th.buf_len) {
-            th.window = std::min(th.window * 2, max_window);
+    for (size_t g = 0; g < sh.blade_threads.size(); ++g) {
+      ChannelGroup* group = sh.blade_groups[g];
+      // Grouped blade: one validation pass covers every member's submitted run (the
+      // blade-global epochs are compared once, then each member's region stamps).
+      const uint64_t valid_mask = group != nullptr ? group->ValidMask() : 0;
+      for (const size_t t : sh.blade_threads[g]) {
+        ThreadRt& th = threads[t];
+        if (th.finished) {
+          continue;
+        }
+        const bool run_valid =
+            th.channel != nullptr && (group != nullptr
+                                          ? ((valid_mask >> th.group_member) & 1) != 0
+                                          : th.channel->RunValid());
+        const bool keep =
+            th.buf_valid && !th.ran_in_drain && th.buf_pos < th.buf_len && run_valid;
+        if (!keep) {
+          if (th.buf_valid && th.channel != nullptr) {
+            if (th.buf_pos >= th.buf_len) {
+              th.window = std::min(th.window * 2, max_window);
+            } else {
+              // Shrink smoothly (at most halving) toward twice the committed run, so one
+              // early-cut round does not collapse a well-sized window.
+              th.window =
+                  std::clamp(std::max(static_cast<uint32_t>(th.buf_pos) * 2, th.window / 2),
+                             min_window, max_window);
+            }
+          }
+          if (th.channel == nullptr) {
+            // Opted-out thread: every op takes the serialized drain; the thread pins the
+            // shard's barrier at its frontier clock so the drain always runs it in order.
+            th.buf_pos = 0;
+            th.buf_len = 0;
+            th.blocked = true;
+            th.window_capped = false;
+            th.buf_end_clock = th.clock;
           } else {
-            // Shrink smoothly (at most halving) toward twice the committed run, so one
-            // early-cut round does not collapse a well-sized window.
-            th.window =
-                std::clamp(std::max(static_cast<uint32_t>(th.buf_pos) * 2, th.window / 2),
-                           min_window, max_window);
+            const std::vector<LocalOp>& resolved = thread_ops_[t];
+            const size_t want = static_cast<size_t>(std::min<uint64_t>(
+                th.window, resolved.size() - th.next_op));
+            if (th.comps.size() < want) {
+              th.comps.resize(want);
+            }
+            const SubmitResult run = th.channel->Submit(
+                resolved.data() + th.next_op, want, th.clock, think, th.comps.data());
+            th.buf_pos = 0;
+            th.buf_len = run.accepted;
+            th.uniform_lat = run.uniform_latency;
+            th.latency_final = run.latency_final;
+            th.blocked = run.accepted < want;
+            th.window_capped = !th.blocked && th.next_op + run.accepted < resolved.size();
+            th.buf_end_clock = run.end_clock;
           }
+          th.buf_valid = true;
+          th.ran_in_drain = false;
         }
-        if (th.channel == nullptr) {
-          // Opted-out thread: every op takes the serialized drain; the thread pins the
-          // shard's barrier at its frontier clock so the drain always runs it in order.
-          th.buf_pos = 0;
-          th.buf_len = 0;
-          th.blocked = true;
-          th.window_capped = false;
-          th.buf_end_clock = th.clock;
-        } else {
-          const std::vector<LocalOp>& resolved = thread_ops_[t];
-          const size_t want = static_cast<size_t>(std::min<uint64_t>(
-              th.window, resolved.size() - th.next_op));
-          if (th.comps.size() < want) {
-            th.comps.resize(want);
-          }
-          const SubmitResult run = th.channel->Submit(
-              resolved.data() + th.next_op, want, th.clock, think, th.comps.data());
-          th.buf_pos = 0;
-          th.buf_len = run.accepted;
-          th.uniform_lat = run.uniform_latency;
-          th.latency_final = run.latency_final;
-          th.blocked = run.accepted < want;
-          th.window_capped = !th.blocked && th.next_op + run.accepted < resolved.size();
-          th.buf_end_clock = run.end_clock;
+        if (th.blocked || th.window_capped) {
+          sh.any_blocked |= th.blocked;
+          sh.barrier = std::min(sh.barrier, th.buf_end_clock);
         }
-        th.buf_valid = true;
-        th.ran_in_drain = false;
-      }
-      if (th.blocked || th.window_capped) {
-        sh.any_blocked |= th.blocked;
-        sh.barrier = std::min(sh.barrier, th.buf_end_clock);
       }
     }
   };
@@ -311,15 +358,66 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   };
   auto commit_shard = [&](int s, SimTime horizon) {
     ShardRt& sh = shards[s];
-    for (const auto& group : sh.blade_threads) {
-      if (group.size() == 1) {
+    for (size_t g = 0; g < sh.blade_threads.size(); ++g) {
+      const std::vector<size_t>& group_threads = sh.blade_threads[g];
+      if (ChannelGroup* group = sh.blade_groups[g]; group != nullptr) {
+        // Grouped blade: gather every member with committable work into a lane, then one
+        // CommitMerged call replays the merged (clock, thread) stream up to the horizon —
+        // one virtual call per blade per round, with latencies finalized inside the batch.
+        sh.lanes.clear();
+        for (const size_t t : group_threads) {
+          ThreadRt& th = threads[t];
+          if (th.finished || !th.buf_valid || th.channel == nullptr ||
+              th.buf_pos >= th.buf_len || th.clock >= horizon) {
+            continue;
+          }
+          GroupLane lane;
+          lane.member = th.group_member;
+          lane.thread_index = th.index;
+          lane.clock = th.clock;
+          lane.uniform_latency = th.uniform_lat;
+          lane.comps = th.comps.data() + th.buf_pos;
+          lane.count = th.buf_len - th.buf_pos;
+          sh.lanes.push_back(lane);
+        }
+        if (sh.lanes.empty()) {
+          continue;
+        }
+        const uint64_t committed = group->CommitMerged(
+            sh.lanes.data(), sh.lanes.size(), horizon, think,
+            sh.report.latency_histogram);
+        if (committed == 0) {
+          continue;
+        }
+        for (const GroupLane& lane : sh.lanes) {
+          if (lane.committed == 0) {
+            continue;
+          }
+          ThreadRt& th = threads[lane.thread_index];
+          th.last_start = lane.last_start;
+          th.clock = lane.end_clock;
+          th.buf_pos += lane.committed;
+          th.next_op += lane.committed;
+          sh.report.latency_sum += lane.latency_sum;
+          sh.report.makespan = std::max(sh.report.makespan, lane.end_clock);
+          if (th.next_op == traces.threads[th.index].ops.size()) {
+            th.finished = true;
+          }
+        }
+        sh.report.parallel_hits += committed;
+        sh.report.grouped_ops += committed;
+        sh.report.counters.total_accesses += committed;
+        sh.report.counters.local_hits += committed;
+        continue;
+      }
+      if (group_threads.size() == 1) {
         // One thread on the blade: the whole eligible prefix commits in one batch.
-        commit_prefix(threads[group[0]], sh, horizon, SIZE_MAX);
+        commit_prefix(threads[group_threads[0]], sh, horizon, SIZE_MAX);
         continue;
       }
       for (;;) {
         ThreadRt* best = nullptr;
-        for (const size_t t : group) {
+        for (const size_t t : group_threads) {
           ThreadRt& th = threads[t];
           if (th.finished || !th.buf_valid || th.buf_pos >= th.buf_len ||
               th.clock >= horizon) {
@@ -344,19 +442,27 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   // (clock, thread) order against the fully-merged state, with sampler observation points
   // between ops. Correctness does not depend on the exit policy.
   SimTime next_sample = sample_interval;
+  // The drain's min-heap buffer persists across invocations: bounded drains run once per
+  // round in coherence-dense stretches, and a fresh priority_queue per call would pay an
+  // allocation each time. Ordering is the exact global (clock, thread) order either way.
+  using Item = std::pair<SimTime, size_t>;
+  std::vector<Item> heap;
+  heap.reserve(threads.size());
+  const auto heap_cmp = [](const Item& a, const Item& b) { return a > b; };  // Min-heap.
   auto drain = [&](bool bounded, uint32_t max_coherence_ops, uint32_t hit_streak_exit) {
-    using Item = std::pair<SimTime, size_t>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.clear();
     for (size_t t = 0; t < threads.size(); ++t) {
       if (!threads[t].finished) {
-        heap.emplace(threads[t].clock, t);
+        heap.emplace_back(threads[t].clock, t);
       }
     }
+    std::make_heap(heap.begin(), heap.end(), heap_cmp);
     uint32_t coherence_ops = 0;
     uint32_t hit_streak = 0;
     while (!heap.empty()) {
-      const auto [clock, t] = heap.top();
-      heap.pop();
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      const auto [clock, t] = heap.back();
+      heap.pop_back();
       ThreadRt& th = threads[t];
       if (sampler != nullptr && clock >= next_sample) {
         sampler(clock);
@@ -375,10 +481,23 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
       ++sh.report.drained_ops;
       th.last_start = th.clock;
       th.clock += r.latency + think;
-      th.ran_in_drain = true;  // Submitted run (if any) is positionally stale.
+      if (th.buf_valid && th.buf_pos < th.buf_len) {
+        // Alignment invariant: comps[buf_pos] always classifies trace op next_op, so the
+        // op the drain just executed is positionally the run's next classified op —
+        // advance the cursor in tandem. A still-region-valid run then resumes on the
+        // fast path at the next round instead of being thrown away and reclassified
+        // (drained hits used to poison the whole submitted window). State drift is
+        // covered exactly as for commits: membership/writability/domain changes bump the
+        // stamped regions (killing the run via RunValid), while recency and dirtiness
+        // never affect classification.
+        ++th.buf_pos;
+      } else {
+        th.ran_in_drain = true;  // Past the classified prefix: the run is stale.
+      }
       sh.report.makespan = std::max(sh.report.makespan, th.clock);
       if (++th.next_op < ops.size()) {
-        heap.emplace(th.clock, t);
+        heap.emplace_back(th.clock, t);
+        std::push_heap(heap.begin(), heap.end(), heap_cmp);
       } else {
         th.finished = true;
       }

@@ -83,6 +83,15 @@ struct ReplayOptions {
   // reference path (every op through Access in exact global order) that the channel
   // conformance suite compares against.
   bool use_channels = true;
+  // Drive same-blade threads through per-blade ChannelGroups (src/core/access_channel.h):
+  // whenever >= 2 threads of a shard share a blade (and the system hands out groups), the
+  // threads' submitted runs validate in one pass per blade and their merged
+  // (clock, thread) stream commits as one batch per round — with latencies finalized
+  // exactly inside the batch where per-thread Submit could only bound them (GAM's library
+  // lock under intra-blade contention). Groups are an execution strategy, never a
+  // semantic: results are bit-identical on or off. Off = per-thread channel commits (the
+  // plain-channel conformance path).
+  bool use_channel_groups = true;
   // Spawn worker threads even when the host reports a single hardware thread (TSan and
   // scheduling tests). By default threads are used only for shards > 1 on multi-core
   // hosts; results are bit-identical either way — threading is an execution strategy,
@@ -112,6 +121,7 @@ struct ReplayOptions {
 // the sum/max over these plus the system's serialized-phase counter delta.
 struct ShardReport {
   uint64_t parallel_hits = 0;  // Ops committed on the shard's concurrent channel path.
+  uint64_t grouped_ops = 0;    // Subset of parallel_hits committed via per-blade groups.
   uint64_t drained_ops = 0;    // This shard's ops executed by the serialized drain.
   SimTime makespan = 0;
   uint64_t latency_sum = 0;

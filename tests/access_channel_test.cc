@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,9 @@ struct ConformanceCase {
   // The channel fast path must actually engage under sharded replay (not merely match by
   // draining everything).
   bool expect_parallel_hits = true;
+  // With use_channel_groups on, per-blade group commits must actually engage (the case
+  // has >= 2 threads sharing a blade and a hit-capable working set).
+  bool expect_grouped_ops = false;
 };
 
 RackConfig ConformanceRackConfig() {
@@ -88,13 +92,13 @@ std::vector<ConformanceCase> ConformanceCases() {
   cases.push_back(ConformanceCase{
       "MindTso",
       [] { return std::make_unique<MindSystem>(ConformanceRackConfig()); },
-      CoherenceSpec(4, 2)});
+      CoherenceSpec(4, 2), /*expect_parallel_hits=*/true, /*expect_grouped_ops=*/true});
   {
     RackConfig pso = ConformanceRackConfig();
     pso.consistency = ConsistencyModel::kPso;
     cases.push_back(ConformanceCase{
         "MindPso", [pso] { return std::make_unique<MindSystem>(pso); },
-        CoherenceSpec(4, 2)});
+        CoherenceSpec(4, 2), /*expect_parallel_hits=*/true, /*expect_grouped_ops=*/true});
   }
   // GAM with one thread per blade and cache-resident per-blade working sets: the
   // channel's simulated lock queue is exact at Submit (latency_final), hit runs are
@@ -123,12 +127,13 @@ std::vector<ConformanceCase> ConformanceCases() {
       [] { return std::make_unique<GamSystem>(ConformanceGamConfig()); },
       TfSpec(4, /*threads_per_blade=*/1, /*accesses_per_thread=*/4000),
       /*expect_parallel_hits=*/false});
-  // GAM with intra-blade contention: submit-time latencies are lower bounds and every
-  // committed op finalizes against the live per-blade lock queue.
+  // GAM with intra-blade contention: submit-time latencies are lower bounds; grouped
+  // commits finalize them exactly inside the merged batch (and the per-thread fallback
+  // op by op against the live lock queue).
   cases.push_back(ConformanceCase{
       "GamContendedBlades",
       [] { return std::make_unique<GamSystem>(ConformanceGamConfig()); },
-      CoherenceSpec(4, 2)});
+      CoherenceSpec(4, 2), /*expect_parallel_hits=*/true, /*expect_grouped_ops=*/true});
   {
     // FastSwap, cache-resident: two threads share the swap cache, hits dominate after
     // warmup, and the same-blade (clock, thread) merge interleaves their runs.
@@ -144,7 +149,8 @@ std::vector<ConformanceCase> ConformanceCases() {
     spec.private_write_fraction = 0.5;
     spec.accesses_per_thread = 5000;
     cases.push_back(ConformanceCase{
-        "FastSwapResident", [fs] { return std::make_unique<FastSwapSystem>(fs); }, spec});
+        "FastSwapResident", [fs] { return std::make_unique<FastSwapSystem>(fs); }, spec,
+        /*expect_parallel_hits=*/true, /*expect_grouped_ops=*/true});
     // FastSwap, thrashing: working set ~1.5x the cache, so faults, LRU evictions and
     // dirty write-backs dominate — identity only, engagement depends on the drain policy.
     WorkloadSpec thrash = spec;
@@ -171,21 +177,35 @@ TEST_P(AccessChannelConformance, BitIdenticalToPerOpReference) {
   const ReplayReport want = ref.Run();
   ASSERT_GT(want.total_ops, 0u);
 
-  for (const int shards : {1, 2, 4, 8}) {
-    SCOPED_TRACE(shards);
-    auto sys = c.make_system();
-    ReplayOptions opts;
-    opts.shards = shards;
-    ReplayEngine engine(sys.get(), &traces, opts);
-    ASSERT_TRUE(engine.Setup().ok());
-    const ReplayReport got = engine.Run();
-    ExpectReportsIdentical(want, got);
-    if (c.expect_parallel_hits) {
+  // The full execution-strategy matrix: per-thread channel commits and per-blade group
+  // commits, at every shard count, must all be bit-identical to the per-op reference.
+  for (const bool groups : {false, true}) {
+    for (const int shards : {1, 2, 4, 8}) {
+      SCOPED_TRACE(::testing::Message()
+                   << (groups ? "groups" : "plain") << "/" << shards << "shards");
+      auto sys = c.make_system();
+      ReplayOptions opts;
+      opts.shards = shards;
+      opts.use_channel_groups = groups;
+      ReplayEngine engine(sys.get(), &traces, opts);
+      ASSERT_TRUE(engine.Setup().ok());
+      const ReplayReport got = engine.Run();
+      ExpectReportsIdentical(want, got);
       uint64_t parallel = 0;
+      uint64_t grouped = 0;
       for (const ShardReport& sr : engine.shard_reports()) {
         parallel += sr.parallel_hits;
+        grouped += sr.grouped_ops;
       }
-      EXPECT_GT(parallel, 0u) << "channel fast path never engaged";
+      if (c.expect_parallel_hits) {
+        EXPECT_GT(parallel, 0u) << "channel fast path never engaged";
+      }
+      if (groups && c.expect_grouped_ops) {
+        EXPECT_GT(grouped, 0u) << "per-blade group commits never engaged";
+      }
+      if (!groups) {
+        EXPECT_EQ(grouped, 0u) << "groups committed ops while disabled";
+      }
     }
   }
 }
@@ -322,6 +342,219 @@ TEST(AccessChannelRegionStamps, GamPrivateRunSurvivesSharedWave) {
     ASSERT_TRUE(r.status.ok());
   }
   EXPECT_FALSE(channel->RunValid());
+}
+
+// --- Part 3: per-blade channel groups ----------------------------------------
+
+// GAM under intra-blade contention: per-thread Submit can only lower-bound hit latencies
+// (latency_final = false), but one group commit replays the merged (clock, thread) lock
+// queue and writes *exact* latencies into the completions — identical to serial per-op
+// Access over the same interleaving — in a single batched call that advances the blade's
+// FIFO lock once.
+TEST(ChannelGroup, GamContendedBladeCommitsExactLatencies) {
+  GamConfig cfg;
+  cfg.num_compute_blades = 2;
+  cfg.num_memory_blades = 2;
+  GamSystem grouped(cfg);
+  GamSystem serial(cfg);
+
+  constexpr uint64_t kPages = 8;
+  constexpr SimTime kThink = 50;
+  struct Twin {
+    GamSystem* sys;
+    VirtAddr base = 0;
+    ThreadId a = 0;
+    ThreadId b = 0;
+    SimTime warm_end = 0;
+  };
+  Twin twins[2] = {{&grouped}, {&serial}};
+  for (Twin& tw : twins) {
+    tw.base = *tw.sys->Alloc(1ull << 20);
+    tw.a = *tw.sys->RegisterThread(0);
+    tw.b = *tw.sys->RegisterThread(0);
+    // Identical warm schedule on both systems: a writes pages 0..7, b pages 8..15.
+    SimTime t = 0;
+    for (uint64_t p = 0; p < 2 * kPages; ++p) {
+      const ThreadId tid = p < kPages ? tw.a : tw.b;
+      const AccessResult r =
+          tw.sys->Access(tid, 0, tw.base + p * kPageSize, AccessType::kWrite, t);
+      ASSERT_TRUE(r.status.ok());
+      t = r.completion + 1;
+    }
+    tw.warm_end = t;
+  }
+  ASSERT_EQ(twins[0].warm_end, twins[1].warm_end);
+  const SimTime t0 = twins[0].warm_end + 1000;
+  const SimTime start_clock[2] = {t0, t0 + 30};
+
+  // The replayed interleave: each thread touches its own pages with a read/write mix
+  // (reads exercise the PSO barrier against the warm writes; everything is a cache hit).
+  auto op_at = [](const Twin& tw, int thread, uint64_t i) {
+    const uint64_t page = thread == 0 ? i : kPages + i;
+    return LocalOp{tw.base + page * kPageSize,
+                   i % 2 == 0 ? AccessType::kRead : AccessType::kWrite};
+  };
+
+  // Serial reference: per-op Access in (clock, thread) order against the twin system.
+  std::vector<SimTime> want_latency[2];
+  SimTime clock[2] = {start_clock[0], start_clock[1]};
+  uint64_t next[2] = {0, 0};
+  while (next[0] < kPages || next[1] < kPages) {
+    int pick;
+    if (next[0] >= kPages) {
+      pick = 1;
+    } else if (next[1] >= kPages) {
+      pick = 0;
+    } else {
+      pick = clock[1] < clock[0] ? 1 : 0;  // Tie-break: lower thread index.
+    }
+    const LocalOp op = op_at(twins[1], pick, next[pick]);
+    const AccessResult r = twins[1].sys->Access(pick == 0 ? twins[1].a : twins[1].b, 0,
+                                                op.va, op.type, clock[pick]);
+    ASSERT_TRUE(r.local_hit);
+    want_latency[pick].push_back(r.latency);
+    clock[pick] += r.latency + kThink;
+    ++next[pick];
+  }
+
+  // Group path: submit both runs, then one CommitMerged for the whole blade.
+  auto ch_a = grouped.OpenChannel(twins[0].a, 0);
+  auto ch_b = grouped.OpenChannel(twins[0].b, 0);
+  ASSERT_NE(ch_a, nullptr);
+  ASSERT_NE(ch_b, nullptr);
+  std::vector<LocalOp> ops[2];
+  std::vector<Completion> comps[2];
+  AccessChannel* channels[2] = {ch_a.get(), ch_b.get()};
+  SubmitResult runs[2];
+  for (int th = 0; th < 2; ++th) {
+    for (uint64_t i = 0; i < kPages; ++i) {
+      ops[th].push_back(op_at(twins[0], th, i));
+    }
+    comps[th].resize(kPages);
+    runs[th] = channels[th]->Submit(ops[th].data(), kPages, start_clock[th], kThink,
+                                    comps[th].data());
+    ASSERT_EQ(runs[th].accepted, kPages);
+    EXPECT_FALSE(runs[th].latency_final);  // Two registered threads share the blade.
+    EXPECT_EQ(runs[th].uniform_latency, 0u);
+  }
+  auto group = grouped.OpenChannelGroup(0);
+  ASSERT_NE(group, nullptr);
+  GroupLane lanes[2];
+  for (int th = 0; th < 2; ++th) {
+    lanes[th].member = group->Add(channels[th]);
+    lanes[th].thread_index = static_cast<size_t>(th);
+    lanes[th].clock = start_clock[th];
+    lanes[th].uniform_latency = runs[th].uniform_latency;
+    lanes[th].comps = comps[th].data();
+    lanes[th].count = kPages;
+  }
+  EXPECT_EQ(group->ValidMask() & 3u, 3u);
+  Histogram hist;
+  const uint64_t committed = group->CommitMerged(
+      lanes, 2, std::numeric_limits<SimTime>::max(), kThink, hist);
+  EXPECT_EQ(committed, 2 * kPages);
+
+  for (int th = 0; th < 2; ++th) {
+    SCOPED_TRACE(th);
+    ASSERT_EQ(lanes[th].committed, kPages);
+    for (uint64_t i = 0; i < kPages; ++i) {
+      // Exact, not commit-finalized: the batched group latencies equal serial per-op
+      // replay of the identical interleaving.
+      EXPECT_EQ(comps[th][i].latency, want_latency[th][i]) << "op " << i;
+    }
+    EXPECT_EQ(lanes[th].end_clock, clock[th]);
+  }
+
+  // The blade's lock advanced to the same horizon on both systems: a probe access at the
+  // merged end time must queue identically.
+  const SimTime probe_at = std::max(clock[0], clock[1]);
+  const AccessResult pg =
+      grouped.Access(twins[0].a, 0, twins[0].base, AccessType::kRead, probe_at);
+  const AccessResult ps =
+      serial.Access(twins[1].a, 0, twins[1].base, AccessType::kRead, probe_at);
+  EXPECT_EQ(pg.latency, ps.latency);
+  EXPECT_EQ(pg.completion, ps.completion);
+}
+
+// Group commits under real worker threads (the TSan-exercised path): bit-identity and
+// group engagement must both hold when shards run their blades' merges concurrently.
+TEST(ChannelGroup, ForcedWorkerThreadsCommitGroups) {
+  const WorkloadTraces traces = GenerateTraces(CoherenceSpec(4, 2));
+  auto ref_sys = std::make_unique<MindSystem>(ConformanceRackConfig());
+  ReplayOptions ref_opts;
+  ref_opts.use_channels = false;
+  ReplayEngine ref(ref_sys.get(), &traces, ref_opts);
+  ASSERT_TRUE(ref.Setup().ok());
+  const ReplayReport want = ref.Run();
+
+  auto sys = std::make_unique<MindSystem>(ConformanceRackConfig());
+  ReplayOptions opts;
+  opts.shards = 4;
+  opts.force_threads = true;
+  ReplayEngine engine(sys.get(), &traces, opts);
+  ASSERT_TRUE(engine.Setup().ok());
+  const ReplayReport got = engine.Run();
+  ExpectReportsIdentical(want, got);
+  uint64_t grouped = 0;
+  for (const ShardReport& sr : engine.shard_reports()) {
+    grouped += sr.grouped_ops;
+  }
+  EXPECT_GT(grouped, 0u);
+}
+
+// ValidMask delivers per-member verdicts from one validation pass per blade: a wave into
+// one member's stamped region clears only that member's bit.
+TEST(ChannelGroup, MindValidMaskIsPerMember) {
+  RackConfig cfg;
+  cfg.num_compute_blades = 2;
+  cfg.num_memory_blades = 2;
+  MindSystem sys(cfg);
+  const VirtAddr base = *sys.Alloc(8ull << 20);  // 2048 pages: four 2 MB regions.
+  const ThreadId tid_a = *sys.RegisterThread(0);
+  const ThreadId tid_b = *sys.RegisterThread(0);
+  const ThreadId tid_c = *sys.RegisterThread(1);
+
+  SimTime t = 0;
+  auto warm = [&](ThreadId tid, uint64_t first_page) {
+    for (uint64_t p = first_page; p < first_page + 8; ++p) {
+      const AccessResult r =
+          sys.Access(tid, 0, base + p * kPageSize, AccessType::kWrite, t);
+      ASSERT_TRUE(r.status.ok());
+      t = r.completion + 1;
+    }
+  };
+  warm(tid_a, 0);      // Region 0.
+  warm(tid_b, 1024);   // Region 2.
+
+  auto ch_a = sys.OpenChannel(tid_a, 0);
+  auto ch_b = sys.OpenChannel(tid_b, 0);
+  auto submit = [&](AccessChannel* ch, uint64_t first_page, std::vector<Completion>* out) {
+    std::vector<LocalOp> ops;
+    for (uint64_t p = first_page; p < first_page + 8; ++p) {
+      ops.push_back(LocalOp{base + p * kPageSize, AccessType::kRead});
+    }
+    out->resize(ops.size());
+    const SubmitResult run = ch->Submit(ops.data(), ops.size(), t, 100, out->data());
+    ASSERT_EQ(run.accepted, ops.size());
+  };
+  std::vector<Completion> comps_a, comps_b;
+  submit(ch_a.get(), 0, &comps_a);
+  submit(ch_b.get(), 1024, &comps_b);
+
+  auto group = sys.OpenChannelGroup(0);
+  ASSERT_NE(group, nullptr);
+  ASSERT_EQ(group->Add(ch_a.get()), 0u);
+  ASSERT_EQ(group->Add(ch_b.get()), 1u);
+  EXPECT_EQ(group->ValidMask() & 3u, 3u);
+
+  // A cross-blade write into member a's region strips blade 0's copy there: only bit 0
+  // drops.
+  const AccessResult r =
+      sys.Access(tid_c, 1, base + 3 * kPageSize, AccessType::kWrite, t);
+  ASSERT_TRUE(r.status.ok());
+  const uint64_t mask = group->ValidMask();
+  EXPECT_EQ(mask & 1u, 0u);
+  EXPECT_EQ(mask & 2u, 2u);
 }
 
 }  // namespace

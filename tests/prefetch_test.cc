@@ -17,6 +17,7 @@
 #include "src/baselines/fastswap.h"
 #include "src/baselines/gam.h"
 #include "src/baselines/mind_system.h"
+#include "src/blade/dram_cache.h"
 #include "src/common/rng.h"
 #include "src/prefetch/prefetch.h"
 #include "src/workload/generators.h"
@@ -337,6 +338,99 @@ TEST(PrefetchEndToEnd, PointerChaseProducesNoStrideSpeculation) {
 }
 
 // --- Part 4: invalidation waves discard stale in-flight prefetches ------------
+
+// --- Part 3b: prefetch-aware eviction priority (DramCache cold inserts) -------
+
+TEST(PrefetchEviction, ColdInsertEvictsGuessesBeforeDemandPages) {
+  DramCache cache(/*capacity_frames=*/8, /*store_data=*/false);
+  for (uint64_t p = 1; p <= 8; ++p) {
+    EXPECT_FALSE(cache.Insert(p, /*writable=*/true).has_value());
+  }
+  // Speculative install at depth 2: the LRU page 1 is evicted to make room, and the
+  // guess links above pages 2 and 3 only — not at MRU.
+  auto ev = cache.InsertPrefetched(100, /*writable=*/false, nullptr, 0, /*lru_depth=*/2);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->page, 1u);
+  ASSERT_NE(cache.Peek(100), nullptr);
+  EXPECT_TRUE(cache.Peek(100)->prefetched);
+  // Demand pressure now consumes the two colder demand pages, then the guess — before
+  // any of the five warmer demand pages.
+  EXPECT_EQ(cache.Insert(200, true)->page, 2u);
+  EXPECT_EQ(cache.Insert(201, true)->page, 3u);
+  EXPECT_EQ(cache.Insert(202, true)->page, 100u);
+  EXPECT_EQ(cache.Insert(203, true)->page, 4u);
+}
+
+TEST(PrefetchEviction, DepthZeroMakesAMispredictingBurstChurnItself) {
+  DramCache cache(/*capacity_frames=*/4, /*store_data=*/false);
+  for (uint64_t p = 1; p <= 4; ++p) {
+    cache.Insert(p, /*writable=*/true);
+  }
+  // The regression this closes: a wrong-guess burst at the cold end evicts its own
+  // previous guesses, and all demand pages but the original tail survive.
+  EXPECT_EQ(cache.InsertPrefetched(100, false, nullptr, 0, 0)->page, 1u);
+  EXPECT_EQ(cache.InsertPrefetched(101, false, nullptr, 0, 0)->page, 100u);
+  EXPECT_EQ(cache.InsertPrefetched(102, false, nullptr, 0, 0)->page, 101u);
+  for (uint64_t p = 2; p <= 4; ++p) {
+    EXPECT_NE(cache.Peek(p), nullptr) << "demand page " << p << " was evicted by guesses";
+  }
+}
+
+TEST(PrefetchEviction, ColdDepthAdaptsToFeedback) {
+  BladePrefetchState bp;
+  PrefetchEngine engine{PrefetchConfig{}};
+  const uint32_t start = bp.cold_insert_depth();
+  bp.unused[42] = &engine;
+  bp.OnPrefetchedTouch(42);
+  EXPECT_GT(bp.cold_insert_depth(), start) << "useful touches must earn residency";
+  for (uint64_t p = 0; p < 16; ++p) {  // A long evicted-unused run floors the depth.
+    bp.unused[100 + p] = &engine;
+    bp.OnPageEvicted(100 + p);
+  }
+  EXPECT_EQ(bp.cold_insert_depth(), BladePrefetchState::kMinColdDepth);
+  EXPECT_EQ(engine.stats().evicted_unused, 16u);
+}
+
+// --- Part 3c: issued-window re-arm (the readahead-marker analog) --------------
+
+TEST(PrefetchRearm, UsefulTouchPastWindowMidpointArmsOnce) {
+  PrefetchEngine e{PrefetchConfig{}};
+  e.NoteIssuedWindow(/*anchor=*/100, /*end=*/107);
+  e.OnUseful(102);  // Below the midpoint: not armed.
+  EXPECT_FALSE(e.TakeRearm().has_value());
+  e.OnUseful(104);  // Midpoint crossed.
+  const auto rearm = e.TakeRearm();
+  ASSERT_TRUE(rearm.has_value());
+  EXPECT_EQ(*rearm, 104u);
+  EXPECT_EQ(e.stats().rearmed, 1u);
+  e.OnUseful(106);  // The window arms at most once.
+  EXPECT_FALSE(e.TakeRearm().has_value());
+  e.NoteIssuedWindow(108, 101);  // Windows striding downward arm symmetrically.
+  e.OnUseful(103);
+  EXPECT_TRUE(e.TakeRearm().has_value());
+}
+
+TEST(PrefetchRearm, BladeQueueCollectsRearmRequestsFromTouches) {
+  PrefetchEngine e{PrefetchConfig{}};
+  BladePrefetchState bp;
+  e.NoteIssuedWindow(10, 17);
+  bp.unused[14] = &e;
+  bp.OnPrefetchedTouch(14, /*pdid=*/7);
+  ASSERT_EQ(bp.rearm_requests.size(), 1u);
+  EXPECT_EQ(bp.rearm_requests[0].engine, &e);
+  EXPECT_EQ(bp.rearm_requests[0].page, 14u);
+  EXPECT_EQ(bp.rearm_requests[0].pdid, 7u);
+}
+
+// End-to-end: on a covered stream the touches ride channel/group commits, the re-arm
+// hook keeps new windows going out at serialized points, and the accounting shows it.
+TEST(PrefetchRearm, StreamingReplayRearmsWindows) {
+  const WorkloadTraces traces = GenerateTraces(StreamSpec(2, Pattern::kSequential));
+  MindSystem sys(SmallRack(2));
+  const ReplayReport got = Replay(sys, traces, PrefetchPolicy::kMajorityStride);
+  EXPECT_GT(got.prefetch.useful, 0u);
+  EXPECT_GT(got.prefetch.rearmed, 0u) << "window re-arm never triggered";
+}
 
 TEST(PrefetchInvalidation, WaveBetweenIssueAndArrivalDiscardsTheCopy) {
   MindSystem sys(SmallRack(2));

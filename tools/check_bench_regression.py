@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the committed microbench trajectory.
+
+Compares a candidate run (the mind-microbench-v1 JSON a CI bench run just wrote, e.g.
+MIND_BENCH_JSON=/tmp/ci_microbench.json) against the committed baseline trajectory
+(BENCH_microbench.json). For every benchmark in the candidate's last entry, the baseline
+value is the LATEST committed entry containing that benchmark name; the gate fails when
+
+    candidate_ns > baseline_ns * (1 + tolerance)
+
+for any benchmark. The default tolerance is deliberately loose (25%) to absorb shared-
+runner noise — the gate exists to catch step regressions (an accidental O(log n)
+reintroduction, a fast path falling off), not 5% drift. Benchmarks without any committed
+baseline are reported and skipped (they gate from their first committed entry onward).
+
+Exit codes: 0 ok, 1 regression(s), 2 usage/shape error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "mind-microbench-v1" or not isinstance(doc.get("entries"), list):
+        print(f"error: {path} is not a mind-microbench-v1 trajectory", file=sys.stderr)
+        sys.exit(2)
+    return doc["entries"]
+
+
+def latest_baselines(entries):
+    """name -> (ns_per_op, entry label), from the newest entry containing the name."""
+    baselines = {}
+    for entry in entries:  # Entries are append-ordered; later wins.
+        for bench in entry.get("benchmarks", []):
+            baselines[bench["name"]] = (float(bench["ns_per_op"]), entry.get("label", "?"))
+    return baselines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="mind-microbench-v1 JSON written by the CI run")
+    parser.add_argument("baseline", help="committed trajectory (BENCH_microbench.json)")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown before failing (default: 0.25 = 25%%)")
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        print("error: tolerance must be >= 0", file=sys.stderr)
+        sys.exit(2)
+
+    candidate_entries = load_entries(args.candidate)
+    if not candidate_entries:
+        print(f"error: {args.candidate} has no entries", file=sys.stderr)
+        sys.exit(2)
+    candidate = candidate_entries[-1]
+    baselines = latest_baselines(load_entries(args.baseline))
+
+    regressions = []
+    checked = 0
+    width = max((len(b["name"]) for b in candidate.get("benchmarks", [])), default=4)
+    print(f"perf gate: candidate '{candidate.get('label', '?')}' vs latest committed "
+          f"baseline per benchmark (tolerance {args.tolerance:.0%})")
+    for bench in candidate.get("benchmarks", []):
+        name = bench["name"]
+        got = float(bench["ns_per_op"])
+        if name not in baselines:
+            print(f"  NEW   {name:<{width}} {got:10.2f} ns/op (no committed baseline; "
+                  "gates from its first committed entry)")
+            continue
+        want, label = baselines[name]
+        if want == 0:
+            # A zero baseline (e.g. a coverage_pct row that legitimately recorded 0)
+            # would make any nonzero candidate an "infinite" regression; there is no
+            # meaningful ratio to gate on, so report and skip like a missing baseline.
+            print(f"  ZERO  {name:<{width}} {got:10.2f} vs 0.00 ({label}) — "
+                  "no gateable baseline")
+            continue
+        checked += 1
+        limit = want * (1.0 + args.tolerance)
+        ratio = got / want
+        verdict = "OK" if got <= limit else "SLOW"
+        print(f"  {verdict:<5} {name:<{width}} {got:10.2f} ns/op vs {want:10.2f} "
+              f"({label}) = {ratio:5.2f}x, limit {limit:10.2f}")
+        if got > limit:
+            regressions.append((name, got, want, ratio))
+
+    if not checked and not regressions:
+        print("perf gate: nothing to check (no candidate benchmark has a baseline)")
+        return 0
+    if regressions:
+        print(f"\nperf gate FAILED: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for name, got, want, ratio in regressions:
+            print(f"  {name}: {got:.2f} ns/op vs {want:.2f} ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    print(f"perf gate passed: {checked} benchmark(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
