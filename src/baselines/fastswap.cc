@@ -9,7 +9,9 @@
 namespace mind {
 
 FastSwapSystem::FastSwapSystem(FastSwapConfig config)
-    : config_(config), fabric_(1, config.num_memory_blades, config.latency) {
+    : config_(config),
+      fabric_(1, config.num_memory_blades, config.latency),
+      fault_plane_(config.fault) {
   cache_ = std::make_unique<DramCache>(config_.compute_cache_bytes >> kPageShift,
                                        /*store_data=*/false);
 }
@@ -94,6 +96,11 @@ AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr
   // (plain forwarding — no in-network memory logic).
   ++counters_.remote_accesses;
   SimTime t = now + config_.latency.page_fault_entry;
+  if (fault_plane_.lossy()) [[unlikely]] {
+    // Lost RDMA reads are retried by the kernel; even an exhausted budget only delays the
+    // fetch by the summed timeouts (no reset — there is no directory to wedge).
+    t += fault_plane_.SendWithAck(0).latency;
+  }
   auto up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, t);
   t = up.arrival + config_.latency.switch_pipeline;
   const MemoryBladeId m = BackingBlade(page);
@@ -173,6 +180,13 @@ void FastSwapSystem::InstallReadyPrefetches(SimTime now) {
     }
     prefetch_.rearm_requests.clear();
   }
+}
+
+void FastSwapSystem::AdvanceTo(SimTime now) {
+  if (!config_.prefetch.enabled()) {
+    return;
+  }
+  InstallReadyPrefetches(now);
 }
 
 void FastSwapSystem::PrefetchAfterFault(ThreadId tid, uint64_t page, SimTime done) {

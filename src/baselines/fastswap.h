@@ -16,6 +16,7 @@
 #include "src/baselines/memory_system.h"
 #include "src/blade/dram_cache.h"
 #include "src/common/types.h"
+#include "src/fault/fault_plane.h"
 #include "src/net/fabric.h"
 #include "src/prefetch/prefetch.h"
 #include "src/sim/latency_model.h"
@@ -31,6 +32,10 @@ struct FastSwapConfig {
   // watch the fault stream and fill the swap cache ahead of it, read-write like every
   // swapped-in page. Default off (src/prefetch/prefetch.h).
   PrefetchConfig prefetch;
+  // Fault injection on the swap RTT (loss model only). The kernel retries a lost RDMA
+  // read, so an exhausted retransmission budget just pays the summed timeouts before the
+  // fetch proceeds — there is no directory, hence no reset concept.
+  FaultPlaneConfig fault;
 };
 
 class FastSwapSystem final : public MemorySystem {
@@ -64,6 +69,15 @@ class FastSwapSystem final : public MemorySystem {
   }
   PrefetchStats prefetch_stats() override;
 
+  [[nodiscard]] FaultCounters fault_counters() const override {
+    return fault_plane_.counters();
+  }
+
+  // Drains pending prefetch installs and re-armed windows (the re-arm gap fix; see
+  // MemorySystem::AdvanceTo). Called once after the final op in every replay mode, so it
+  // is mode-invariant.
+  void AdvanceTo(SimTime now) override;
+
  private:
   class Channel;
   class Group;
@@ -83,6 +97,7 @@ class FastSwapSystem final : public MemorySystem {
 
   FastSwapConfig config_;
   Fabric fabric_;
+  FaultPlane fault_plane_;
   std::unique_ptr<DramCache> cache_;
   SystemCounters counters_;
   VirtAddr next_va_ = 0x0000'7000'0000'0000ull;

@@ -10,7 +10,8 @@ namespace mind {
 
 GamSystem::GamSystem(GamConfig config)
     : config_(config),
-      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency) {
+      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency),
+      fault_plane_(config.fault) {
   blades_.resize(static_cast<size_t>(config_.num_compute_blades));
   blade_thread_counts_.resize(static_cast<size_t>(config_.num_compute_blades), 0);
   for (auto& b : blades_) {
@@ -190,6 +191,22 @@ AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
   // Miss: consult the home node's software directory.
   ++counters_.remote_accesses;
   const ComputeBladeId home = HomeOf(page);
+  if (fault_plane_.lossy()) [[unlikely]] {
+    // The request/ownership message to the home rides the loss model; retransmission
+    // delay lands on the miss. An exhausted retry budget triggers GAM's reset analog
+    // (drop the home's directory entry, flush every cached copy) and fails the access —
+    // the next access re-faults from a cold directory.
+    const FaultPlane::SendOutcome outcome = fault_plane_.SendWithAck(0);
+    if (!outcome.delivered) {
+      const SimTime failed_at = t + outcome.latency;
+      (void)ResetPage(page, home, failed_at);
+      res.status = Status(ErrorCode::kTimedOut, "home-node messages lost; page reset");
+      res.latency = failed_at - req_now;
+      res.completion = failed_at;
+      return res;
+    }
+    t += outcome.latency;
+  }
   if (home != blade) {
     t = BladeToBlade(blade, home, MessageKind::kRdmaReadRequest, t);
   }
@@ -297,6 +314,33 @@ AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
     PrefetchAfterFault(tid, blade, page, done);
   }
   return res;
+}
+
+SimTime GamSystem::ResetPage(uint64_t page, ComputeBladeId home, SimTime t) {
+  blades_[home].directory.erase(page);
+  uint64_t flushed = 0;
+  SimTime done = t;
+  for (int b = 0; b < config_.num_compute_blades; ++b) {
+    auto inv = blades_[b].cache->InvalidateRange(page, page + 1);
+    for (auto& ev : inv.flushed) {
+      done = std::max(done, FlushToMemory(ev.page, static_cast<ComputeBladeId>(b), t));
+      ++counters_.pages_flushed;
+      ++flushed;
+    }
+  }
+  fault_plane_.OnResetFlushed(flushed);
+  return done;
+}
+
+void GamSystem::AdvanceTo(SimTime now) {
+  if (!config_.prefetch.enabled()) {
+    return;
+  }
+  // Re-arm gap fix: pending re-armed windows issue here even when the blade never takes
+  // another serialized access (see the same hook in Rack::AdvanceTo).
+  for (int b = 0; b < config_.num_compute_blades; ++b) {
+    InstallReadyPrefetches(static_cast<ComputeBladeId>(b), now);
+  }
 }
 
 // ---------------------------------------------------------------------------

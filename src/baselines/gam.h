@@ -24,6 +24,7 @@
 #include "src/baselines/memory_system.h"
 #include "src/blade/dram_cache.h"
 #include "src/common/types.h"
+#include "src/fault/fault_plane.h"
 #include "src/net/fabric.h"
 #include "src/prefetch/prefetch.h"
 #include "src/sim/latency_model.h"
@@ -42,6 +43,11 @@ struct GamConfig {
   // FIFO library lock (speculation pays the same serialized entry every access does) and
   // register as sharers at the home directory. Default off (src/prefetch/prefetch.h).
   PrefetchConfig prefetch;
+  // §4.4-style fault injection on the home-node request path (loss model only; stall
+  // windows and scheduled drains are MIND control-plane machinery). An exhausted retry
+  // budget triggers GAM's reset analog: the home drops the page's directory entry and
+  // every cached copy is flushed.
+  FaultPlaneConfig fault;
 };
 
 class GamSystem final : public MemorySystem {
@@ -79,6 +85,15 @@ class GamSystem final : public MemorySystem {
     return true;
   }
   PrefetchStats prefetch_stats() override;
+
+  [[nodiscard]] FaultCounters fault_counters() const override {
+    return fault_plane_.counters();
+  }
+
+  // Drains pending prefetch installs and re-armed windows for every blade (the re-arm gap
+  // fix; see MemorySystem::AdvanceTo). Called once after the final op in every replay
+  // mode, so it is mode-invariant.
+  void AdvanceTo(SimTime now) override;
 
  private:
   class Channel;
@@ -132,6 +147,11 @@ class GamSystem final : public MemorySystem {
   SimTime EnterLibrary(ThreadId tid, ComputeBladeId blade, uint64_t page, AccessType type,
                        SimTime now);
 
+  // GAM's reset analog (§4.4 translated to a compute-blade-homed directory): drop the
+  // page's directory entry at `home`, invalidate every blade's cached copy and flush the
+  // dirty ones to the backing memory blade. Returns the last flush's landing time.
+  SimTime ResetPage(uint64_t page, ComputeBladeId home, SimTime t);
+
   // --- Prefetch internals (all driven from the serialized Access path) ---
   PrefetchEngine& EnsurePrefetchEngine(ThreadId tid);
   void InstallReadyPrefetches(ComputeBladeId blade, SimTime now);
@@ -142,6 +162,7 @@ class GamSystem final : public MemorySystem {
 
   GamConfig config_;
   Fabric fabric_;
+  FaultPlane fault_plane_;
   std::vector<BladeState> blades_;
   std::vector<uint32_t> blade_thread_counts_;  // Registered threads per blade.
   std::unordered_map<ThreadId, std::vector<PendingWrite>> pending_writes_;

@@ -22,6 +22,7 @@
 #include "src/common/types.h"
 #include "src/core/access.h"
 #include "src/core/access_channel.h"
+#include "src/fault/fault_plane.h"
 #include "src/prefetch/prefetch.h"
 
 namespace mind {
@@ -85,6 +86,16 @@ class MemorySystem {
                               SimTime now) = 0;
 
   [[nodiscard]] virtual SystemCounters counters() const = 0;
+
+  // Fault-plane accounting (src/fault/fault_plane.h): timeouts, retransmissions, resets,
+  // drains. All-zero for systems without fault injection (the interface default).
+  [[nodiscard]] virtual FaultCounters fault_counters() const { return {}; }
+
+  // Earliest scheduled-but-unexecuted fault event (FaultPlane::kNever when none). The
+  // replay engine clamps its commit horizon here: a scheduled event (e.g. a blade drain)
+  // mutates caches at its chosen clock, so channel hits at or past that clock must not
+  // commit before the event runs on the serialized path.
+  [[nodiscard]] virtual SimTime NextScheduledFaultAt() const { return FaultPlane::kNever; }
 
   // --- Batched data-plane channels ---
   //

@@ -50,7 +50,7 @@ class MindSystem final : public MemorySystem {
   std::unique_ptr<ChannelGroup> OpenChannelGroup(ComputeBladeId blade) override {
     return rack_->OpenChannelGroup(blade);
   }
-  void AdvanceTo(SimTime now) override { rack_->AdvanceSplittingEpochs(now); }
+  void AdvanceTo(SimTime now) override { rack_->AdvanceTo(now); }
 
   bool SetPrefetchPolicy(PrefetchPolicy policy) override {
     rack_->SetPrefetchPolicy(policy);
@@ -69,6 +69,13 @@ class MindSystem final : public MemorySystem {
     c.false_invalidations = s.false_invalidations;
     c.breakdown_sums = s.breakdown_sums;
     return c;
+  }
+
+  [[nodiscard]] FaultCounters fault_counters() const override {
+    return rack_->fault_plane().counters();
+  }
+  [[nodiscard]] SimTime NextScheduledFaultAt() const override {
+    return rack_->NextScheduledFaultAt();
   }
 
   [[nodiscard]] Rack& rack() { return *rack_; }

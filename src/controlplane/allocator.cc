@@ -68,12 +68,22 @@ void BalancedAllocator::FreeInBlade(Blade& blade, VirtAddr base, uint64_t size) 
   }
 }
 
+Status BalancedAllocator::SetOffline(MemoryBladeId blade) {
+  for (auto& b : blades_) {
+    if (b.id == blade) {
+      b.offline = true;
+      return Status::Ok();
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such memory blade");
+}
+
 int BalancedAllocator::PickLeastLoaded(uint64_t size) const {
   int best = -1;
   uint64_t best_allocated = UINT64_MAX;
   for (size_t i = 0; i < blades_.size(); ++i) {
     const Blade& b = blades_[i];
-    if (b.allocated + size > b.capacity) {
+    if (b.offline || b.allocated + size > b.capacity) {
       continue;  // Fast reject; first-fit may still fail on fragmentation, handled below.
     }
     if (b.allocated < best_allocated) {
@@ -110,6 +120,9 @@ Result<VmaAllocation> BalancedAllocator::Allocate(uint64_t size) {
     });
     for (size_t idx : order) {
       Blade& blade = blades_[idx];
+      if (blade.offline) {
+        continue;
+      }
       // Align to the allocation's own (power-of-two) size so the vma is one TCAM entry.
       const uint64_t alignment = config_.round_sizes_to_pow2 ? rounded : kPageSize;
       auto base = AllocateInBlade(blade, rounded, alignment);
@@ -138,6 +151,9 @@ Result<VmaAllocation> BalancedAllocator::Allocate(uint64_t size) {
     for (size_t attempt = 0; attempt < blades_.size(); ++attempt) {
       Blade& blade = blades_[interleave_cursor_ % blades_.size()];
       ++interleave_cursor_;
+      if (blade.offline) {
+        continue;
+      }
       auto base = AllocateInBlade(blade, page, page);
       if (base.ok()) {
         chunks.push_back({*base, page, blade.id});

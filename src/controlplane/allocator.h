@@ -61,6 +61,10 @@ class BalancedAllocator {
   // Releases a previous allocation.
   Status Free(const VmaAllocation& vma);
 
+  // Marks a blade draining/offline: no new placements land on it (existing allocations
+  // stay until migration moves them). Part of the drain/failover path.
+  Status SetOffline(MemoryBladeId blade);
+
   // Per-blade allocated bytes, in blade-id order — input to Jain's fairness index.
   [[nodiscard]] std::vector<uint64_t> PerBladeLoad() const;
 
@@ -78,6 +82,7 @@ class BalancedAllocator {
     VirtAddr start = 0;
     uint64_t capacity = 0;
     uint64_t allocated = 0;
+    bool offline = false;  // Draining: excluded from placement decisions.
     // Free extents keyed by base address (first-fit scans in address order).
     std::map<VirtAddr, uint64_t> free_extents;
   };

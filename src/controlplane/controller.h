@@ -77,9 +77,22 @@ class Controller {
   // translation entry (§4.1, "Transparency via outlier entries").
   Status MigrateRange(VirtAddr base, uint32_t size_log2, MemoryBladeId dst, PhysAddr dst_pa);
 
+  // Marks a memory blade draining: the allocator stops placing new vmas on it. Existing
+  // translation rules stay until migration retargets them (drain/failover path).
+  Status MemoryBladeDraining(MemoryBladeId blade) { return allocator_.SetOffline(blade); }
+
   // --- Queries ---
 
   [[nodiscard]] const VmaRecord* FindVma(VirtAddr va) const;
+
+  // Iterates every live vma in base-address order (drain/failover enumerates what must
+  // move off a blade).
+  template <typename Fn>
+  void ForEachVma(Fn&& fn) const {
+    for (const auto& [base, vma] : vmas_) {
+      fn(vma);
+    }
+  }
   [[nodiscard]] Result<ProtDomainId> PdidOf(ProcessId pid) const {
     return processes_.PdidOf(pid);
   }

@@ -12,7 +12,7 @@
 #include "src/common/types.h"
 #include "src/controlplane/allocator.h"
 #include "src/controlplane/bounded_splitting.h"
-#include "src/net/reliability.h"
+#include "src/fault/fault_plane.h"
 #include "src/prefetch/prefetch.h"
 #include "src/sim/latency_model.h"
 
@@ -50,7 +50,10 @@ struct RackConfig {
   LatencyModel latency;
   BoundedSplittingConfig splitting;
   AllocatorConfig alloc;
-  ReliabilityConfig reliability;
+  // §4.4 failure handling: loss model, stall windows, blade death, scheduled drains
+  // (src/fault/fault_plane.h). The default — loss-free, nothing scheduled — leaves every
+  // timing and counter bit-identical to a fault-free build.
+  FaultPlaneConfig fault;
   // Pattern-aware swap-path prefetching on the remote-fault path (default off; see
   // src/prefetch/prefetch.h). Prefetched pages install Shared through the directory
   // state machine and are discarded when an invalidation wave outraces their arrival.

@@ -21,7 +21,7 @@ Rack::Rack(RackConfig config)
       controller_(&translator_, &protection_, &splitting_, config.num_compute_blades,
                   config.alloc),
       fabric_(config.num_compute_blades, config.num_memory_blades, config.latency),
-      reliability_(config.reliability) {
+      fault_plane_(config.fault) {
   compute_blades_.reserve(static_cast<size_t>(config.num_compute_blades));
   for (int i = 0; i < config.num_compute_blades; ++i) {
     compute_blades_.push_back(std::make_unique<ComputeBlade>(
@@ -139,7 +139,13 @@ Rack::InvalidationWave Rack::InvalidateBlades(SharerMask targets, const Director
   stats_.invalidations_sent += deliveries.size();
   for (const auto& d : deliveries) {
     ComputeBlade& sharer = *compute_blades_[d.blade];
-    auto outcome = sharer.HandleInvalidation(entry.base, entry.end(), d.delivery.arrival);
+    SimTime arrival = d.delivery.arrival;
+    if (fault_plane_.HasStalls()) [[unlikely]] {
+      // Stalled blade: the delivery sits in the NIC queue for the window's delay, so its
+      // ACK — and the whole wave — lands late at the requester. Pure function of time.
+      arrival += fault_plane_.StallDelay(d.blade, arrival);
+    }
+    auto outcome = sharer.HandleInvalidation(entry.base, entry.end(), arrival);
 
     SimTime flush_land = outcome.done;
     for (auto& ev : outcome.flushed) {
@@ -528,6 +534,7 @@ std::unique_ptr<ChannelGroup> Rack::OpenChannelGroup(ComputeBladeId blade) {
 
 AccessResult Rack::Access(const AccessRequest& req) {
   splitting_.MaybeRunEpoch(req.now);
+  MaybeRunScheduledDrains(req.now);
   ++stats_.total_accesses;
 
   AccessResult res;
@@ -622,14 +629,19 @@ AccessResult Rack::Access(const AccessRequest& req) {
 
   InvalidationWave wave;
   if (targets != 0) {
-    if (reliability_.config().loss_probability > 0.0) {
-      auto outcome = reliability_.SendWithAck(0);
+    if (fault_plane_.Armed()) [[unlikely]] {
+      // A dead blade never ACKs: the wave deterministically waits out its full retry
+      // budget (no loss draw, so the RNG sequence is death-schedule-invariant). On a
+      // lossy fabric the seeded RNG decides. Either way an exhausted budget resets the
+      // address (§4.4) and fails the access with the timeout-summed latency.
+      const FaultPlane::SendOutcome outcome = fault_plane_.AnyDead(targets, t)
+                                                  ? fault_plane_.DeadTargetOutcome()
+                                                  : fault_plane_.SendWithAck(0);
       if (!outcome.delivered) {
-        // Retransmission limit: reset the address (§4.4) and fail the access.
         (void)ResetAddress(req.va, t);
         res.status = Status(ErrorCode::kTimedOut, "invalidation ACKs lost; region reset");
-        res.latency = (t + reliability_.config().ack_timeout) - req.now;
-        res.completion = t + reliability_.config().ack_timeout;
+        res.latency = (t + outcome.latency) - req.now;
+        res.completion = t + outcome.latency;
         return res;
       }
       t += outcome.latency;  // Timeout-and-retransmit delays actually incurred.
@@ -650,8 +662,20 @@ AccessResult Rack::Access(const AccessRequest& req) {
   const PageData* bytes = nullptr;
   SimTime data_at_requester;
   if (need_data) {
-    const SimTime fetch_start =
-        row.sequential_fetch ? std::max(t, wave.flush_landed) : t;
+    SimTime fetch_start = row.sequential_fetch ? std::max(t, wave.flush_landed) : t;
+    if (fault_plane_.lossy()) [[unlikely]] {
+      // The remote read-with-ACK rides the same loss model: retransmission delay lands on
+      // the fetch, and an exhausted budget resets the address (§4.4) and fails the access.
+      const FaultPlane::SendOutcome outcome = fault_plane_.SendWithAck(0);
+      if (!outcome.delivered) {
+        (void)ResetAddress(req.va, fetch_start);
+        res.status = Status(ErrorCode::kTimedOut, "remote fetch lost; region reset");
+        res.latency = (fetch_start + outcome.latency) - req.now;
+        res.completion = fetch_start + outcome.latency;
+        return res;
+      }
+      fetch_start += outcome.latency;
+    }
     data_at_requester = FetchPageFromMemory(req.va, req.blade, fetch_start, &bytes);
     if (config_.fetch_whole_region) {
       // Coupled-granularity ablation (§4.3.1): pull every other page of the region too.
@@ -1091,8 +1115,70 @@ Status Rack::ResetAddress(VirtAddr va, SimTime now) {
   for (int i = 0; i < config_.num_compute_blades; ++i) {
     everyone |= BladeBit(static_cast<ComputeBladeId>(i));
   }
-  (void)InvalidateBlades(everyone, *entry, UINT64_MAX, kInvalidComputeBlade, now);
+  const InvalidationWave wave =
+      InvalidateBlades(everyone, *entry, UINT64_MAX, kInvalidComputeBlade, now);
+  fault_plane_.OnResetFlushed(wave.flushed);
   return directory_.Remove(entry->base);
+}
+
+Result<SimTime> Rack::DrainMemoryBlade(MemoryBladeId src, MemoryBladeId dst, SimTime now) {
+  if (src >= memory_blades_.size() || dst >= memory_blades_.size() || src == dst) {
+    return Status(ErrorCode::kInvalidArgument, "bad drain source/destination blade");
+  }
+  // 1. Mark the blade draining: the allocator places nothing new on it while we move the
+  //    existing content off.
+  if (Status s = controller_.MemoryBladeDraining(src); !s.ok()) {
+    return s;
+  }
+  // 2. Enumerate what lives there. Allocation chunks record their placement blade, and
+  //    every chunk is power-of-two sized and self-aligned (the TCAM-friendly rounding), so
+  //    each is directly a MigrateRange unit.
+  struct Piece {
+    VirtAddr va = 0;
+    uint32_t size_log2 = 0;
+  };
+  std::vector<Piece> pieces;
+  controller_.ForEachVma([&](const VmaRecord& vma) {
+    for (const auto& chunk : vma.alloc.chunks) {
+      if (chunk.blade == src) {
+        pieces.push_back(Piece{chunk.va, Log2Floor(chunk.size)});
+      }
+    }
+  });
+  // 3. Migrate each piece to the survivor: shoot-down with write-back, page copies over
+  //    the fabric, outlier translation retarget, directory entries restart cold. Pieces
+  //    migrate sequentially — the control plane drives one range at a time.
+  SimTime t = now;
+  uint64_t pages = 0;
+  for (const Piece& piece : pieces) {
+    // Skip pieces a previous migration already moved off this blade (outlier translation
+    // no longer points at `src`).
+    auto tr = translator_.Translate(piece.va);
+    if (!tr.ok() || tr->blade != src) {
+      continue;
+    }
+    auto done = MigrateRange(piece.va, piece.size_log2, dst, t);
+    if (!done.ok()) {
+      return done.status();
+    }
+    t = *done;
+    pages += (uint64_t{1} << piece.size_log2) >> kPageShift;
+  }
+  fault_plane_.OnDrainCompleted(pages);
+  return t;
+}
+
+void Rack::AdvanceTo(SimTime now) {
+  splitting_.MaybeRunEpoch(now);
+  MaybeRunScheduledDrains(now);
+  if (config_.prefetch.enabled()) {
+    // Re-arm gap fix: a fully covered stream records re-arm requests from hit paths and
+    // channel commits, but those only issue at the blade's next serialized access — which
+    // may never come. Drain installs and pending re-armed windows for every blade here.
+    for (int b = 0; b < config_.num_compute_blades; ++b) {
+      InstallReadyPrefetches(static_cast<ComputeBladeId>(b), now);
+    }
+  }
 }
 
 void Rack::ShootDownRange(VirtAddr base, uint64_t size, bool write_back) {

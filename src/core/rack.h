@@ -33,8 +33,8 @@
 #include "src/dataplane/stt.h"
 #include "src/dataplane/tcam.h"
 #include "src/dataplane/translation.h"
+#include "src/fault/fault_plane.h"
 #include "src/net/fabric.h"
-#include "src/net/reliability.h"
 
 namespace mind {
 
@@ -98,6 +98,14 @@ class Rack {
   // after the last serialized access).
   void AdvanceSplittingEpochs(SimTime now) { splitting_.MaybeRunEpoch(now); }
 
+  // Advances every time-driven control-plane activity to `now` without an access:
+  // splitting epochs, scheduled fault-plane drains, and — when prefetching is on — each
+  // blade's pending prefetch installs and re-armed windows (a fully covered stream's next
+  // window issues here even though the blade never takes another serialized access). The
+  // replay engine calls this once after the final op in every mode, so everything that
+  // runs here is mode-invariant.
+  void AdvanceTo(SimTime now);
+
   // --- Pattern-aware prefetching (src/prefetch/prefetch.h) ---
   //
   // Per-(thread, blade) engines watch the fault stream and speculatively fetch ahead of
@@ -131,6 +139,19 @@ class Rack {
   // directory entry, breaking any wedged transition.
   Status ResetAddress(VirtAddr va, SimTime now);
 
+  // Graceful memory-blade drain/failover: marks `src` draining (no new allocations land
+  // on it), migrates every vma chunk homed on it to `dst` via the migration machinery
+  // (shoot-down, page copies, outlier translation retarget), and records the drain in the
+  // fault counters. After it returns, `src` serves no translated range and can be
+  // removed. Returns the completion time.
+  Result<SimTime> DrainMemoryBlade(MemoryBladeId src, MemoryBladeId dst, SimTime now);
+
+  // Earliest scheduled-but-unexecuted fault event (FaultPlane::kNever when none). The
+  // replay engine clamps its commit horizon here so channel hits never commit past a
+  // cache-mutating scheduled event — in serial per-op replay the event runs before them
+  // and may turn them into misses.
+  [[nodiscard]] SimTime NextScheduledFaultAt() const { return fault_plane_.NextDrainAt(); }
+
   // --- Introspection (benches & tests) ---
 
   [[nodiscard]] const RackConfig& config() const { return config_; }
@@ -145,7 +166,8 @@ class Rack {
   [[nodiscard]] ComputeBlade& compute_blade(ComputeBladeId id) { return *compute_blades_[id]; }
   [[nodiscard]] MemoryBlade& memory_blade(MemoryBladeId id) { return *memory_blades_[id]; }
   [[nodiscard]] TcamCapacity& tcam_capacity() { return tcam_capacity_; }
-  [[nodiscard]] ReliabilityTracker& reliability() { return reliability_; }
+  [[nodiscard]] FaultPlane& fault_plane() { return fault_plane_; }
+  [[nodiscard]] const FaultPlane& fault_plane() const { return fault_plane_; }
 
   // Total match-action rules in use: translation + protection + the materialized STT.
   [[nodiscard]] uint64_t MatchActionRules() const {
@@ -204,6 +226,16 @@ class Rack {
   // Drops cached pages of [base, base+size) at every compute blade, writing dirty pages
   // back to memory first. Used on permission changes and teardown.
   void ShootDownRange(VirtAddr base, uint64_t size, bool write_back);
+
+  // Executes any scheduled fault-plane drain due at or before `now`, at its *scheduled*
+  // clock (never `now`), so fabric interleaving is identical across replay modes. Called
+  // at the top of every Access and from AdvanceTo; the common case is one compare inside
+  // FaultPlane::TakeDueDrain.
+  void MaybeRunScheduledDrains(SimTime now) {
+    while (const FaultPlaneConfig::BladeDrain* d = fault_plane_.TakeDueDrain(now)) {
+      (void)DrainMemoryBlade(d->blade, d->dst, d->at);
+    }
+  }
 
   // PSO support: pending-store tracking per thread.
   struct PendingWrite {
@@ -304,7 +336,7 @@ class Rack {
 
   // Fabric + blades.
   Fabric fabric_;
-  ReliabilityTracker reliability_;
+  FaultPlane fault_plane_;
   std::vector<std::unique_ptr<ComputeBlade>> compute_blades_;
   std::vector<std::unique_ptr<MemoryBlade>> memory_blades_;
 

@@ -59,9 +59,18 @@ class ReliabilityTracker {
     return out;
   }
 
-  [[nodiscard]] uint64_t timeouts() const { return timeouts_; }
-  [[nodiscard]] uint64_t retransmissions() const { return retransmissions_; }
-  [[nodiscard]] uint64_t resets_triggered() const { return resets_triggered_; }
+  // Point-in-time view of the protocol counters (monotonic; diff two snapshots for a
+  // window). Exact equality is meaningful: the fault conformance oracle compares these.
+  struct Snapshot {
+    uint64_t timeouts = 0;
+    uint64_t retransmissions = 0;
+    uint64_t resets_triggered = 0;
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{timeouts_, retransmissions_, resets_triggered_};
+  }
 
   [[nodiscard]] const ReliabilityConfig& config() const { return config_; }
 

@@ -210,6 +210,7 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
 
   const SystemCounters before = system->counters();
   const PrefetchStats prefetch_before = system->prefetch_stats();
+  const FaultCounters fault_before = system->fault_counters();
 
   // --- Phase bodies -------------------------------------------------------
 
@@ -613,6 +614,11 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
         horizon = std::min(horizon, sh.barrier);
         any_blocked |= sh.any_blocked;
       }
+      // A scheduled fault event (e.g. a blade drain) mutates caches at its chosen clock:
+      // channel hits at or past that clock must not commit before the event runs on the
+      // serialized path (the first drained Access with clock >= the event time fires it).
+      // kNever leaves the horizon untouched.
+      horizon = std::min(horizon, system->NextScheduledFaultAt());
       uint64_t committed_before = 0;
       for (const ShardRt& sh : shards) {
         committed_before += sh.report.parallel_hits;
@@ -684,6 +690,7 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   report.total_ops = total_ops;
   report.counters = system->counters().DeltaSince(before);
   report.prefetch = system->prefetch_stats().DeltaSince(prefetch_before);
+  report.fault = system->fault_counters().DeltaSince(fault_before);
   uint64_t latency_sum = 0;
   shard_reports_.clear();
   shard_reports_.reserve(shards.size());

@@ -48,6 +48,7 @@ struct ReplayReport {
   Histogram latency_histogram;
   SystemCounters counters;        // Delta over the run.
   PrefetchStats prefetch;         // Delta over the run (all-zero with policy kNone).
+  FaultCounters fault;            // Delta over the run (all-zero without fault injection).
 
   // Derived per-access rates (Fig. 6).
   [[nodiscard]] double RemoteAccessesPerOp() const {

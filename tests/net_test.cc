@@ -103,7 +103,7 @@ TEST(Reliability, LossFreeSingleAttempt) {
   EXPECT_TRUE(out.delivered);
   EXPECT_EQ(out.attempts, 1);
   EXPECT_EQ(out.latency, 9000u);
-  EXPECT_EQ(r.timeouts(), 0u);
+  EXPECT_EQ(r.snapshot().timeouts, 0u);
 }
 
 TEST(Reliability, LossyEventuallyDelivers) {
@@ -122,8 +122,9 @@ TEST(Reliability, LossyEventuallyDelivers) {
     }
   }
   EXPECT_EQ(failures, 0);  // 50 retries at p=0.5 practically never exhaust.
-  EXPECT_GT(r.timeouts(), 0u);
-  EXPECT_GT(r.retransmissions(), 0u);
+  const ReliabilityTracker::Snapshot snap = r.snapshot();
+  EXPECT_GT(snap.timeouts, 0u);
+  EXPECT_GT(snap.retransmissions, 0u);
 }
 
 TEST(Reliability, AlwaysLostTriggersReset) {
@@ -134,8 +135,54 @@ TEST(Reliability, AlwaysLostTriggersReset) {
   const auto out = r.SendWithAck(1000);
   EXPECT_FALSE(out.delivered);
   EXPECT_EQ(out.attempts, 4);  // Initial + 3 retransmissions.
-  EXPECT_EQ(r.resets_triggered(), 1u);
+  EXPECT_EQ(r.snapshot().resets_triggered, 1u);
   EXPECT_EQ(out.latency, 4 * cfg.ack_timeout);
+}
+
+TEST(Reliability, ZeroRetransmissionBudgetAlwaysLost) {
+  // Degenerate budget: the initial send is the only attempt. Exhaustion pays exactly one
+  // ack_timeout (no base RTT lands — the message never arrived) and counts one timeout,
+  // zero retransmissions, one reset.
+  ReliabilityConfig cfg;
+  cfg.loss_probability = 1.0;
+  cfg.max_retransmissions = 0;
+  ReliabilityTracker r(cfg);
+  const auto out = r.SendWithAck(9000);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.latency, cfg.ack_timeout);
+  const ReliabilityTracker::Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.timeouts, 1u);
+  EXPECT_EQ(snap.retransmissions, 0u);
+  EXPECT_EQ(snap.resets_triggered, 1u);
+}
+
+TEST(Reliability, ZeroRetransmissionBudgetLossFree) {
+  // Same budget without loss: the single attempt delivers at the base RTT and nothing is
+  // counted — the p = 0 fast path must stay bit-identical to no tracker at all.
+  ReliabilityConfig cfg;
+  cfg.loss_probability = 0.0;
+  cfg.max_retransmissions = 0;
+  ReliabilityTracker r(cfg);
+  const auto out = r.SendWithAck(9000);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.latency, 9000u);
+  EXPECT_EQ(r.snapshot(), ReliabilityTracker::Snapshot{});
+}
+
+TEST(Reliability, ExhaustedLatencySumsEveryTimeout) {
+  // delivered = false means every attempt timed out: latency is exactly
+  // (max_retransmissions + 1) * ack_timeout, independent of the base RTT.
+  ReliabilityConfig cfg;
+  cfg.loss_probability = 1.0;
+  cfg.max_retransmissions = 7;
+  ReliabilityTracker r(cfg);
+  const auto out = r.SendWithAck(123456);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, 8);
+  EXPECT_EQ(out.latency, 8 * cfg.ack_timeout);
+  EXPECT_EQ(r.snapshot().timeouts, 8u);
 }
 
 }  // namespace

@@ -296,20 +296,21 @@ TEST_F(RackTest, ResetDropsEntryAndCaches) {
 
 TEST_F(RackTest, LossyFabricEventuallyResets) {
   RackConfig lossy = TestConfig();
-  lossy.reliability.loss_probability = 1.0;
-  lossy.reliability.max_retransmissions = 2;
+  lossy.fault.reliability.loss_probability = 1.0;
+  lossy.fault.reliability.max_retransmissions = 2;
   Init(lossy);
-  SimTime t = 0;
-  t = Go(0, va_, AccessType::kRead, t).completion;
-  t = Go(1, va_, AccessType::kRead, t).completion;
-  auto w = Go(2, va_, AccessType::kWrite, t);  // Needs invalidations; all ACKs lost.
-  EXPECT_EQ(w.status.code(), ErrorCode::kTimedOut);
+  // Every message-with-ACK is lost: even the cold fetch exhausts its retry budget, resets
+  // the address (§4.4) and fails the access.
+  auto r = Go(0, va_, AccessType::kRead, 0);
+  EXPECT_EQ(r.status.code(), ErrorCode::kTimedOut);
   EXPECT_EQ(rack_->directory().Lookup(va_), nullptr);  // Reset removed the entry.
-  EXPECT_GT(rack_->reliability().resets_triggered(), 0u);
-  // The system recovers: the next access rebuilds coherence state from scratch.
-  lossy.reliability.loss_probability = 0.0;
-  auto retry = Go(2, va_, AccessType::kRead, w.completion);
-  EXPECT_TRUE(retry.status.ok());
+  EXPECT_GT(rack_->fault_plane().counters().resets_triggered, 0u);
+  // Bounded failure, never a wedge: each retry fails after its summed timeouts and leaves
+  // the directory clean for when connectivity returns (recovery after a *partial* outage —
+  // one dead blade — is covered end to end in fault_injection_test.cc).
+  auto again = Go(0, va_, AccessType::kRead, r.completion);
+  EXPECT_EQ(again.status.code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(rack_->directory().Lookup(va_), nullptr);
 }
 
 // --- Eviction write-backs ------------------------------------------------------------------
