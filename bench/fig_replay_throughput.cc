@@ -11,7 +11,10 @@
 //                       bit-identical to serial by construction; only wall-clock moves).
 //
 // Appends `FigReplayWallclock/*` entries (ns/op over total replayed ops) to
-// BENCH_microbench.json. `--shards=N` runs one extra sharded point. Scale the trace with
+// BENCH_microbench.json, plus a dimensionless `drain_serialized_fraction` row for the
+// coherence-bound series: the fraction of serialized-drain ops the directory-region
+// ownership split could NOT retire owner-parallel (lower is better; the gate catches it
+// creeping back up). `--shards=N` runs one extra sharded point. Scale the trace with
 // MIND_BENCH_SCALE.
 #include <algorithm>
 #include <chrono>
@@ -29,7 +32,28 @@ struct Timed {
   double wall_ns = 0.0;
   uint64_t parallel_hits = 0;
   uint64_t grouped_ops = 0;
+  uint64_t drained_ops = 0;
+  uint64_t owner_drained = 0;  // Subset of drained_ops retired owner-parallel.
+
+  // Fraction of drained (serialized-phase) ops that still had to execute one at a time
+  // through the global merge step after directory-region ownership carved out the
+  // owner-parallel phases. Shard-count invariant (the drain composition is bit-identical
+  // across shard counts), so any sharded run reports the same number.
+  [[nodiscard]] double SerializedFraction() const {
+    return drained_ops == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(owner_drained) / static_cast<double>(drained_ops);
+  }
 };
+
+void CollectShards(const ReplayEngine& engine, Timed* out) {
+  for (const ShardReport& sr : engine.shard_reports()) {
+    out->parallel_hits += sr.parallel_hits;
+    out->grouped_ops += sr.grouped_ops;
+    out->drained_ops += sr.drained_ops;
+    out->owner_drained += sr.owner_drained;
+  }
+}
 
 // Headline series: the shape sharded replay targets — multi-blade, cache-resident
 // per-blade working sets with an occasional cross-blade coherence event (the Fig. 5 right
@@ -98,6 +122,7 @@ Timed RunSerial(const WorkloadTraces& traces, SystemFactory make_system) {
   out.report = engine.Run();
   out.wall_ns = std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
                     .count();
+  CollectShards(engine, &out);
   return out;
 }
 
@@ -112,10 +137,7 @@ Timed RunSharded(const WorkloadTraces& traces, int shards, SystemFactory make_sy
   out.report = engine.Run();
   out.wall_ns = std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
                     .count();
-  for (const ShardReport& sr : engine.shard_reports()) {
-    out.parallel_hits += sr.parallel_hits;
-    out.grouped_ops += sr.grouped_ops;
-  }
+  CollectShards(engine, &out);
   return out;
 }
 
@@ -136,21 +158,39 @@ int main(int argc, char** argv) {
     std::printf("(simulator performance; simulated-time results are bit-identical across "
                 "rows)\n");
     TablePrinter table({"config", "wall ms", "ns/op", "Mops/s wall", "parallel hits",
-                        "grouped", "sim ms"});
+                        "grouped", "owner-par drain", "sim ms"});
     table.PrintHeader();
-    auto add = [&](const std::string& name, const Timed& t) {
+    Timed last;
+    auto add = [&](const std::string& name, Timed t) {
       const double ns_per_op = t.wall_ns / static_cast<double>(ops);
       table.PrintRow(name, TablePrinter::Fmt(t.wall_ns / 1e6, 1),
                      TablePrinter::Fmt(ns_per_op, 1), TablePrinter::Fmt(1e3 / ns_per_op, 2),
                      t.parallel_hits, t.grouped_ops,
+                     std::to_string(t.owner_drained) + "/" + std::to_string(t.drained_ops),
                      TablePrinter::Fmt(ToMillis(t.report.makespan), 2));
       results.push_back(
           bench::BenchResult{"FigReplayWallclock/" + tag + "/" + name, ns_per_op, ops});
+      last = std::move(t);
     };
     add("serial-1shard", RunSerial(traces, make_system));
     for (const int shards : shard_points) {
       add("sharded-" + std::to_string(shards) + "shard",
           RunSharded(traces, shards, make_system));
+    }
+    if (tag == "tf_coherence_bound") {
+      // The region-ownership payoff metric on the drain-dominated series: the fraction of
+      // serialized-phase ops that still retired one at a time through the global merge
+      // step. Lower is better, so the trajectory gate (fail above 1.25x baseline) catches
+      // a change that quietly re-serializes owner-parallel work. Deterministic for a fixed
+      // trace scale and shard-count invariant (see SerializedFraction).
+      std::printf("drain serialized fraction: %.3f (owner-parallel retired %llu of %llu "
+                  "drained ops)\n",
+                  last.SerializedFraction(),
+                  static_cast<unsigned long long>(last.owner_drained),
+                  static_cast<unsigned long long>(last.drained_ops));
+      results.push_back(
+          bench::BenchResult{"FigReplayWallclock/" + tag + "/drain_serialized_fraction",
+                             last.SerializedFraction(), last.drained_ops});
     }
   };
 

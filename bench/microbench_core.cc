@@ -21,6 +21,7 @@
 #include "src/blade/dram_cache.h"
 #include "src/common/rng.h"
 #include "src/controlplane/allocator.h"
+#include "src/core/channel_group.h"
 #include "src/core/mind.h"
 #include "src/dataplane/directory.h"
 #include "src/dataplane/protection.h"
@@ -149,6 +150,41 @@ void BM_DramCacheHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DramCacheHit);
+
+// The per-blade group merge-commit walk (src/core/channel_group.h) at small and large
+// lane counts: 4 lanes exercises the branchy linear argmin scan, 32 lanes the
+// GroupMergeLoserTree (crossover at kGroupMergeLinearScanMax). Per-op (non-uniform)
+// latencies with jitter so the winner genuinely alternates between lanes, as live merges
+// do; one iteration merge-commits every lane's full run.
+void BM_GroupMerge(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kOpsPerLane = 64;
+  Rng rng(29);
+  std::vector<std::vector<Completion>> comps(n, std::vector<Completion>(kOpsPerLane));
+  std::vector<GroupLane> lanes(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < kOpsPerLane; ++j) {
+      comps[i][j].latency = 80 + rng.NextBelow(64);
+    }
+    lanes[i].member = i;
+    lanes[i].thread_index = i;
+    lanes[i].clock = rng.NextBelow(32);
+    lanes[i].uniform_latency = 0;  // Per-op latencies: the merge pays full compare cost.
+    lanes[i].comps = comps[i].data();
+    lanes[i].count = kOpsPerLane;
+  }
+  Histogram hist;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    total += GroupMergeCommit(
+        lanes.data(), n, /*horizon=*/1ull << 40, /*think=*/10, hist,
+        [](const GroupLane& ln, size_t idx) { return ln.comps[idx].latency; },
+        [](GroupLane&, size_t) {});
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_GroupMerge)->Arg(4)->Arg(32);
 
 void BM_ZipfianNext(benchmark::State& state) {
   Rng rng(7);

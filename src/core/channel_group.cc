@@ -1,5 +1,7 @@
 #include "src/core/channel_group.h"
 
+#include <utility>
+
 namespace mind {
 
 void RecordLaneLatencies(const GroupLane* lanes, size_t n, Histogram& hist) {
@@ -18,6 +20,54 @@ void RecordLaneLatencies(const GroupLane* lanes, size_t n, Histogram& hist) {
       }
     }
   }
+}
+
+bool GroupMergeLoserTree::Before(size_t a, size_t b) const {
+  const bool dead_a = Dead(a);
+  const bool dead_b = Dead(b);
+  if (dead_a != dead_b) {
+    return dead_b;  // A live lane precedes any dead one.
+  }
+  if (dead_a) {
+    return a < b;  // Both dead: any stable order works, they are never committed.
+  }
+  const GroupLane& la = lanes_[a];
+  const GroupLane& lb = lanes_[b];
+  return la.end_clock < lb.end_clock ||
+         (la.end_clock == lb.end_clock && la.thread_index < lb.thread_index);
+}
+
+GroupMergeLoserTree::GroupMergeLoserTree(const GroupLane* lanes, size_t n, SimTime horizon)
+    : lanes_(lanes), n_(n), horizon_(horizon) {
+  while (pow2_ < n_) {
+    pow2_ <<= 1;
+  }
+  // Bottom-up tournament: winner_of[j] is the winner of the subtree under internal node
+  // j, the loser stays at j. Scratch only — the steady state keeps losers plus one
+  // winner, which is what makes Reseat a single leaf-to-root replay.
+  size_t winner_of[2 * ChannelGroup::kMaxGroupLanes];
+  for (size_t i = 0; i < pow2_; ++i) {
+    winner_of[pow2_ + i] = i;
+  }
+  for (size_t j = pow2_ - 1; j >= 1; --j) {
+    const size_t a = winner_of[2 * j];
+    const size_t b = winner_of[2 * j + 1];
+    const bool a_first = Before(a, b);
+    winner_of[j] = a_first ? a : b;
+    loser_[j] = a_first ? b : a;
+  }
+  winner_ = winner_of[1];
+}
+
+size_t GroupMergeLoserTree::Reseat() {
+  size_t cur = winner_;
+  for (size_t j = (pow2_ + cur) >> 1; j >= 1; j >>= 1) {
+    if (Before(loser_[j], cur)) {
+      std::swap(cur, loser_[j]);
+    }
+  }
+  winner_ = cur;
+  return Winner();
 }
 
 }  // namespace mind

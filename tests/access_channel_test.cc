@@ -22,7 +22,9 @@
 #include "src/baselines/fastswap.h"
 #include "src/baselines/gam.h"
 #include "src/baselines/mind_system.h"
+#include "src/common/rng.h"
 #include "src/core/access_channel.h"
+#include "src/core/channel_group.h"
 #include "src/workload/generators.h"
 #include "src/workload/replay.h"
 
@@ -555,6 +557,84 @@ TEST(ChannelGroup, MindValidMaskIsPerMember) {
   const uint64_t mask = group->ValidMask();
   EXPECT_EQ(mask & 1u, 0u);
   EXPECT_EQ(mask & 2u, 2u);
+}
+
+// GroupMergeCommit dispatches its per-op argmin to a loser tree above
+// kGroupMergeLinearScanMax lanes. The tree must replay exactly the linear scan's
+// (end_clock, thread_index) merge order — horizon-dead and exhausted lanes skipped — so
+// committing the same synthetic lane set at a lane count on each side of the crossover
+// yields identical per-lane out-fields and identical merged order.
+TEST(ChannelGroup, LoserTreeMatchesLinearScanOrder) {
+  constexpr size_t kLanes = 32;  // > kGroupMergeLinearScanMax: the tree path.
+  constexpr size_t kOps = 24;
+  Rng rng(17);
+  std::vector<std::vector<Completion>> comps(kLanes, std::vector<Completion>(kOps));
+  std::vector<GroupLane> lanes(kLanes);
+  for (size_t i = 0; i < kLanes; ++i) {
+    for (size_t j = 0; j < kOps; ++j) {
+      comps[i][j].latency = 50 + rng.NextBelow(100);
+    }
+    lanes[i].member = i;
+    lanes[i].thread_index = i;
+    lanes[i].clock = rng.NextBelow(64);
+    lanes[i].uniform_latency = 0;
+    lanes[i].comps = comps[i].data();
+    lanes[i].count = kOps;
+  }
+  const SimTime horizon = 1500;  // Some lanes die at the horizon mid-run.
+  const SimTime think = 10;
+  auto latency_of = [](const GroupLane& ln, size_t idx) { return ln.comps[idx].latency; };
+
+  // Reference: a hand-rolled linear argmin scan over all 32 lanes (GroupMergeCommit
+  // itself would dispatch to the tree at this count), recording the merged order.
+  std::vector<GroupLane> ref = lanes;
+  std::vector<size_t> ref_order;
+  for (size_t i = 0; i < kLanes; ++i) {
+    ref[i].committed = 0;
+    ref[i].end_clock = ref[i].clock;
+    ref[i].last_start = ref[i].clock;
+    ref[i].latency_sum = 0;
+  }
+  for (;;) {
+    GroupLane* best = nullptr;
+    for (size_t i = 0; i < kLanes; ++i) {
+      GroupLane& ln = ref[i];
+      if (ln.committed >= ln.count || ln.end_clock >= horizon) {
+        continue;
+      }
+      if (best == nullptr || ln.end_clock < best->end_clock ||
+          (ln.end_clock == best->end_clock && ln.thread_index < best->thread_index)) {
+        best = &ln;
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    ref_order.push_back(best->thread_index);
+    const SimTime latency = latency_of(*best, best->committed);
+    best->last_start = best->end_clock;
+    best->latency_sum += latency;
+    best->end_clock += latency + think;
+    ++best->committed;
+  }
+  ASSERT_GT(ref_order.size(), 0u);
+  ASSERT_LT(ref_order.size(), kLanes * kOps);  // The horizon really cut lanes short.
+
+  // Candidate: GroupMergeCommit over all 32 lanes — the loser-tree path.
+  std::vector<size_t> got_order;
+  Histogram got_hist;
+  const uint64_t got_total = GroupMergeCommit(
+      lanes.data(), kLanes, horizon, think, got_hist, latency_of,
+      [&](GroupLane& ln, size_t) { got_order.push_back(ln.thread_index); });
+  EXPECT_EQ(got_total, ref_order.size());
+  EXPECT_EQ(got_order, ref_order);
+  for (size_t i = 0; i < kLanes; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(lanes[i].committed, ref[i].committed);
+    EXPECT_EQ(lanes[i].end_clock, ref[i].end_clock);
+    EXPECT_EQ(lanes[i].last_start, ref[i].last_start);
+    EXPECT_EQ(lanes[i].latency_sum, ref[i].latency_sum);
+  }
 }
 
 }  // namespace

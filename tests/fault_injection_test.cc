@@ -244,6 +244,69 @@ TEST(FaultConformance, MindFullFaultStormIsModeInvariant) {
   ExpectFaultConformance(make, traces, want);
 }
 
+// --- The owner-parallel drain under fault schedules ----------------------------------------
+
+TEST(FaultConformance, OwnerParallelDrainInvariantUnderFaults) {
+  // The region-ownership drain partition (ReplayOptions::owner_parallel_drain) against
+  // three fault schedules — fault-free, 0.5% seeded loss, and a mid-replay scheduled
+  // blade drain — at 1/2/4/8 shards, groups on and off, plus the owner-off baseline.
+  // Every time-driven boundary serializes through the drain safety horizon
+  // (NextScheduledFaultAt clamps it), so the results and the drain composition
+  // (owner-parallel subset included) are bit-identical across the whole matrix.
+  const WorkloadTraces traces = GenerateTraces(CoherenceSpec(4));
+  const SimTime makespan =
+      SerialReference([] { return std::make_unique<MindSystem>(FaultRackConfig(0.0)); },
+                      traces)
+          .makespan;
+  ASSERT_GT(makespan, 0u);
+
+  RackConfig drained = FaultRackConfig(0.0);
+  drained.fault.drains.push_back(
+      FaultPlaneConfig::BladeDrain{/*blade=*/0, /*dst=*/1, /*at=*/makespan / 2});
+  const std::vector<std::pair<std::string, RackConfig>> schedules = {
+      {"no-fault", FaultRackConfig(0.0)},
+      {"loss-0.5%", FaultRackConfig(0.005)},
+      {"scheduled-drain", drained},
+  };
+  for (const auto& [label, config] : schedules) {
+    SCOPED_TRACE(label);
+    auto make = [&config] { return std::make_unique<MindSystem>(config); };
+    const ReplayReport want = SerialReference(make, traces);
+    uint64_t owner_expected = 0;
+    bool first = true;
+    for (const bool groups : {true, false}) {
+      for (const int shards : {1, 2, 4, 8}) {
+        SCOPED_TRACE(::testing::Message()
+                     << (groups ? "groups" : "plain") << "/" << shards << "shards");
+        auto sys = make();
+        ReplayOptions opts;
+        opts.shards = shards;
+        opts.use_channel_groups = groups;
+        ReplayEngine engine(sys.get(), &traces, opts);
+        ASSERT_TRUE(engine.Setup().ok());
+        ExpectReportsIdentical(want, engine.Run());
+        uint64_t owner = 0;
+        for (const ShardReport& sr : engine.shard_reports()) {
+          owner += sr.owner_drained;
+        }
+        EXPECT_GT(owner, 0u);  // Engaged even while the schedule fires.
+        if (first) {
+          owner_expected = owner;
+          first = false;
+        } else {
+          EXPECT_EQ(owner, owner_expected);  // Composition is matrix-invariant.
+        }
+      }
+    }
+    // Owner-off baseline: the pre-ownership serial drain under the same schedule.
+    auto sys = make();
+    ReplayOptions off;
+    off.shards = 4;
+    off.owner_parallel_drain = false;
+    ExpectReportsIdentical(want, RunReplay(sys.get(), traces, off));
+  }
+}
+
 // --- The reset path after a blade death (§4.4), at rack level ------------------------------
 
 RackConfig ResetTestConfig() {
