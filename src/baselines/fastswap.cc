@@ -40,19 +40,21 @@ class FastSwapSystem::OwnerDrain final : public OwnerDrainOps {
   OwnerDrain(FastSwapSystem* sys, int num_shards)
       : sys_(sys), scratch_(static_cast<size_t>(num_shards)) {}
 
-  [[nodiscard]] bool Eligible(ThreadId /*tid*/, ComputeBladeId /*blade*/, VirtAddr va,
-                              AccessType /*type*/, SimTime /*now*/) const override {
+  MIND_PARALLEL_PHASE [[nodiscard]] bool Eligible(ThreadId /*tid*/, ComputeBladeId /*blade*/,
+                                                  VirtAddr va, AccessType /*type*/,
+                                                  SimTime /*now*/) const override {
     if (sys_->config_.prefetch.enabled()) {
       return false;  // Installs and late joins mutate the swap cache mid-drain.
     }
     const DramCache::Frame* frame = sys_->cache_->Peek(PageNumber(va));
     return frame != nullptr && !frame->prefetched;  // Read-write installs: any hit counts.
   }
-  [[nodiscard]] SimTime MinEligibleCost() const override {
+  MIND_SERIALIZED_PATH [[nodiscard]] SimTime MinEligibleCost() const override {
     return sys_->config_.latency.local_cache_hit;
   }
-  AccessResult AccessOwned(int shard, ThreadId /*tid*/, ComputeBladeId /*blade*/,
-                           VirtAddr va, AccessType type, SimTime now) override {
+  MIND_PARALLEL_PHASE AccessResult AccessOwned(int shard, ThreadId /*tid*/,
+                                               ComputeBladeId /*blade*/, VirtAddr va,
+                                               AccessType type, SimTime now) override {
     Scratch& sc = scratch_[static_cast<size_t>(shard)];
     ++sc.total_accesses;
     DramCache::Frame* frame = sys_->cache_->Lookup(PageNumber(va));
@@ -67,7 +69,7 @@ class FastSwapSystem::OwnerDrain final : public OwnerDrainOps {
     res.completion = now + res.latency;
     return res;
   }
-  void Fold() override {
+  MIND_SERIALIZED_PATH void Fold() override {
     for (Scratch& sc : scratch_) {
       sys_->counters_.total_accesses += sc.total_accesses;
       sys_->counters_.local_hits += sc.local_hits;
@@ -89,7 +91,8 @@ std::unique_ptr<OwnerDrainOps> FastSwapSystem::OpenOwnerDrain(int num_shards) {
   return std::make_unique<OwnerDrain>(this, num_shards);
 }
 
-AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
+MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBladeId blade,
+                                                          VirtAddr va,
                                     AccessType type, SimTime now) {
   (void)blade;
   ++counters_.total_accesses;
@@ -240,7 +243,7 @@ void FastSwapSystem::InstallReadyPrefetches(SimTime now) {
   }
 }
 
-void FastSwapSystem::AdvanceTo(SimTime now) {
+MIND_SERIALIZED_PATH void FastSwapSystem::AdvanceTo(SimTime now) {
   if (!config_.prefetch.enabled()) {
     return;
   }
@@ -310,7 +313,8 @@ class FastSwapSystem::Channel final : public AccessChannel {
  public:
   explicit Channel(FastSwapSystem* sys) : sys_(sys) {}
 
-  SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+  MIND_PARALLEL_PHASE SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock,
+                                          SimTime think,
                       Completion* completions) override {
     DramCache& cache = *sys_->cache_;
     const SimTime hit_latency = sys_->config_.latency.local_cache_hit;
@@ -338,9 +342,12 @@ class FastSwapSystem::Channel final : public AccessChannel {
     return out;
   }
 
-  [[nodiscard]] bool RunValid() const override { return stamps_.Valid(*sys_->cache_); }
+  MIND_PARALLEL_PHASE [[nodiscard]] bool RunValid() const override {
+    return stamps_.Valid(*sys_->cache_);
+  }
 
-  void Commit(Completion* completions, size_t n, SimTime /*clock*/) override {
+  MIND_PARALLEL_PHASE void Commit(Completion* completions, size_t n,
+                                  SimTime /*clock*/) override {
     DramCache& cache = *sys_->cache_;
     for (size_t i = 0; i < n; ++i) {
       ApplyCommitToken(cache, completions[i],
@@ -373,7 +380,7 @@ class FastSwapSystem::Group final : public ChannelGroup {
     return members_.size() - 1;
   }
 
-  [[nodiscard]] uint64_t ValidMask() const override {
+  MIND_PARALLEL_PHASE [[nodiscard]] uint64_t ValidMask() const override {
     const DramCache& cache = *sys_->cache_;
     uint64_t mask = 0;
     for (size_t m = 0; m < members_.size(); ++m) {
@@ -384,8 +391,8 @@ class FastSwapSystem::Group final : public ChannelGroup {
     return mask;
   }
 
-  uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
-                        Histogram& hist) override {
+  MIND_PARALLEL_PHASE uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon,
+                                            SimTime think, Histogram& hist) override {
     DramCache& cache = *sys_->cache_;
     return GroupMergeCommit(
         lanes, n, horizon, think, hist,

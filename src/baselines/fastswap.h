@@ -47,7 +47,8 @@ class FastSwapSystem final : public MemorySystem {
 
   Result<VirtAddr> Alloc(uint64_t size) override;
   Result<ThreadId> RegisterThread(ComputeBladeId blade) override;
-  AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
+  MIND_SERIALIZED_PATH AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
+                                           AccessType type,
                       SimTime now) override;
   [[nodiscard]] SystemCounters counters() const override { return counters_; }
 
@@ -83,7 +84,7 @@ class FastSwapSystem final : public MemorySystem {
   // Drains pending prefetch installs and re-armed windows (the re-arm gap fix; see
   // MemorySystem::AdvanceTo). Called once after the final op in every replay mode, so it
   // is mode-invariant.
-  void AdvanceTo(SimTime now) override;
+  MIND_SERIALIZED_PATH void AdvanceTo(SimTime now) override;
 
  private:
   class Channel;

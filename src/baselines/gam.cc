@@ -113,8 +113,9 @@ class GamSystem::OwnerDrain final : public OwnerDrainOps {
   OwnerDrain(GamSystem* sys, int num_shards)
       : sys_(sys), scratch_(static_cast<size_t>(num_shards)) {}
 
-  [[nodiscard]] bool Eligible(ThreadId /*tid*/, ComputeBladeId blade, VirtAddr va,
-                              AccessType type, SimTime /*now*/) const override {
+  MIND_PARALLEL_PHASE [[nodiscard]] bool Eligible(ThreadId /*tid*/, ComputeBladeId blade,
+                                                  VirtAddr va, AccessType type,
+                                                  SimTime /*now*/) const override {
     if (sys_->config_.prefetch.enabled()) {
       return false;  // Installs and late joins mutate per-blade tables mid-drain.
     }
@@ -122,11 +123,12 @@ class GamSystem::OwnerDrain final : public OwnerDrainOps {
     return frame != nullptr && !frame->prefetched &&
            (type == AccessType::kRead || frame->writable);
   }
-  [[nodiscard]] SimTime MinEligibleCost() const override {
+  MIND_SERIALIZED_PATH [[nodiscard]] SimTime MinEligibleCost() const override {
     return sys_->config_.lock_service + sys_->config_.latency.gam_local_access;
   }
-  AccessResult AccessOwned(int shard, ThreadId tid, ComputeBladeId blade, VirtAddr va,
-                           AccessType type, SimTime now) override {
+  MIND_PARALLEL_PHASE AccessResult AccessOwned(int shard, ThreadId tid, ComputeBladeId blade,
+                                               VirtAddr va, AccessType type,
+                                               SimTime now) override {
     Scratch& sc = scratch_[static_cast<size_t>(shard)];
     ++sc.total_accesses;
     const uint64_t page = PageNumber(va);
@@ -144,7 +146,7 @@ class GamSystem::OwnerDrain final : public OwnerDrainOps {
     res.breakdown.fault = t - now;
     return res;
   }
-  void Fold() override {
+  MIND_SERIALIZED_PATH void Fold() override {
     for (Scratch& sc : scratch_) {
       sys_->counters_.total_accesses += sc.total_accesses;
       sys_->counters_.local_hits += sc.local_hits;
@@ -166,7 +168,7 @@ std::unique_ptr<OwnerDrainOps> GamSystem::OpenOwnerDrain(int num_shards) {
   return std::make_unique<OwnerDrain>(this, num_shards);
 }
 
-AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
+MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
                                AccessType type, SimTime now) {
   ++counters_.total_accesses;
   AccessResult res;
@@ -396,7 +398,7 @@ SimTime GamSystem::ResetPage(uint64_t page, ComputeBladeId home, SimTime t) {
   return done;
 }
 
-void GamSystem::AdvanceTo(SimTime now) {
+MIND_SERIALIZED_PATH void GamSystem::AdvanceTo(SimTime now) {
   if (!config_.prefetch.enabled()) {
     return;
   }
@@ -540,7 +542,8 @@ class GamSystem::Channel final : public AccessChannel {
   Channel(GamSystem* sys, ThreadId tid, ComputeBladeId blade)
       : sys_(sys), tid_(tid), blade_(blade) {}
 
-  SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
+  MIND_PARALLEL_PHASE SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock,
+                                          SimTime think,
                       Completion* completions) override {
     BladeState& blade = sys_->blades_[blade_];
     DramCache& cache = *blade.cache;
@@ -606,11 +609,11 @@ class GamSystem::Channel final : public AccessChannel {
     return out;
   }
 
-  [[nodiscard]] bool RunValid() const override {
+  MIND_PARALLEL_PHASE [[nodiscard]] bool RunValid() const override {
     return stamps_.Valid(*sys_->blades_[blade_].cache);
   }
 
-  void Commit(Completion* completions, size_t n, SimTime clock) override {
+  MIND_PARALLEL_PHASE void Commit(Completion* completions, size_t n, SimTime clock) override {
     BladeState& blade = sys_->blades_[blade_];
     for (size_t i = 0; i < n; ++i) {
       const uint64_t tagged = completions[i].token.bits;
@@ -665,7 +668,7 @@ class GamSystem::Group final : public ChannelGroup {
     return members_.size() - 1;
   }
 
-  [[nodiscard]] uint64_t ValidMask() const override {
+  MIND_PARALLEL_PHASE [[nodiscard]] uint64_t ValidMask() const override {
     const DramCache& cache = *sys_->blades_[blade_].cache;
     uint64_t mask = 0;
     for (size_t m = 0; m < members_.size(); ++m) {
@@ -676,8 +679,8 @@ class GamSystem::Group final : public ChannelGroup {
     return mask;
   }
 
-  uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
-                        Histogram& hist) override {
+  MIND_PARALLEL_PHASE uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon,
+                                            SimTime think, Histogram& hist) override {
     BladeState& blade = sys_->blades_[blade_];
     const SimTime service = sys_->config_.lock_service;
     const SimTime local_work = sys_->config_.latency.gam_local_access;

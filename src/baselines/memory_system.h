@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/core/access.h"
 #include "src/core/access_channel.h"
@@ -107,13 +108,21 @@ class OwnerDrainOps {
  public:
   virtual ~OwnerDrainOps() = default;
 
-  [[nodiscard]] virtual bool Eligible(ThreadId tid, ComputeBladeId blade, VirtAddr va,
-                                      AccessType type, SimTime now) const = 0;
-  [[nodiscard]] virtual SimTime MinEligibleCost() const = 0;
-  [[nodiscard]] virtual SimTime NextSerialBoundary() const { return FaultPlane::kNever; }
-  virtual AccessResult AccessOwned(int shard, ThreadId tid, ComputeBladeId blade,
-                                   VirtAddr va, AccessType type, SimTime now) = 0;
-  virtual void Fold() {}
+  // Phase tags (docs/determinism.md): Eligible/AccessOwned run inside owner-parallel
+  // phases; Fold and NextSerialBoundary run only at phase barriers / sub-round scans on
+  // the serialized path. Every override must restate its tag (tools/detlint.py enforces
+  // contract totality).
+  MIND_PARALLEL_PHASE [[nodiscard]] virtual bool Eligible(ThreadId tid, ComputeBladeId blade,
+                                                          VirtAddr va, AccessType type,
+                                                          SimTime now) const = 0;
+  MIND_SERIALIZED_PATH [[nodiscard]] virtual SimTime MinEligibleCost() const = 0;
+  MIND_SERIALIZED_PATH [[nodiscard]] virtual SimTime NextSerialBoundary() const {
+    return FaultPlane::kNever;
+  }
+  MIND_PARALLEL_PHASE virtual AccessResult AccessOwned(int shard, ThreadId tid,
+                                                       ComputeBladeId blade, VirtAddr va,
+                                                       AccessType type, SimTime now) = 0;
+  MIND_SERIALIZED_PATH virtual void Fold() {}
 };
 
 class MemorySystem {
@@ -134,8 +143,9 @@ class MemorySystem {
   // the serialized reference path: the replay drain executes every op a channel refuses
   // (faults, coherence transitions, control-plane epochs) through it in exact global
   // (clock, thread) order.
-  virtual AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
-                              SimTime now) = 0;
+  MIND_SERIALIZED_PATH virtual AccessResult Access(ThreadId tid, ComputeBladeId blade,
+                                                   VirtAddr va, AccessType type,
+                                                   SimTime now) = 0;
 
   [[nodiscard]] virtual SystemCounters counters() const = 0;
 
@@ -176,7 +186,7 @@ class MemorySystem {
   // Advances time-driven control-plane work (e.g. bounded-splitting epochs) to `now`
   // without performing an access. The replay engine calls this once after the final op so
   // trailing epoch boundaries run exactly as they would under serial replay.
-  virtual void AdvanceTo(SimTime /*now*/) {}
+  MIND_SERIALIZED_PATH virtual void AdvanceTo(SimTime /*now*/) {}
 
   // --- Owner-parallel coherence drains (src/workload/region_ownership.h) ---
   //

@@ -37,8 +37,8 @@ class MindSystem final : public MemorySystem {
     return placement->tid;
   }
 
-  AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va, AccessType type,
-                      SimTime now) override {
+  MIND_SERIALIZED_PATH AccessResult Access(ThreadId tid, ComputeBladeId blade, VirtAddr va,
+                                           AccessType type, SimTime now) override {
     return rack_->Access(AccessRequest{tid, blade, pdid_, va, type, now});
   }
 
@@ -51,7 +51,7 @@ class MindSystem final : public MemorySystem {
   std::unique_ptr<ChannelGroup> OpenChannelGroup(ComputeBladeId blade) override {
     return rack_->OpenChannelGroup(blade);
   }
-  void AdvanceTo(SimTime now) override { rack_->AdvanceTo(now); }
+  MIND_SERIALIZED_PATH void AdvanceTo(SimTime now) override { rack_->AdvanceTo(now); }
 
   // Ownership-aware drain contract (OwnerDrainOps, memory_system.h) over the rack's
   // owner-hit path: eligible ops are blade-confined TSO local hits, each costing exactly
@@ -63,22 +63,24 @@ class MindSystem final : public MemorySystem {
       Drain(Rack* rack, ProtDomainId pdid, int num_shards)
           : rack_(rack), pdid_(pdid), scratch_(static_cast<size_t>(num_shards)) {}
 
-      [[nodiscard]] bool Eligible(ThreadId tid, ComputeBladeId blade, VirtAddr va,
-                                  AccessType type, SimTime now) const override {
+      MIND_PARALLEL_PHASE [[nodiscard]] bool Eligible(ThreadId tid, ComputeBladeId blade,
+                                                      VirtAddr va, AccessType type,
+                                                      SimTime now) const override {
         return rack_->OwnerHitEligible(AccessRequest{tid, blade, pdid_, va, type, now});
       }
-      [[nodiscard]] SimTime MinEligibleCost() const override {
+      MIND_SERIALIZED_PATH [[nodiscard]] SimTime MinEligibleCost() const override {
         return rack_->config().latency.local_cache_hit;
       }
-      [[nodiscard]] SimTime NextSerialBoundary() const override {
+      MIND_SERIALIZED_PATH [[nodiscard]] SimTime NextSerialBoundary() const override {
         return rack_->NextSplittingEpochEnd();
       }
-      AccessResult AccessOwned(int shard, ThreadId tid, ComputeBladeId blade, VirtAddr va,
-                               AccessType type, SimTime now) override {
+      MIND_PARALLEL_PHASE AccessResult AccessOwned(int shard, ThreadId tid,
+                                                   ComputeBladeId blade, VirtAddr va,
+                                                   AccessType type, SimTime now) override {
         return rack_->AccessOwnedHit(AccessRequest{tid, blade, pdid_, va, type, now},
                                      &scratch_[static_cast<size_t>(shard)]);
       }
-      void Fold() override {
+      MIND_SERIALIZED_PATH void Fold() override {
         for (Rack::OwnerHitScratch& s : scratch_) {
           rack_->FoldOwnerHits(s);
           s = {};

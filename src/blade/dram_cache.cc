@@ -246,6 +246,8 @@ void DramCache::ForEachPageInRange(uint64_t page_begin, uint64_t page_end, Fn&& 
     // regions that intersect it beats probing every region number in the span.
     std::vector<uint64_t> keys;
     keys.reserve(regions_.size());
+    // detlint: allow(unordered-iteration): keys are collected then sorted before the
+    // order-sensitive visit below.
     for (const auto& [r, region] : regions_) {
       if (r >= region_begin && r <= region_last) {
         keys.push_back(r);

@@ -1,0 +1,75 @@
+// Annotated mutex / condition-variable wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so state guarded by a raw
+// std::mutex is invisible to -Wthread-safety. These wrappers are zero-cost shims over the
+// std primitives that add the capability vocabulary: declare shared state
+// `MIND_GUARDED_BY(mu)`, take scopes with MutexLock, and the CI static-analysis job
+// proves every access happens under the lock.
+//
+// CondVar::Wait deliberately takes the Mutex (not a unique_lock): TSA analyzes lambda
+// bodies as separate functions that do not hold the caller's capabilities, so
+// predicate-lambda waits produce false positives. Write waits as manual loops instead:
+//
+//   MutexLock lk(mu);
+//   while (!ready) cv.Wait(mu);
+#ifndef MIND_SRC_COMMON_MUTEX_H_
+#define MIND_SRC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace mind {
+
+class MIND_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MIND_ACQUIRE() { mu_.lock(); }
+  void Unlock() MIND_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII scope; the canonical way to hold a Mutex.
+class MIND_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MIND_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() MIND_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and reacquires before returning. Caller must hold
+  // `mu` and must re-check its predicate in a loop (spurious wakeups).
+  void Wait(Mutex& mu) MIND_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // Ownership stays with the caller's scope.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_COMMON_MUTEX_H_

@@ -10,6 +10,9 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/common/phase_guard.h"
+#include "src/common/thread_annotations.h"
+
 namespace mind {
 
 // xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
@@ -27,7 +30,12 @@ class Rng {
     }
   }
 
-  uint64_t Next() {
+  // Draws are legal only on serialized (clock, thread)-ordered paths — never inside a
+  // parallel phase (docs/determinism.md). The static side is tools/detlint.py; the
+  // dynamic side is the debug assertion below, so the two checks agree on where draws
+  // are allowed.
+  MIND_SERIALIZED_PATH uint64_t Next() {
+    MIND_ASSERT_SERIALIZED_CONTEXT();
     const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
     const uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -40,18 +48,18 @@ class Rng {
   }
 
   // Uniform in [0, bound).
-  uint64_t NextBelow(uint64_t bound) {
+  MIND_SERIALIZED_PATH uint64_t NextBelow(uint64_t bound) {
     assert(bound > 0);
     return Next() % bound;
   }
 
   // Uniform double in [0, 1).
-  double NextDouble() {
+  MIND_SERIALIZED_PATH double NextDouble() {
     return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
   }
 
   // Bernoulli draw.
-  bool NextBool(double p_true) { return NextDouble() < p_true; }
+  MIND_SERIALIZED_PATH bool NextBool(double p_true) { return NextDouble() < p_true; }
 
  private:
   static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
@@ -72,7 +80,7 @@ class ZipfianGenerator {
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2_ / zetan_);
   }
 
-  uint64_t Next(Rng& rng) const {
+  MIND_SERIALIZED_PATH uint64_t Next(Rng& rng) const {
     const double u = rng.NextDouble();
     const double uz = u * zetan_;
     if (uz < 1.0) {

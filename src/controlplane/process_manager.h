@@ -68,6 +68,8 @@ class ProcessManager {
     if (it == processes_.end()) {
       return Status(ErrorCode::kNotFound, "unknown pid");
     }
+    // detlint: allow(unordered-iteration): teardown erases each visited key from an
+    // independent map; order-invariant.
     for (const auto& [tid, blade] : it->second.threads) {
       thread_to_process_.erase(tid);
     }

@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/core/access.h"
 
@@ -88,21 +89,22 @@ class AccessChannel {
   // run (they would only be lower bounds; the commit pass — per-op Commit or a group
   // merge — writes the exact values). Mutates nothing outside the channel's own
   // bookkeeping; records the region stamps RunValid() checks.
-  virtual SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
-                              Completion* completions) = 0;
+  MIND_PARALLEL_PHASE virtual SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock,
+                                                  SimTime think, Completion* completions) = 0;
 
   // True while every piece of state the last Submit's classification depends on is
   // unchanged — checked via the per-2MB-region state versions stamped at Submit (plus any
   // blade-global epochs such as the protection-table version). While true, the accepted
   // run may keep committing across rounds; once false, the remainder must be resubmitted.
-  [[nodiscard]] virtual bool RunValid() const = 0;
+  MIND_PARALLEL_PHASE [[nodiscard]] virtual bool RunValid() const = 0;
 
   // Applies the side effects of the first `n` completions of the last submitted run (or of
   // its next uncommitted ops, when committing a run in pieces — the channel is positionless:
   // `completions` points at the piece, `clock` is the start clock of its first op). For
   // latency_final runs the recorded latencies are authoritative; otherwise n must be 1 and
   // completions[0].latency is rewritten with the exact value.
-  virtual void Commit(Completion* completions, size_t n, SimTime clock) = 0;
+  MIND_PARALLEL_PHASE virtual void Commit(Completion* completions, size_t n,
+                                          SimTime clock) = 0;
 };
 
 // --- Per-blade channel groups -----------------------------------------------
@@ -162,7 +164,7 @@ class ChannelGroup {
   // member's last-submitted region stamps. Bit m of the result = member m's run is still
   // valid. The bit of a member that never submitted is unspecified; the engine's own run
   // bookkeeping gates actual reuse.
-  [[nodiscard]] virtual uint64_t ValidMask() const = 0;
+  MIND_PARALLEL_PHASE [[nodiscard]] virtual uint64_t ValidMask() const = 0;
 
   // Merges the lanes' uncommitted runs in (clock, thread_index) order and commits every
   // op whose start clock lies strictly below `horizon` as one batch: per-op side effects
@@ -171,8 +173,9 @@ class ChannelGroup {
   // state where Submit could only bound them. Latency accounting goes straight into
   // `hist` — uniform lanes in O(1) via Histogram::RecordN, per-op otherwise — and the
   // per-lane outcome scatters back into `lanes`. Returns total ops committed.
-  virtual uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
-                                Histogram& hist) = 0;
+  MIND_PARALLEL_PHASE virtual uint64_t CommitMerged(GroupLane* lanes, size_t n,
+                                                    SimTime horizon, SimTime think,
+                                                    Histogram& hist) = 0;
 };
 
 }  // namespace mind

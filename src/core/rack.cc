@@ -383,7 +383,7 @@ bool Rack::TryLocalHit(const AccessRequest& req, SimTime now, AccessResult* res,
 // barrier mutates the shared pending-writes map), prefetching off (installs and window
 // re-arms fire at arbitrary serialized points), and no pending prefetched-touch (its
 // bookkeeping belongs to the serialized path that set the flag).
-bool Rack::OwnerHitEligible(const AccessRequest& req) const {
+MIND_PARALLEL_PHASE bool Rack::OwnerHitEligible(const AccessRequest& req) const {
   if (config_.consistency != ConsistencyModel::kTso || config_.prefetch.enabled()) {
     return false;
   }
@@ -397,7 +397,8 @@ bool Rack::OwnerHitEligible(const AccessRequest& req) const {
   return req.type == AccessType::kRead || frame->writable;
 }
 
-AccessResult Rack::AccessOwnedHit(const AccessRequest& req, OwnerHitScratch* scratch) {
+MIND_PARALLEL_PHASE AccessResult Rack::AccessOwnedHit(const AccessRequest& req,
+                                                      OwnerHitScratch* scratch) {
   ++scratch->total_accesses;
   // Lookup (not the pipeline memo) so LRU recency moves exactly as the serial hit path
   // would; the memo and PopulatePipeline are skipped per the channel contract — pure
@@ -431,8 +432,8 @@ class Rack::Channel final : public AccessChannel {
   Channel(Rack* rack, ThreadId tid, ComputeBladeId blade, ProtDomainId pdid)
       : rack_(rack), tid_(tid), blade_(blade), pdid_(pdid) {}
 
-  SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock, SimTime think,
-                      Completion* completions) override {
+  MIND_PARALLEL_PHASE SubmitResult Submit(const LocalOp* ops, size_t n, SimTime clock,
+                                          SimTime think, Completion* completions) override {
     DramCache& cache = rack_->compute_blades_[blade_]->cache();
     const SimTime hit_latency = rack_->lat_.local_cache_hit;
     const bool pso = rack_->config_.consistency == ConsistencyModel::kPso;
@@ -485,12 +486,13 @@ class Rack::Channel final : public AccessChannel {
     return out;
   }
 
-  [[nodiscard]] bool RunValid() const override {
+  MIND_PARALLEL_PHASE [[nodiscard]] bool RunValid() const override {
     return rack_->protection_.version() == protection_version_ &&
            stamps_.Valid(rack_->compute_blades_[blade_]->cache());
   }
 
-  void Commit(Completion* completions, size_t n, SimTime /*clock*/) override {
+  MIND_PARALLEL_PHASE void Commit(Completion* completions, size_t n,
+                                  SimTime /*clock*/) override {
     DramCache& cache = rack_->compute_blades_[blade_]->cache();
     BladePrefetchState& bp = rack_->blade_prefetch_[blade_];
     for (size_t i = 0; i < n; ++i) {
@@ -531,7 +533,7 @@ class Rack::Group final : public ChannelGroup {
     return members_.size() - 1;
   }
 
-  [[nodiscard]] uint64_t ValidMask() const override {
+  MIND_PARALLEL_PHASE [[nodiscard]] uint64_t ValidMask() const override {
     const DramCache& cache = rack_->compute_blades_[blade_]->cache();
     const uint64_t protection_version = rack_->protection_.version();
     uint64_t mask = 0;
@@ -544,8 +546,8 @@ class Rack::Group final : public ChannelGroup {
     return mask;
   }
 
-  uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon, SimTime think,
-                        Histogram& hist) override {
+  MIND_PARALLEL_PHASE uint64_t CommitMerged(GroupLane* lanes, size_t n, SimTime horizon,
+                                            SimTime think, Histogram& hist) override {
     DramCache& cache = rack_->compute_blades_[blade_]->cache();
     BladePrefetchState& bp = rack_->blade_prefetch_[blade_];
     return GroupMergeCommit(
@@ -572,7 +574,7 @@ std::unique_ptr<ChannelGroup> Rack::OpenChannelGroup(ComputeBladeId blade) {
   return std::make_unique<Group>(this, blade);
 }
 
-AccessResult Rack::Access(const AccessRequest& req) {
+MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
   splitting_.MaybeRunEpoch(req.now);
   MaybeRunScheduledDrains(req.now);
   ++stats_.total_accesses;
@@ -1223,7 +1225,7 @@ Result<SimTime> Rack::DrainMemoryBlade(MemoryBladeId src, MemoryBladeId dst, Sim
   return t;
 }
 
-void Rack::AdvanceTo(SimTime now) {
+MIND_SERIALIZED_PATH void Rack::AdvanceTo(SimTime now) {
   splitting_.MaybeRunEpoch(now);
   MaybeRunScheduledDrains(now);
   if (config_.prefetch.enabled()) {

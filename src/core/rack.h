@@ -21,6 +21,7 @@
 #include "src/blade/compute_blade.h"
 #include "src/blade/memory_blade.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/controlplane/bounded_splitting.h"
 #include "src/controlplane/controller.h"
@@ -66,7 +67,9 @@ class Rack {
 
   // --- Data path ---
 
-  AccessResult Access(const AccessRequest& req);
+  // Serialized reference path (docs/determinism.md): may draw fault-plane randomness and
+  // mutates RackStats directly, so it must never run inside a parallel phase.
+  MIND_SERIALIZED_PATH AccessResult Access(const AccessRequest& req);
 
   // --- Batched data-plane channel (AccessChannel contract, src/core/access_channel.h) ---
   //
@@ -104,7 +107,7 @@ class Rack {
   // window issues here even though the blade never takes another serialized access). The
   // replay engine calls this once after the final op in every mode, so everything that
   // runs here is mode-invariant.
-  void AdvanceTo(SimTime now);
+  MIND_SERIALIZED_PATH void AdvanceTo(SimTime now);
 
   // --- Pattern-aware prefetching (src/prefetch/prefetch.h) ---
   //
@@ -171,17 +174,18 @@ class Rack {
   // other entries... see rack.cc), prefetching off (installs/re-arms mutate per-blade
   // tables at arbitrary points), the frame present with a passing domain check, and
   // writable when the op writes. Non-mutating; no epoch/drain pumping.
-  [[nodiscard]] bool OwnerHitEligible(const AccessRequest& req) const;
+  MIND_PARALLEL_PHASE [[nodiscard]] bool OwnerHitEligible(const AccessRequest& req) const;
 
   // Executes one OwnerHitEligible-approved hit: LRU touch + dirty bit on req.blade's
   // cache only, latency = local_cache_hit, counters into `scratch`. Bit-identical in
   // outcome to Access at the same clock (the skipped memo priming and scheduled-event
   // pumps are outcome-invariant below the engine's safety horizon).
-  AccessResult AccessOwnedHit(const AccessRequest& req, OwnerHitScratch* scratch);
+  MIND_PARALLEL_PHASE AccessResult AccessOwnedHit(const AccessRequest& req,
+                                                  OwnerHitScratch* scratch);
 
   // Merges a shard's scratch counters into RackStats (serialized; engine calls it at
   // phase barriers).
-  void FoldOwnerHits(const OwnerHitScratch& scratch) {
+  MIND_SERIALIZED_PATH void FoldOwnerHits(const OwnerHitScratch& scratch) {
     stats_.total_accesses += scratch.total_accesses;
     stats_.local_hits += scratch.local_hits;
   }

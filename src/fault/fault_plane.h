@@ -24,6 +24,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/net/reliability.h"
 
@@ -124,12 +125,14 @@ class FaultPlane {
 
   // One message-with-ACK under the loss model (draws from the seeded RNG — serialized
   // paths only). Latency includes timeout + retransmission costs actually paid.
-  SendOutcome SendWithAck(SimTime base_rtt) { return tracker_.SendWithAck(base_rtt); }
+  MIND_SERIALIZED_PATH SendOutcome SendWithAck(SimTime base_rtt) {
+    return tracker_.SendWithAck(base_rtt);
+  }
 
   // Deterministic outcome for a wave that targets a dead blade: the requester waits out
   // the full retry budget without ever seeing an ACK. No RNG draw — the loss-draw sequence
   // stays identical whether or not a death is scheduled.
-  SendOutcome DeadTargetOutcome() {
+  MIND_SERIALIZED_PATH SendOutcome DeadTargetOutcome() {
     SendOutcome out;
     out.delivered = false;
     out.attempts = config_.reliability.max_retransmissions + 1;
@@ -149,7 +152,7 @@ class FaultPlane {
 
   // Extra delivery delay for a message leaving the switch toward `b` at time `t`. Counts
   // the delivery as stalled when nonzero.
-  SimTime StallDelay(ComputeBladeId b, SimTime t) {
+  MIND_SERIALIZED_PATH SimTime StallDelay(ComputeBladeId b, SimTime t) {
     SimTime d = 0;
     for (const auto& w : config_.stalls) {
       if (w.blade == b && t >= w.from && t < w.until) {
@@ -175,7 +178,7 @@ class FaultPlane {
   // Pops the next drain due at or before `now` (nullptr when none). The caller executes
   // the migration with start time = the drain's scheduled `at`, not `now`, so fabric
   // interleaving is identical across replay modes.
-  const FaultPlaneConfig::BladeDrain* TakeDueDrain(SimTime now) {
+  MIND_SERIALIZED_PATH const FaultPlaneConfig::BladeDrain* TakeDueDrain(SimTime now) {
     if (next_drain_ < config_.drains.size() && config_.drains[next_drain_].at != 0 &&
         config_.drains[next_drain_].at <= now) {
       return &config_.drains[next_drain_++];
@@ -183,8 +186,10 @@ class FaultPlane {
     return nullptr;
   }
 
-  void OnResetFlushed(uint64_t pages) { extra_.pages_flushed_by_reset += pages; }
-  void OnDrainCompleted(uint64_t pages_migrated) {
+  MIND_SERIALIZED_PATH void OnResetFlushed(uint64_t pages) {
+    extra_.pages_flushed_by_reset += pages;
+  }
+  MIND_SERIALIZED_PATH void OnDrainCompleted(uint64_t pages_migrated) {
     ++extra_.drains_completed;
     extra_.drain_pages_migrated += pages_migrated;
   }

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 
 namespace mind {
@@ -36,7 +37,8 @@ class ReliabilityTracker {
     SimTime latency = 0;       // Total elapsed including timeouts.
   };
 
-  SendOutcome SendWithAck(SimTime base_rtt) {
+  // Draws the seeded loss RNG: serialized paths only (docs/determinism.md).
+  MIND_SERIALIZED_PATH SendOutcome SendWithAck(SimTime base_rtt) {
     SendOutcome out;
     out.latency = 0;
     for (int attempt = 0; attempt <= config_.max_retransmissions; ++attempt) {

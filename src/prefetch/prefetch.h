@@ -43,7 +43,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
+
+// detlint: mailbox(stats_)  -- PrefetchEngine::stats_ is per-(thread, blade) engine
+// state, folded into the system report only at serialized points (MergeEngineStats);
+// mutations reached from channel/group commits are scratch writes, not global counters.
 
 namespace mind {
 
@@ -289,6 +294,7 @@ class BladePrefetchState {
   }
   void RecomputeNextReady() {
     next_ready_ = ~SimTime{0};
+    // detlint: allow(unordered-iteration): pure min-reduce; order-invariant.
     for (const auto& [page, entry] : in_flight) {
       next_ready_ = std::min(next_ready_, entry.ready_at);
     }
@@ -297,11 +303,14 @@ class BladePrefetchState {
   // Removes and returns the entries whose fetch has arrived by `now`, sorted by
   // (ready_at, page): install order decides LRU recency — and therefore eviction
   // choice — so it must be deterministic, never hash-map iteration order.
-  [[nodiscard]] std::vector<std::pair<uint64_t, InFlight>> TakeReady(SimTime now) {
+  MIND_SERIALIZED_PATH [[nodiscard]] std::vector<std::pair<uint64_t, InFlight>> TakeReady(
+      SimTime now) {
     std::vector<std::pair<uint64_t, InFlight>> ready;
     if (in_flight.empty() || now < next_ready_) {
       return ready;
     }
+    // detlint: allow(unordered-iteration): collected entries are sorted by
+    // (ready_at, page) below before anything order-sensitive consumes them.
     for (auto it = in_flight.begin(); it != in_flight.end();) {
       if (it->second.ready_at > now) {
         ++it;
@@ -334,7 +343,9 @@ class BladePrefetchState {
   // `still_prefetched(page)` reports whether the page is still cached with its
   // prefetched marking intact.
   template <typename StillPrefetchedFn>
-  void ResolveEvictedUnused(StillPrefetchedFn&& still_prefetched) {
+  MIND_SERIALIZED_PATH void ResolveEvictedUnused(StillPrefetchedFn&& still_prefetched) {
+    // detlint: allow(unordered-iteration): per-entry counter bumps commute; no
+    // order-sensitive state is derived from the visit order.
     for (auto it = unused.begin(); it != unused.end();) {
       if (still_prefetched(it->first)) {
         ++it;
@@ -349,7 +360,9 @@ class BladePrefetchState {
   // First demand touch of an installed prefetched page (hit paths and channel/group
   // commits call this with frame->prefetched already checked true by the caller; `pdid`
   // is the toucher's domain, threaded through to any re-arm issue it triggers).
-  void OnPrefetchedTouch(uint64_t page, ProtDomainId pdid = 0) {
+  // Reached from channel/group commits as well as serialized hit paths; tagged for the
+  // stricter context (all mutations are blade- or engine-confined mailboxes).
+  MIND_PARALLEL_PHASE void OnPrefetchedTouch(uint64_t page, ProtDomainId pdid = 0) {
     auto it = unused.find(page);
     if (it != unused.end()) {
       PrefetchEngine* engine = it->second;
@@ -395,6 +408,7 @@ inline PrefetchEngine& EnsureEngine(PrefetchEngineMap& engines, ThreadId tid,
 // Sums every engine's counters (integer adds: iteration order is irrelevant).
 inline PrefetchStats MergeEngineStats(const PrefetchEngineMap& engines) {
   PrefetchStats total;
+  // detlint: allow(unordered-iteration): integer adds commute; order-invariant.
   for (const auto& [tid, engine] : engines) {
     total.Merge(engine->stats());
   }

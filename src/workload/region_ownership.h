@@ -57,11 +57,14 @@ class RegionOwnership {
     if (!tallies_.empty()) {
       base_region_ = UINT64_MAX;
       uint64_t last = 0;
+      // detlint: allow(unordered-iteration): min/max reduce; order-invariant.
       for (const auto& [region, counts] : tallies_) {
         base_region_ = region < base_region_ ? region : base_region_;
         last = region > last ? region : last;
       }
       home_.assign(last - base_region_ + 1, -1);
+      // detlint: allow(unordered-iteration): each iteration writes only its own keyed
+      // slot of home_; the visit order cannot leak into the sealed map.
       for (const auto& [region, counts] : tallies_) {
         uint64_t best_count = 0;
         int16_t best_blade = 0;

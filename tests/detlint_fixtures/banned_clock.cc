@@ -1,0 +1,14 @@
+// detlint-expect: banned-source
+// Wall-clock reads leak host timing into replay; simulated time (SimTime) is
+// the only clock the engine may observe.
+#include <chrono>
+#include <cstdint>
+
+namespace mind {
+
+inline uint64_t Stamp() {
+  auto t = std::chrono::steady_clock::now();  // BAD: wall clock.
+  return static_cast<uint64_t>(t.time_since_epoch().count());
+}
+
+}  // namespace mind

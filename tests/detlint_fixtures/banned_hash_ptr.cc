@@ -1,0 +1,18 @@
+// detlint-expect: banned-source
+// Hashing a pointer bakes ASLR into bucket order; any iteration or tie-break
+// derived from it differs run to run.
+#include <cstddef>
+#include <functional>
+
+namespace mind {
+
+struct Node {
+  int id = 0;
+};
+
+inline size_t Bucket(Node* n) {
+  std::hash<Node*> h;  // BAD: pointer identity is not stable across runs.
+  return h(n) % 64;
+}
+
+}  // namespace mind

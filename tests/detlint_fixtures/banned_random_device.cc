@@ -1,0 +1,13 @@
+// detlint-expect: banned-source
+// std::random_device is hardware entropy: two replay runs of the same trace
+// would diverge. All randomness must come from the seeded serialized-path Rng.
+#include <random>
+
+namespace mind {
+
+inline unsigned PickSeed() {
+  std::random_device rd;  // BAD: nondeterministic entropy source.
+  return rd();
+}
+
+}  // namespace mind

@@ -1,0 +1,13 @@
+// detlint-expect: banned-source
+// Sleeping synchronizes against host time: replay timing must be a pure
+// function of the trace and the simulated latency model.
+#include <chrono>
+#include <thread>
+
+namespace mind {
+
+inline void Backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // BAD.
+}
+
+}  // namespace mind

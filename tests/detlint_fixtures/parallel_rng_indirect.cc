@@ -1,0 +1,30 @@
+// detlint-expect: parallel-rng
+// The draw hides two untagged helpers below the parallel root: DetLint must
+// walk the call graph, not just the root's own body.
+#include <cstdint>
+
+#define MIND_PARALLEL_PHASE
+#define MIND_SERIALIZED_PATH
+
+namespace mind {
+
+class Rng {
+ public:
+  MIND_SERIALIZED_PATH uint64_t NextBelow(uint64_t bound);
+};
+
+class Engine {
+ public:
+  MIND_PARALLEL_PHASE void ScanPhase() { ClassifyTop(); }
+
+ private:
+  void ClassifyTop() { PickVictim(); }
+  void PickVictim() {
+    victim_ = rng_.NextBelow(64);  // BAD: reachable from ScanPhase.
+  }
+
+  Rng rng_;
+  uint64_t victim_ = 0;
+};
+
+}  // namespace mind

@@ -1,0 +1,25 @@
+// detlint-expect: unordered-iteration
+// Range-for over an unordered map feeding an output vector: libstdc++ hash
+// order is not part of the contract, so the result order can change across
+// toolchains (and across runs once pointer keys are involved). Collect + sort.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mind {
+
+class RegionTable {
+ public:
+  std::vector<uint64_t> LiveRegions() const {
+    std::vector<uint64_t> out;
+    for (const auto& [region, count] : regions_) {  // BAD: hash order escapes.
+      out.push_back(region);
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> regions_;
+};
+
+}  // namespace mind

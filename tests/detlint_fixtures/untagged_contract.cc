@@ -1,0 +1,31 @@
+// detlint-expect: untagged-contract
+// Overrides of the phase-contract methods (OwnerDrainOps, MemorySystem,
+// AccessChannel) must restate their phase tag so the contract stays total:
+// a new system cannot silently opt out of declaring which phase its drain
+// entry points run in.
+#include <cstdint>
+
+#define MIND_PARALLEL_PHASE
+#define MIND_SERIALIZED_PATH
+
+namespace mind {
+
+using SimTime = uint64_t;
+
+class OwnerDrainOps {
+ public:
+  virtual ~OwnerDrainOps() = default;
+  MIND_PARALLEL_PHASE virtual bool Eligible(uint64_t va, SimTime now) const = 0;
+  MIND_SERIALIZED_PATH virtual void Fold() = 0;
+};
+
+class MyDrain final : public OwnerDrainOps {
+ public:
+  // BAD: no phase tag restated on a contract method override.
+  bool Eligible(uint64_t va, SimTime now) const override {
+    return va != 0 && now != 0;
+  }
+  MIND_SERIALIZED_PATH void Fold() override {}
+};
+
+}  // namespace mind
