@@ -123,6 +123,108 @@ inline PrefetchPolicy PrefetchFromArgs(int argc, char** argv) {
   return PrefetchPolicyFromEnv();
 }
 
+// MIND_TRACE=FILE opts every RunWorkload replay into TraceScope recording and writes the
+// Chrome trace_event JSON to FILE (second and later replays in the same bench get a
+// numeric suffix so they don't clobber each other). Empty value: fail fast, exit 2.
+inline std::string TracePathFromEnv() {
+  if (const char* s = std::getenv("MIND_TRACE"); s != nullptr) {
+    if (*s == '\0') {
+      std::fprintf(stderr, "bench: MIND_TRACE must name an output file\n");
+      std::exit(2);
+    }
+    return s;
+  }
+  return {};
+}
+
+// `--trace=FILE` on an example command line, with MIND_TRACE as the fallback.
+inline std::string TraceFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      if (argv[i][8] == '\0') {
+        std::fprintf(stderr, "--trace needs an output file (--trace=FILE)\n");
+        std::exit(2);
+      }
+      return argv[i] + 8;
+    }
+  }
+  return TracePathFromEnv();
+}
+
+// MIND_PROFILE=<0|1> opts every RunWorkload replay into the wall-clock phase profiler.
+inline bool ProfileFromEnv() {
+  if (const char* s = std::getenv("MIND_PROFILE"); s != nullptr) {
+    if (std::strcmp(s, "1") == 0 || std::strcmp(s, "on") == 0) {
+      return true;
+    }
+    if (std::strcmp(s, "0") == 0 || std::strcmp(s, "off") == 0) {
+      return false;
+    }
+    std::fprintf(stderr, "bench: unknown MIND_PROFILE \"%s\" (want 0|1|on|off)\n", s);
+    std::exit(2);
+  }
+  return false;
+}
+
+// `--profile` on an example command line, with MIND_PROFILE as the fallback.
+inline bool ProfileFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      return true;
+    }
+  }
+  return ProfileFromEnv();
+}
+
+// Per-phase wall-clock breakdown after a profiled run: one line per lane that recorded
+// anything, shard lanes first, the coordinator's serial lane last.
+inline void PrintPhaseProfile(const PhaseProfiler& prof) {
+  std::printf("phase profile (wall clock):\n");
+  for (size_t l = 0; l < prof.num_lanes(); ++l) {
+    const PhaseProfiler::Lane& lane = prof.lane(l);
+    uint64_t lane_total = 0;
+    for (int p = 0; p < PhaseProfiler::kNumPhases; ++p) {
+      lane_total += lane.total_ns[p];
+    }
+    if (lane_total == 0) {
+      continue;
+    }
+    if (l == prof.serial_lane()) {
+      std::printf("  serial :");
+    } else {
+      std::printf("  shard %zu:", l);
+    }
+    for (int p = 0; p < PhaseProfiler::kNumPhases; ++p) {
+      if (lane.count[p] == 0) {
+        continue;
+      }
+      std::printf(" %s %.2fms/%llu",
+                  PhaseProfiler::PhaseName(static_cast<PhaseProfiler::Phase>(p)),
+                  static_cast<double>(lane.total_ns[p]) / 1e6,
+                  static_cast<unsigned long long>(lane.count[p]));
+    }
+    std::printf("\n");
+  }
+}
+
+// Writes the run's trace (plus profiler lanes, when present) to `path` and prints one
+// accounting line. Call after Run() — the engine finalizes the scope there.
+inline void WriteTraceReportLine(const ReplayEngine& engine, const std::string& path) {
+  const TraceScope* scope = engine.trace_scope();
+  if (scope == nullptr || !scope->finalized()) {
+    return;
+  }
+  if (!scope->WriteChromeJsonFile(path, engine.profiler())) {
+    std::fprintf(stderr, "bench: cannot write trace to %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::printf("[trace] %s: %zu semantic + %zu execution events, digest %016llx, "
+              "dropped %llu\n",
+              path.c_str(), scope->semantic_events(), scope->execution_events(),
+              static_cast<unsigned long long>(scope->SemanticDigest()),
+              static_cast<unsigned long long>(scope->dropped()));
+}
+
 // One accounting line per replayed system when prefetching was on: the coverage /
 // accuracy numbers the prefetch figure plots, attached to the system's report.
 inline void PrintPrefetchReportLine(const ReplayReport& report, PrefetchPolicy policy) {
@@ -158,6 +260,9 @@ inline ReplayReport RunWorkload(MemorySystem& sys, const WorkloadSpec& spec,
   // also skips Setup's VA-resolved op materialization for those runs.
   opts.use_channels = sampler == nullptr;
   opts.prefetch = PrefetchPolicyFromEnv();
+  const std::string trace_path = TracePathFromEnv();
+  opts.trace = !trace_path.empty();
+  opts.profile = ProfileFromEnv();
   ReplayEngine engine(&sys, &traces, opts);
   const Status s = engine.Setup();
   if (!s.ok()) {
@@ -166,6 +271,18 @@ inline ReplayReport RunWorkload(MemorySystem& sys, const WorkloadSpec& spec,
   }
   ReplayReport report = engine.Run(std::move(sampler), sample_interval);
   PrintPrefetchReportLine(report, opts.prefetch);
+  if (opts.trace) {
+    // A bench replays many workload/system pairs; suffix every trace after the first so
+    // one MIND_TRACE value yields one file per replay instead of the last one standing.
+    static int traced_runs = 0;
+    const std::string path =
+        traced_runs == 0 ? trace_path : trace_path + "." + std::to_string(traced_runs);
+    ++traced_runs;
+    WriteTraceReportLine(engine, path);
+  }
+  if (opts.profile && engine.profiler() != nullptr) {
+    PrintPhaseProfile(*engine.profiler());
+  }
   return report;
 }
 

@@ -19,6 +19,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,6 +31,7 @@ namespace {
 
 struct Timed {
   ReplayReport report;
+  std::string registry_text;  // Unified metrics snapshot (src/obs/metrics_registry.h).
   double wall_ns = 0.0;
   uint64_t parallel_hits = 0;
   uint64_t grouped_ops = 0;
@@ -46,13 +49,16 @@ struct Timed {
   }
 };
 
-void CollectShards(const ReplayEngine& engine, Timed* out) {
+void CollectShards(ReplayEngine& engine, Timed* out) {
   for (const ShardReport& sr : engine.shard_reports()) {
     out->parallel_hits += sr.parallel_hits;
     out->grouped_ops += sr.grouped_ops;
     out->drained_ops += sr.drained_ops;
     out->owner_drained += sr.owner_drained;
   }
+  std::ostringstream os;
+  engine.metrics()->ExportText(os);
+  out->registry_text = os.str();
 }
 
 // Headline series: the shape sharded replay targets — multi-blade, cache-resident
@@ -177,6 +183,11 @@ int main(int argc, char** argv) {
       add("sharded-" + std::to_string(shards) + "shard",
           RunSharded(traces, shards, make_system));
     }
+    // Every per-run counter this table summarizes is also published through the unified
+    // registry; one snapshot per series (the last sharded point) keeps the full detail
+    // in the log without hand-rolled counter prints.
+    std::printf("registry snapshot (%s, final sharded run):\n%s", tag.c_str(),
+                last.registry_text.c_str());
     if (tag == "tf_coherence_bound") {
       // The region-ownership payoff metric on the drain-dominated series: the fraction of
       // serialized-phase ops that still retired one at a time through the global merge

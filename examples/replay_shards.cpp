@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   // --prefetch=<none|nextn|stride>, or MIND_PREFETCH as the fallback: opt the replay
   // into pattern-aware prefetching (src/prefetch/prefetch.h). Default: none.
   const PrefetchPolicy prefetch = bench::PrefetchFromArgs(argc, argv);
+  // --trace=FILE (or MIND_TRACE): record a TraceScope and export Chrome/Perfetto JSON.
+  // --profile (or MIND_PROFILE=1): wall-clock per-phase profile, printed after the run.
+  const std::string trace_path = bench::TraceFromArgs(argc, argv);
+  const bool profile = bench::ProfileFromArgs(argc, argv);
 
   RackConfig config;
   config.num_compute_blades = 4;
@@ -53,6 +57,8 @@ int main(int argc, char** argv) {
   ReplayOptions options;
   options.shards = shards;
   options.prefetch = prefetch;
+  options.trace = !trace_path.empty();
+  options.profile = profile;
   ReplayEngine engine(&system, &traces, options);
   if (const Status s = engine.Setup(); !s.ok()) {
     std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
@@ -74,9 +80,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.total_ops));
   std::printf("simulated makespan  : %.3f ms\n", ToMillis(report.makespan));
   std::printf("throughput          : %.3f Mops/s (simulated)\n", report.throughput_mops);
+  const HistogramSummary latency = report.latency_histogram.Summary();
   std::printf("avg latency         : %.3f us   p50 %.3f us   p99 %.3f us\n",
-              report.avg_latency_us, ToMicros(report.latency_histogram.Percentile(0.5)),
-              ToMicros(report.latency_histogram.Percentile(0.99)));
+              report.avg_latency_us, ToMicros(latency.p50), ToMicros(latency.p99));
   std::printf("local hit rate      : %.1f%%\n",
               report.total_ops == 0
                   ? 0.0
@@ -115,6 +121,12 @@ int main(int argc, char** argv) {
               drained == 0 ? 0.0
                            : 100.0 * static_cast<double>(owner_drained) /
                                  static_cast<double>(drained));
+  if (options.trace) {
+    bench::WriteTraceReportLine(engine, trace_path);
+  }
+  if (profile && engine.profiler() != nullptr) {
+    bench::PrintPhaseProfile(*engine.profiler());
+  }
   std::printf("\nRe-run with a different --shards=N: every number above except the wall "
               "clock stays identical.\n");
   return 0;

@@ -148,6 +148,15 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
           config_.latency.page_fault_entry + config_.latency.pte_install;
       res.breakdown.network = res.latency - res.breakdown.fault;
       counters_.breakdown_sums += res.breakdown;
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kPrefetchUseful;
+        ev.clock = now;
+        ev.dur = done - now;
+        ev.tid = tid;
+        ev.a = page;
+        trace_->Emit(ev);
+      }
       PrefetchAfterFault(tid, page, done);
       return res;
     }
@@ -160,7 +169,7 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
   if (fault_plane_.lossy()) [[unlikely]] {
     // Lost RDMA reads are retried by the kernel; even an exhausted budget only delays the
     // fetch by the summed timeouts (no reset — there is no directory to wedge).
-    t += fault_plane_.SendWithAck(0).latency;
+    t += fault_plane_.SendWithAck(0, t, 0).latency;
   }
   auto up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, t);
   t = up.arrival + config_.latency.switch_pipeline;
@@ -182,6 +191,17 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
   res.breakdown.fault = config_.latency.page_fault_entry + config_.latency.pte_install;
   res.breakdown.network = res.latency - res.breakdown.fault;
   counters_.breakdown_sums += res.breakdown;
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kAccessSpan;
+    ev.clock = now;
+    ev.dur = t - now;
+    ev.tid = tid;
+    ev.a = va;
+    ev.b = res.breakdown.fault;
+    ev.c = res.breakdown.network;
+    trace_->Emit(ev);
+  }
   if (config_.prefetch.enabled()) {
     PrefetchAfterFault(tid, page, t);
   }
@@ -261,6 +281,7 @@ void FastSwapSystem::IssuePrefetches(PrefetchEngine& engine, uint64_t page, SimT
   engine.Predict(page, &prefetch_scratch_);
   uint64_t last_issued = page;
   bool issued_any = false;
+  uint64_t issued_count = 0;
   for (const uint64_t p : prefetch_scratch_) {
     if (!engine.HasInFlightRoom()) {
       break;  // Bounded in-flight queue.
@@ -291,9 +312,18 @@ void FastSwapSystem::IssuePrefetches(PrefetchEngine& engine, uint64_t page, SimT
     prefetch_.NoteIssued(ready);
     last_issued = p;
     issued_any = true;
+    ++issued_count;
   }
   if (issued_any) {
     engine.NoteIssuedWindow(page, last_issued);
+    if (trace_ != nullptr) [[unlikely]] {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kPrefetchIssue;
+      ev.clock = done;
+      ev.a = page;
+      ev.b = issued_count;
+      trace_->Emit(ev);
+    }
   }
 }
 

@@ -86,6 +86,14 @@ class FastSwapSystem final : public MemorySystem {
   // is mode-invariant.
   MIND_SERIALIZED_PATH void AdvanceTo(SimTime now) override;
 
+  // Semantic-event tracing (src/obs/): every FastSwap emission site is on the
+  // serialized miss path; a null sink costs one pointer compare per miss.
+  bool SetTraceSink(TraceSink* sink) override {
+    trace_ = sink;
+    fault_plane_.SetTraceSink(sink);
+    return true;
+  }
+
  private:
   class Channel;
   class Group;
@@ -107,6 +115,7 @@ class FastSwapSystem final : public MemorySystem {
   FastSwapConfig config_;
   Fabric fabric_;
   FaultPlane fault_plane_;
+  TraceSink* trace_ = nullptr;  // Serialized-path writes only, like counters_.
   std::unique_ptr<DramCache> cache_;
   SystemCounters counters_;
   VirtAddr next_va_ = 0x0000'7000'0000'0000ull;

@@ -221,12 +221,32 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
                                       ? done - req_now - res.breakdown.fault
                                       : 0;
           counters_.breakdown_sums += res.breakdown;
+          if (trace_ != nullptr) [[unlikely]] {
+            TraceEvent ev;
+            ev.kind = TraceEventKind::kPrefetchUseful;
+            ev.clock = now;
+            ev.dur = done - now;
+            ev.tid = tid;
+            ev.blade = blade;
+            ev.a = page;
+            trace_->Emit(ev);
+          }
           PrefetchAfterFault(tid, blade, page, done);
           return res;
         }
         // Stale copy, or a write that needs M anyway: drop the speculation and miss.
         if (stale) {
           entry.owner->OnDiscardedStale();
+          if (trace_ != nullptr) [[unlikely]] {
+            TraceEvent ev;
+            ev.kind = TraceEventKind::kPrefetchDiscard;
+            ev.clock = now;
+            ev.tid = tid;
+            ev.blade = blade;
+            ev.a = page;
+            ev.b = 1;  // Stale at join.
+            trace_->Emit(ev);
+          }
         } else {
           entry.owner->OnLate();
         }
@@ -262,7 +282,7 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
     // delay lands on the miss. An exhausted retry budget triggers GAM's reset analog
     // (drop the home's directory entry, flush every cached copy) and fails the access —
     // the next access re-faults from a cold directory.
-    const FaultPlane::SendOutcome outcome = fault_plane_.SendWithAck(0);
+    const FaultPlane::SendOutcome outcome = fault_plane_.SendWithAck(0, t, blade);
     if (!outcome.delivered) {
       const SimTime failed_at = t + outcome.latency;
       (void)ResetPage(page, home, failed_at);
@@ -290,6 +310,8 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
   res.prev_state = dir.state;
 
   SimTime inv_done = t;
+  const SimTime inv_start = t;
+  const uint64_t inv_before = counters_.invalidations;
   // Downgrade/invalidate remote copies as MSI requires. GAM tracks pages exactly, so there
   // are never false invalidations; messages are sequential unicast (software sender).
   if (dir.state == MsiState::kModified && dir.owner != blade) {
@@ -317,6 +339,21 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
       inv_done = std::max(inv_done, ack);
     }
     t = std::max(t, inv_done);
+  }
+  if (trace_ != nullptr && counters_.invalidations != inv_before) [[unlikely]] {
+    // GAM invalidates exact pages (no false invalidations by construction), so the
+    // wave span is the page itself and the flushed count rides the c payload.
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kInvalidationWave;
+    ev.clock = inv_start;
+    ev.dur = inv_done > inv_start ? inv_done - inv_start : 0;
+    ev.tid = tid;
+    ev.blade = blade;
+    ev.a = PageToAddr(page);
+    ev.b = PageToAddr(page + 1);
+    ev.c = TracePack32(counters_.invalidations - inv_before,
+                       dir.state == MsiState::kModified ? 1 : 0);
+    trace_->Emit(ev);
   }
 
   // Fetch the page from the backing memory blade to the requester.
@@ -368,6 +405,18 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
   res.breakdown.network =
       done - req_now > res.breakdown.fault ? done - req_now - res.breakdown.fault : 0;
   counters_.breakdown_sums += res.breakdown;
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kAccessSpan;
+    ev.clock = req_now;
+    ev.dur = done - req_now;  // Full service span; PSO-visible latency may be shorter.
+    ev.tid = tid;
+    ev.blade = blade;
+    ev.a = va;
+    ev.b = res.breakdown.fault;
+    ev.c = res.breakdown.network;
+    trace_->Emit(ev);
+  }
 
   // PSO: writes return to the thread as soon as the library hands off the request.
   if (type == AccessType::kWrite) {
@@ -395,6 +444,16 @@ SimTime GamSystem::ResetPage(uint64_t page, ComputeBladeId home, SimTime t) {
     }
   }
   fault_plane_.OnResetFlushed(flushed);
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFaultReset;
+    ev.clock = t;
+    ev.dur = done > t ? done - t : 0;
+    ev.blade = home;
+    ev.a = PageToAddr(page);
+    ev.b = flushed;
+    trace_->Emit(ev);
+  }
   return done;
 }
 
@@ -426,6 +485,15 @@ void GamSystem::InstallReadyPrefetches(ComputeBladeId blade, SimTime now) {
         entry.inval_stamp) {
       // An invalidation reached the blade before the data: the copy is stale.
       entry.owner->OnDiscardedStale();
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kPrefetchDiscard;
+        ev.clock = now;
+        ev.blade = blade;
+        ev.a = page;
+        ev.b = 0;  // Stale at install.
+        trace_->Emit(ev);
+      }
       continue;
     }
     entry.owner->OnInstalled();
@@ -470,6 +538,7 @@ void GamSystem::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade,
   BladeState& local = blades_[blade];
   uint64_t last_issued = page;
   bool issued_any = false;
+  uint64_t issued_count = 0;
   for (const uint64_t p : prefetch_scratch_) {
     if (!engine.HasInFlightRoom()) {
       break;  // Bounded in-flight queue.
@@ -517,9 +586,19 @@ void GamSystem::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade,
     local.prefetch.NoteIssued(ready);
     last_issued = p;
     issued_any = true;
+    ++issued_count;
   }
   if (issued_any) {
     engine.NoteIssuedWindow(page, last_issued);
+    if (trace_ != nullptr) [[unlikely]] {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kPrefetchIssue;
+      ev.clock = done;
+      ev.blade = blade;
+      ev.a = page;
+      ev.b = issued_count;
+      trace_->Emit(ev);
+    }
   }
 }
 

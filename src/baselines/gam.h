@@ -104,6 +104,14 @@ class GamSystem final : public MemorySystem {
   // mode, so it is mode-invariant.
   MIND_SERIALIZED_PATH void AdvanceTo(SimTime now) override;
 
+  // Semantic-event tracing (src/obs/): every GAM emission site is on the
+  // serialized Access path; a null sink costs one pointer compare per miss.
+  bool SetTraceSink(TraceSink* sink) override {
+    trace_ = sink;
+    fault_plane_.SetTraceSink(sink);
+    return true;
+  }
+
  private:
   class Channel;
   class Group;
@@ -173,6 +181,7 @@ class GamSystem final : public MemorySystem {
   GamConfig config_;
   Fabric fabric_;
   FaultPlane fault_plane_;
+  TraceSink* trace_ = nullptr;  // Serialized-path writes only, like counters_.
   std::vector<BladeState> blades_;
   std::vector<uint32_t> blade_thread_counts_;  // Registered threads per blade.
   std::unordered_map<ThreadId, std::vector<PendingWrite>> pending_writes_;

@@ -24,6 +24,8 @@
 #include "src/core/access.h"
 #include "src/core/access_channel.h"
 #include "src/fault/fault_plane.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/prefetch/prefetch.h"
 
 namespace mind {
@@ -207,6 +209,41 @@ class MemorySystem {
   // Aggregated prefetch accounting across the system's engines. Non-const: systems may
   // lazily classify still-installed-but-evicted pages while aggregating.
   virtual PrefetchStats prefetch_stats() { return {}; }
+
+  // --- Observability (src/obs/, docs/observability.md) ---
+  //
+  // Installs (or with nullptr, removes) the semantic-event trace sink. Systems
+  // emit only from serialized paths, so the sink sees events in exact global
+  // (clock, thread) order; with no sink installed the hooks are a null-pointer
+  // branch off the hot path. Returns false when the system does not emit
+  // events (the interface default).
+  virtual bool SetTraceSink(TraceSink* /*sink*/) { return false; }
+
+  // Publishes the system's counter blocks into `reg` under "<prefix>/...".
+  // The default covers the interface-level blocks; systems with extra state
+  // (MIND's RackStats, bounded-splitting stats) extend it. Serialized-path
+  // only: the replay engine calls this at epoch boundaries and end of run.
+  virtual void CollectMetrics(MetricsRegistry* reg, const std::string& prefix) {
+    const SystemCounters c = counters();
+    reg->SetCounter(prefix + "/counters/total_accesses", c.total_accesses);
+    reg->SetCounter(prefix + "/counters/local_hits", c.local_hits);
+    reg->SetCounter(prefix + "/counters/remote_accesses", c.remote_accesses);
+    reg->SetCounter(prefix + "/counters/invalidations", c.invalidations);
+    reg->SetCounter(prefix + "/counters/pages_flushed", c.pages_flushed);
+    reg->SetCounter(prefix + "/counters/false_invalidations", c.false_invalidations);
+    reg->SetCounter(prefix + "/breakdown/fault_ns", c.breakdown_sums.fault);
+    reg->SetCounter(prefix + "/breakdown/network_ns", c.breakdown_sums.network);
+    reg->SetCounter(prefix + "/breakdown/inv_queue_ns", c.breakdown_sums.inv_queue);
+    reg->SetCounter(prefix + "/breakdown/inv_tlb_ns", c.breakdown_sums.inv_tlb);
+    const FaultCounters f = fault_counters();
+    reg->SetCounter(prefix + "/fault/timeouts", f.timeouts);
+    reg->SetCounter(prefix + "/fault/retransmissions", f.retransmissions);
+    reg->SetCounter(prefix + "/fault/resets_triggered", f.resets_triggered);
+    reg->SetCounter(prefix + "/fault/pages_flushed_by_reset", f.pages_flushed_by_reset);
+    reg->SetCounter(prefix + "/fault/drains_completed", f.drains_completed);
+    reg->SetCounter(prefix + "/fault/drain_pages_migrated", f.drain_pages_migrated);
+    reg->SetCounter(prefix + "/fault/stalled_deliveries", f.stalled_deliveries);
+  }
 };
 
 }  // namespace mind

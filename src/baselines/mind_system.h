@@ -121,6 +121,38 @@ class MindSystem final : public MemorySystem {
     return rack_->NextScheduledFaultAt();
   }
 
+  bool SetTraceSink(TraceSink* sink) override {
+    rack_->SetTraceSink(sink);
+    return true;
+  }
+
+  // Interface blocks plus MIND's richer RackStats and the bounded-splitting
+  // controller state, under the same prefix tree.
+  void CollectMetrics(MetricsRegistry* reg, const std::string& prefix) override {
+    MemorySystem::CollectMetrics(reg, prefix);
+    const RackStats& s = rack_->stats();
+    reg->SetCounter(prefix + "/rack/clean_drops", s.clean_drops);
+    reg->SetCounter(prefix + "/rack/evict_writebacks", s.evict_writebacks);
+    reg->SetCounter(prefix + "/rack/permission_denials", s.permission_denials);
+    reg->SetCounter(prefix + "/rack/directory_capacity_evictions",
+                    s.directory_capacity_evictions);
+    reg->SetCounter(prefix + "/rack/write_upgrades", s.write_upgrades);
+    reg->SetCounter(prefix + "/rack/transitions/i_to_s", s.transitions_i_to_s);
+    reg->SetCounter(prefix + "/rack/transitions/i_to_m", s.transitions_i_to_m);
+    reg->SetCounter(prefix + "/rack/transitions/s_to_s", s.transitions_s_to_s);
+    reg->SetCounter(prefix + "/rack/transitions/s_to_m", s.transitions_s_to_m);
+    reg->SetCounter(prefix + "/rack/transitions/m_to_s", s.transitions_m_to_s);
+    reg->SetCounter(prefix + "/rack/transitions/m_to_m", s.transitions_m_to_m);
+    reg->SetCounter(prefix + "/rack/transitions/m_stay", s.transitions_m_stay);
+    const BoundedSplittingStats& bs = rack_->bounded_splitting().stats();
+    reg->SetCounter(prefix + "/splitting/epochs", bs.epochs);
+    reg->SetCounter(prefix + "/splitting/splits", bs.splits);
+    reg->SetCounter(prefix + "/splitting/merges", bs.merges);
+    reg->SetCounter(prefix + "/splitting/split_failures", bs.split_failures);
+    reg->SetGauge(prefix + "/splitting/last_threshold", bs.last_threshold);
+    reg->SetGauge(prefix + "/splitting/current_c", bs.current_c);
+  }
+
   [[nodiscard]] Rack& rack() { return *rack_; }
   [[nodiscard]] ProcessId pid() const { return pid_; }
 

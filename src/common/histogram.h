@@ -15,6 +15,22 @@
 
 namespace mind {
 
+// One-shot distribution summary (Histogram::Summary): the fields every report
+// and the metrics-registry exporter print, computed once instead of four
+// separate Percentile walks at each call site.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+
+  friend bool operator==(const HistogramSummary&, const HistogramSummary&) = default;
+};
+
 class Histogram {
  public:
   static constexpr int kSubBuckets = 64;
@@ -63,6 +79,20 @@ class Histogram {
       }
     }
     return max_;
+  }
+
+  // The standard report summary, one pass per percentile over the buckets.
+  [[nodiscard]] HistogramSummary Summary() const {
+    HistogramSummary s;
+    s.count = count_;
+    s.min = min();
+    s.max = max_;
+    s.mean = Mean();
+    s.p50 = Percentile(0.50);
+    s.p90 = Percentile(0.90);
+    s.p99 = Percentile(0.99);
+    s.p999 = Percentile(0.999);
+    return s;
   }
 
   void Merge(const Histogram& other) {

@@ -62,6 +62,15 @@ void BoundedSplitting::RunEpoch(SimTime now) {
   for (VirtAddr base : merge_candidates) {
     if (directory_->MergeWithBuddy(base, max_log2).ok()) {
       ++stats_.merges;
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kDirectoryMerge;
+        ev.clock = now;  // The epoch boundary this decision belongs to.
+        ev.a = base;
+        const DirectoryEntry* merged = directory_->Lookup(base);
+        ev.b = merged != nullptr ? merged->size_log2 : 0;
+        trace_->Emit(ev);
+      }
     }
   }
 
@@ -70,8 +79,18 @@ void BoundedSplitting::RunEpoch(SimTime now) {
       ++stats_.split_failures;
       continue;  // Capacity-gated; AdjustC below will shrink c and raise t.
     }
+    const DirectoryEntry* pre = trace_ != nullptr ? directory_->Lookup(base) : nullptr;
+    const uint64_t pre_log2 = pre != nullptr ? pre->size_log2 : 0;
     if (directory_->Split(base).ok()) {
       ++stats_.splits;
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kDirectorySplit;
+        ev.clock = now;
+        ev.a = base;
+        ev.b = pre_log2;
+        trace_->Emit(ev);
+      }
     } else {
       ++stats_.split_failures;
     }
@@ -85,7 +104,6 @@ void BoundedSplitting::RunEpoch(SimTime now) {
 
   AdjustC();
   stats_.current_c = c_;
-  (void)now;
 }
 
 void BoundedSplitting::AdjustC() {

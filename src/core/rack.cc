@@ -175,6 +175,18 @@ Rack::InvalidationWave Rack::InvalidateBlades(SharerMask targets, const Director
   stats_.pages_flushed += wave.flushed;
   stats_.false_invalidations += wave.false_invalidations;
   stats_.clean_drops += wave.clean_drops;
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kInvalidationWave;
+    ev.clock = t;
+    ev.dur = wave.max_ack_at_requester > t ? wave.max_ack_at_requester - t : 0;
+    ev.blade = requester != kInvalidComputeBlade ? requester : 0;
+    ev.a = entry.base;
+    ev.b = entry.end();
+    ev.c = TracePack32(deliveries.size(), wave.flushed);
+    ev.d = TracePack32(wave.false_invalidations, wave.clean_drops);
+    trace_->Emit(ev);
+  }
   return wave;
 }
 
@@ -685,9 +697,9 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
       // budget (no loss draw, so the RNG sequence is death-schedule-invariant). On a
       // lossy fabric the seeded RNG decides. Either way an exhausted budget resets the
       // address (§4.4) and fails the access with the timeout-summed latency.
-      const FaultPlane::SendOutcome outcome = fault_plane_.AnyDead(targets, t)
-                                                  ? fault_plane_.DeadTargetOutcome()
-                                                  : fault_plane_.SendWithAck(0);
+      const FaultPlane::SendOutcome outcome =
+          fault_plane_.AnyDead(targets, t) ? fault_plane_.DeadTargetOutcome(t, req.blade)
+                                           : fault_plane_.SendWithAck(0, t, req.blade);
       if (!outcome.delivered) {
         (void)ResetAddress(req.va, t);
         res.status = Status(ErrorCode::kTimedOut, "invalidation ACKs lost; region reset");
@@ -723,7 +735,8 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
     if (fault_plane_.lossy()) [[unlikely]] {
       // The remote read-with-ACK rides the same loss model: retransmission delay lands on
       // the fetch, and an exhausted budget resets the address (§4.4) and fails the access.
-      const FaultPlane::SendOutcome outcome = fault_plane_.SendWithAck(0);
+      const FaultPlane::SendOutcome outcome =
+          fault_plane_.SendWithAck(0, fetch_start, req.blade);
       if (!outcome.delivered) {
         (void)ResetAddress(req.va, fetch_start);
         res.status = Status(ErrorCode::kTimedOut, "remote fetch lost; region reset");
@@ -832,6 +845,21 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
   } else {
     res.latency = done - req.now;
   }
+  if (trace_ != nullptr) [[unlikely]] {
+    // Latency-breakdown span for the serviced miss. Local hits are deliberately
+    // untraced: the fused hit pipeline stays event-free (hot-path contract).
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kAccessSpan;
+    ev.clock = req.now;
+    ev.dur = done - req.now;  // Thread-visible wait under PSO differs; span = service.
+    ev.tid = req.tid;
+    ev.blade = req.blade;
+    ev.a = req.va;
+    ev.b = res.breakdown.fault;
+    ev.c = res.breakdown.network;
+    ev.d = TracePack32(res.breakdown.inv_queue, res.breakdown.inv_tlb);
+    trace_->Emit(ev);
+  }
   if (config_.prefetch.enabled()) {
     // Speculative fetches go out once the demand fault is fully serviced — off its
     // critical path, serialized behind it on the blade's egress link.
@@ -859,6 +887,15 @@ bool Rack::ServiceViaPrefetch(const AccessRequest& req, SimTime now, uint64_t pa
     // useful classification, domain re-validation) at the same timestamp.
     if (TryLocalHit(req, now, res, frame, pslot_valid)) {
       ++stats_.local_hits;
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kPrefetchUseful;
+        ev.clock = now;
+        ev.tid = req.tid;
+        ev.blade = req.blade;
+        ev.a = page;
+        trace_->Emit(ev);
+      }
       return true;
     }
   }
@@ -889,12 +926,32 @@ bool Rack::ServiceViaPrefetch(const AccessRequest& req, SimTime now, uint64_t pa
       res->breakdown.network =
           res->latency > res->breakdown.fault ? res->latency - res->breakdown.fault : 0;
       stats_.breakdown_sums += res->breakdown;
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kPrefetchUseful;
+        ev.clock = now;
+        ev.dur = done - now;
+        ev.tid = req.tid;
+        ev.blade = req.blade;
+        ev.a = page;
+        trace_->Emit(ev);
+      }
       PrefetchAfterFault(req, page, done);
       return true;
     }
     // Stale copy, or a write that needs M anyway: drop the speculation and fault.
     if (stale) {
       entry.owner->OnDiscardedStale();
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kPrefetchDiscard;
+        ev.clock = now;
+        ev.tid = req.tid;
+        ev.blade = req.blade;
+        ev.a = page;
+        ev.b = 1;  // Stale discovered at demand-join time.
+        trace_->Emit(ev);
+      }
     } else {
       entry.owner->OnLate();
     }
@@ -930,6 +987,15 @@ void Rack::InstallReadyPrefetches(ComputeBladeId blade_id, SimTime now) {
     if (cache.region_inval_version(DramCache::RegionOf(page)) != entry.inval_stamp) {
       // An invalidation wave outran the fetch: the copy is stale, never install it.
       entry.owner->OnDiscardedStale();
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kPrefetchDiscard;
+        ev.clock = now;
+        ev.blade = blade_id;
+        ev.a = page;
+        ev.b = 0;  // Stale discovered at install time.
+        trace_->Emit(ev);
+      }
       continue;
     }
     entry.owner->OnInstalled();
@@ -969,6 +1035,7 @@ void Rack::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade_id,
   BladePrefetchState& bp = blade_prefetch_[blade_id];
   DramCache& cache = compute_blades_[blade_id]->cache();
   uint64_t last_issued = page;
+  uint64_t issued_count = 0;
   bool issued_any = false;
   for (const uint64_t p : prefetch_scratch_) {
     if (!engine.HasInFlightRoom()) {
@@ -1019,10 +1086,20 @@ void Rack::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade_id,
         ready, cache.region_inval_version(DramCache::RegionOf(p)), &engine, pdid};
     bp.NoteIssued(ready);
     last_issued = p;
+    ++issued_count;
     issued_any = true;
   }
   if (issued_any) {
     engine.NoteIssuedWindow(page, last_issued);
+    if (trace_ != nullptr) [[unlikely]] {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kPrefetchIssue;
+      ev.clock = start;
+      ev.blade = blade_id;
+      ev.a = page;
+      ev.b = issued_count;
+      trace_->Emit(ev);
+    }
   }
 }
 
@@ -1158,6 +1235,15 @@ Result<SimTime> Rack::MigrateRange(VirtAddr base, uint32_t size_log2, MemoryBlad
   for (VirtAddr b : stale) {
     (void)directory_.Remove(b);
   }
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kMigrateRange;
+    ev.clock = now;
+    ev.dur = t - now;
+    ev.a = base;
+    ev.b = size >> kPageShift;
+    trace_->Emit(ev);
+  }
   return t;
 }
 
@@ -1175,6 +1261,14 @@ Status Rack::ResetAddress(VirtAddr va, SimTime now) {
   const InvalidationWave wave =
       InvalidateBlades(everyone, *entry, UINT64_MAX, kInvalidComputeBlade, now);
   fault_plane_.OnResetFlushed(wave.flushed);
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFaultReset;
+    ev.clock = now;
+    ev.a = va;
+    ev.b = wave.flushed;
+    trace_->Emit(ev);
+  }
   return directory_.Remove(entry->base);
 }
 
@@ -1205,6 +1299,14 @@ Result<SimTime> Rack::DrainMemoryBlade(MemoryBladeId src, MemoryBladeId dst, Sim
   // 3. Migrate each piece to the survivor: shoot-down with write-back, page copies over
   //    the fabric, outlier translation retarget, directory entries restart cold. Pieces
   //    migrate sequentially — the control plane drives one range at a time.
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kBladeDrainBegin;
+    ev.clock = now;
+    ev.a = src;
+    ev.b = dst;
+    trace_->Emit(ev);
+  }
   SimTime t = now;
   uint64_t pages = 0;
   for (const Piece& piece : pieces) {
@@ -1222,6 +1324,15 @@ Result<SimTime> Rack::DrainMemoryBlade(MemoryBladeId src, MemoryBladeId dst, Sim
     pages += (uint64_t{1} << piece.size_log2) >> kPageShift;
   }
   fault_plane_.OnDrainCompleted(pages);
+  if (trace_ != nullptr) [[unlikely]] {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kBladeDrainEnd;
+    ev.clock = now;
+    ev.dur = t - now;
+    ev.a = src;
+    ev.b = pages;
+    trace_->Emit(ev);
+  }
   return t;
 }
 

@@ -36,6 +36,7 @@
 #include "src/dataplane/translation.h"
 #include "src/fault/fault_plane.h"
 #include "src/net/fabric.h"
+#include "src/obs/trace.h"
 
 namespace mind {
 
@@ -194,6 +195,18 @@ class Rack {
   // NextSerialBoundary for the owner drain (ops at or past it stay serialized so the
   // epoch fires exactly as under serial replay).
   [[nodiscard]] SimTime NextSplittingEpochEnd() const { return splitting_.next_epoch_end(); }
+
+  // --- Observability (src/obs/, docs/observability.md) ---
+  //
+  // Installs the semantic-event sink on the rack and its fault plane + splitting
+  // controller. Every emission site sits on the serialized path (the Access miss
+  // path, drains, epochs, resets); with a null sink each hook is one pointer
+  // compare, and nothing at all is added before the TryLocalHit fast exit.
+  void SetTraceSink(TraceSink* sink) {
+    trace_ = sink;
+    fault_plane_.SetTraceSink(sink);
+    splitting_.SetTraceSink(sink);
+  }
 
   // --- Introspection (benches & tests) ---
 
@@ -384,6 +397,9 @@ class Rack {
   std::vector<std::unique_ptr<MemoryBlade>> memory_blades_;
 
   RackStats stats_;
+  // Semantic trace sink (null = tracing off). Written to only from serialized
+  // paths, like stats_; see SetTraceSink above.
+  TraceSink* trace_ = nullptr;
   std::unordered_map<ThreadId, std::vector<PendingWrite>> pending_writes_;
   std::array<PipelineSlot, kPipelineSlots> pipeline_{};
   std::array<TranslationSlot, kPipelineSlots> translation_cache_{};

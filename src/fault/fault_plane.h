@@ -27,6 +27,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/net/reliability.h"
+#include "src/obs/trace.h"
 
 namespace mind {
 
@@ -129,6 +130,18 @@ class FaultPlane {
     return tracker_.SendWithAck(base_rtt);
   }
 
+  // Traced variant: same draw sequence, but a retransmitted or undelivered send
+  // additionally emits a kFaultTimeout event stamped at `now` (TraceScope,
+  // src/obs/trace.h). Tracing observes — it never changes an outcome or a draw.
+  MIND_SERIALIZED_PATH SendOutcome SendWithAck(SimTime base_rtt, SimTime now,
+                                               ComputeBladeId blade) {
+    const SendOutcome out = tracker_.SendWithAck(base_rtt);
+    if (trace_ != nullptr && (out.attempts > 1 || !out.delivered)) [[unlikely]] {
+      EmitTimeout(now, blade, out);
+    }
+    return out;
+  }
+
   // Deterministic outcome for a wave that targets a dead blade: the requester waits out
   // the full retry budget without ever seeing an ACK. No RNG draw — the loss-draw sequence
   // stays identical whether or not a death is scheduled.
@@ -139,6 +152,15 @@ class FaultPlane {
     out.latency = static_cast<SimTime>(out.attempts) * config_.reliability.ack_timeout;
     extra_.timeouts += static_cast<uint64_t>(out.attempts);
     ++extra_.resets_triggered;
+    return out;
+  }
+
+  // Traced variant of DeadTargetOutcome, stamped at `now` against the dead blade.
+  MIND_SERIALIZED_PATH SendOutcome DeadTargetOutcome(SimTime now, ComputeBladeId blade) {
+    const SendOutcome out = DeadTargetOutcome();
+    if (trace_ != nullptr) [[unlikely]] {
+      EmitTimeout(now, blade, out);
+    }
     return out;
   }
 
@@ -161,6 +183,14 @@ class FaultPlane {
     }
     if (d != 0) {
       ++extra_.stalled_deliveries;
+      if (trace_ != nullptr) [[unlikely]] {
+        TraceEvent e;
+        e.kind = TraceEventKind::kFaultStall;
+        e.clock = t;
+        e.blade = b;
+        e.a = d;
+        trace_->Emit(e);
+      }
     }
     return d;
   }
@@ -207,11 +237,26 @@ class FaultPlane {
   [[nodiscard]] const FaultPlaneConfig& config() const { return config_; }
   [[nodiscard]] const ReliabilityTracker& tracker() const { return tracker_; }
 
+  // Semantic-event sink (serialized paths only; null = tracing off, and every
+  // hook above reduces to one pointer compare).
+  void SetTraceSink(TraceSink* sink) { trace_ = sink; }
+
  private:
+  void EmitTimeout(SimTime now, ComputeBladeId blade, const SendOutcome& out) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kFaultTimeout;
+    e.clock = now;
+    e.blade = blade;
+    e.a = static_cast<uint64_t>(out.attempts);
+    e.b = out.latency;
+    trace_->Emit(e);
+  }
+
   FaultPlaneConfig config_;
   ReliabilityTracker tracker_;
   FaultCounters extra_;     // Events not tracked by the ReliabilityTracker itself.
   size_t next_drain_ = 0;   // Drains are executed in schedule order.
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace mind

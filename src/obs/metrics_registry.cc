@@ -1,0 +1,169 @@
+#include "src/obs/metrics_registry.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace mind {
+
+void MetricsRegistry::SetCounter(std::string_view name, uint64_t v) {
+  Entry& e = entries_[std::string(name)];
+  e.kind = Kind::kCounter;
+  e.counter = v;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double v) {
+  Entry& e = entries_[std::string(name)];
+  e.kind = Kind::kGauge;
+  e.gauge = v;
+}
+
+void MetricsRegistry::SetSummary(std::string_view name, const HistogramSummary& s) {
+  Entry& e = entries_[std::string(name)];
+  e.kind = Kind::kSummary;
+  e.summary = s;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::Find(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Clear() {
+  entries_.clear();
+  series_.clear();
+  samples_skipped_ = 0;
+}
+
+void MetricsRegistry::Sample(SimTime now) {
+  if (series_.size() >= kMaxSamples) {
+    ++samples_skipped_;
+    return;
+  }
+  SeriesPoint p;
+  p.at = now;
+  p.values.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    if (e.kind == Kind::kCounter) {
+      p.values.emplace_back(name, static_cast<double>(e.counter));
+    } else if (e.kind == Kind::kGauge) {
+      p.values.emplace_back(name, e.gauge);
+    }
+  }
+  series_.push_back(std::move(p));
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+// Metric names are '/'-separated identifier paths (no quotes/backslashes/
+// control bytes by construction), so emission needs no escaping pass.
+void AppendSummaryJson(std::string* out, const HistogramSummary& s) {
+  out->append("{\"count\":");
+  AppendU64(out, s.count);
+  out->append(",\"min\":");
+  AppendU64(out, s.min);
+  out->append(",\"max\":");
+  AppendU64(out, s.max);
+  out->append(",\"mean\":");
+  AppendDouble(out, s.mean);
+  out->append(",\"p50\":");
+  AppendU64(out, s.p50);
+  out->append(",\"p90\":");
+  AppendU64(out, s.p90);
+  out->append(",\"p99\":");
+  AppendU64(out, s.p99);
+  out->append(",\"p999\":");
+  AppendU64(out, s.p999);
+  out->append("}");
+}
+
+}  // namespace
+
+void MetricsRegistry::ExportText(std::ostream& os) const {
+  std::string out;
+  out.reserve(entries_.size() * 48);
+  for (const auto& [name, e] : entries_) {
+    out.append(name);
+    out.push_back(' ');
+    switch (e.kind) {
+      case Kind::kCounter:
+        AppendU64(&out, e.counter);
+        break;
+      case Kind::kGauge:
+        AppendDouble(&out, e.gauge);
+        break;
+      case Kind::kSummary: {
+        char buf[200];
+        std::snprintf(buf, sizeof buf,
+                      "count=%llu min=%llu max=%llu mean=%.1f p50=%llu p90=%llu "
+                      "p99=%llu p999=%llu",
+                      static_cast<unsigned long long>(e.summary.count),
+                      static_cast<unsigned long long>(e.summary.min),
+                      static_cast<unsigned long long>(e.summary.max), e.summary.mean,
+                      static_cast<unsigned long long>(e.summary.p50),
+                      static_cast<unsigned long long>(e.summary.p90),
+                      static_cast<unsigned long long>(e.summary.p99),
+                      static_cast<unsigned long long>(e.summary.p999));
+        out.append(buf);
+        break;
+      }
+    }
+    out.push_back('\n');
+  }
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+void MetricsRegistry::ExportJson(std::ostream& os) const {
+  std::string out;
+  out.reserve(entries_.size() * 64 + series_.size() * 128);
+  out.append("{\"metrics\":{");
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n\"");
+    out.append(name);
+    out.append("\":");
+    switch (e.kind) {
+      case Kind::kCounter:
+        AppendU64(&out, e.counter);
+        break;
+      case Kind::kGauge:
+        AppendDouble(&out, e.gauge);
+        break;
+      case Kind::kSummary:
+        AppendSummaryJson(&out, e.summary);
+        break;
+    }
+  }
+  out.append("\n},\"series\":[");
+  for (size_t i = 0; i < series_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out.append("\n{\"at\":");
+    AppendU64(&out, series_[i].at);
+    out.append(",\"values\":{");
+    for (size_t j = 0; j < series_[i].values.size(); ++j) {
+      if (j != 0) out.push_back(',');
+      out.push_back('"');
+      out.append(series_[i].values[j].first);
+      out.append("\":");
+      AppendDouble(&out, series_[i].values[j].second);
+    }
+    out.append("}}");
+  }
+  out.append("\n]}\n");
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+}  // namespace mind

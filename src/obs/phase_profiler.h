@@ -1,0 +1,103 @@
+// PhaseProfiler: real wall-clock time per replay phase, per shard.
+//
+// This is the one component of src/obs/ that reads the host clock, so it is
+// explicitly OUTSIDE the determinism contract: profiles are never part of the
+// deterministic digest, never feed back into simulated time, and are gated
+// behind ReplayOptions::profile (off = not constructed = zero clock reads on
+// any path). The exported Perfetto track answers the ROADMAP's H_safe-quantum /
+// barrier-cost questions: how long each parallel scan/commit phase, each
+// owner-parallel drain phase, each serialized drain stretch and each phase-
+// barrier wait actually took on the host.
+//
+// Storage discipline (docs/determinism.md mailbox pattern): lane s is written
+// only by the thread currently executing shard s's phase; the dedicated serial
+// lane (index num_shards) only by the coordinating thread on the serialized
+// path. Reads happen after the worker join.
+#ifndef MIND_SRC_OBS_PHASE_PROFILER_H_
+#define MIND_SRC_OBS_PHASE_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace mind {
+
+class PhaseProfiler {
+ public:
+  enum class Phase : uint8_t {
+    kScan = 0,         // Parallel scan phase (channel submit/classify).
+    kCommit = 1,       // Parallel commit phase (channel/group commits).
+    kOwnerDrain = 2,   // Owner-parallel drain sub-round phase.
+    kSerialDrain = 3,  // Serialized drain stretch (global merge steps).
+    kBarrierWait = 4,  // Coordinator's wait for the slowest shard at a barrier.
+  };
+  static constexpr int kNumPhases = 5;
+  static constexpr size_t kMaxIntervalsPerLane = 1 << 14;
+
+  struct Interval {
+    uint64_t start_ns = 0;  // Host ns relative to profiler construction.
+    uint64_t dur_ns = 0;
+    Phase phase = Phase::kScan;
+  };
+
+  struct Lane {
+    uint64_t total_ns[kNumPhases] = {};
+    uint64_t count[kNumPhases] = {};
+    std::vector<Interval> intervals;  // Bounded; overflow counted, not stored.
+    uint64_t intervals_dropped = 0;
+  };
+
+  explicit PhaseProfiler(int num_shards)
+      : lanes_(static_cast<size_t>(num_shards) + 1), origin_ns_(HostNowNs()) {}
+
+  // Host monotonic clock. Sole wall-clock read in src/ outside the sim layer;
+  // diagnostics-only by construction (see file comment).
+  [[nodiscard]] static uint64_t HostNowNs() {
+    // detlint: allow(banned-source): wall-clock phase profiler, excluded from the deterministic digest
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+  }
+
+  [[nodiscard]] uint64_t Begin() const { return HostNowNs(); }
+
+  // Records [start, now) into `lane`. Lane indices 0..num_shards-1 are shard
+  // lanes; serial_lane() is the serialized path.
+  void End(size_t lane, Phase phase, uint64_t start_ns) {
+    const uint64_t end_ns = HostNowNs();
+    Lane& l = lanes_[lane];
+    const auto p = static_cast<size_t>(phase);
+    const uint64_t dur = end_ns - start_ns;
+    l.total_ns[p] += dur;
+    ++l.count[p];
+    if (l.intervals.size() < kMaxIntervalsPerLane) {
+      l.intervals.push_back(Interval{start_ns - origin_ns_, dur, phase});
+    } else {
+      ++l.intervals_dropped;
+    }
+  }
+
+  [[nodiscard]] size_t serial_lane() const { return lanes_.size() - 1; }
+  [[nodiscard]] size_t num_lanes() const { return lanes_.size(); }
+  [[nodiscard]] const Lane& lane(size_t i) const { return lanes_[i]; }
+  [[nodiscard]] uint64_t origin_ns() const { return origin_ns_; }
+
+  [[nodiscard]] static const char* PhaseName(Phase p) {
+    switch (p) {
+      case Phase::kScan: return "scan";
+      case Phase::kCommit: return "commit";
+      case Phase::kOwnerDrain: return "owner-drain";
+      case Phase::kSerialDrain: return "serial-drain";
+      case Phase::kBarrierWait: return "barrier-wait";
+    }
+    return "?";
+  }
+
+ private:
+  std::vector<Lane> lanes_;
+  uint64_t origin_ns_;
+};
+
+}  // namespace mind
+
+#endif  // MIND_SRC_OBS_PHASE_PROFILER_H_

@@ -166,6 +166,32 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   const int num_shards = reference_mode ? 1 : std::clamp(options_.shards, 1, blades_used);
   effective_shards_ = num_shards;
 
+  // --- Observability (src/obs/) -------------------------------------------
+  // Constructed per Run so repeated Runs never mix artifacts. The trace scope's control
+  // sink goes to the system (serialized-path semantic events); the engine itself writes
+  // only execution events, into per-shard mailbox sinks from parallel phases and into
+  // the control sink from the serialized drain. The profiler is wall-clock and never
+  // touches simulated state; the registry is filled at the report boundary and sampled
+  // on the serialized drain path.
+  trace_scope_.reset();
+  profiler_.reset();
+  metrics_ = std::make_unique<MetricsRegistry>();
+  if (options_.trace) {
+    trace_scope_ = std::make_unique<TraceScope>(num_shards);
+    (void)system->SetTraceSink(trace_scope_->control());
+  }
+  if (options_.profile) {
+    profiler_ = std::make_unique<PhaseProfiler>(num_shards);
+  }
+  PhaseProfiler* const prof = profiler_.get();
+  // detlint: mailbox(exec_sinks)
+  std::vector<TraceSink*> exec_sinks(static_cast<size_t>(num_shards), nullptr);
+  if (trace_scope_ != nullptr) {
+    for (int s = 0; s < num_shards; ++s) {
+      exec_sinks[static_cast<size_t>(s)] = trace_scope_->shard(s);
+    }
+  }
+
   std::vector<std::unique_ptr<AccessChannel>> channels(traces.threads.size());
   if (!reference_mode) {
     MaterializeOps();
@@ -381,6 +407,9 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   };
   auto commit_shard = [&](int s, SimTime horizon) {  // MIND_PARALLEL_PHASE
     ShardRt& sh = shards[s];
+    TraceSink* const lane_trace = exec_sinks[static_cast<size_t>(s)];
+    const uint64_t hits_before = sh.report.parallel_hits;
+    const uint64_t grouped_before = sh.report.grouped_ops;
     for (size_t g = 0; g < sh.blade_threads.size(); ++g) {
       const std::vector<size_t>& group_threads = sh.blade_threads[g];
       if (ChannelGroup* group = sh.blade_groups[g]; group != nullptr) {
@@ -412,10 +441,12 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
         if (committed == 0) {
           continue;
         }
+        SimTime group_end = 0;
         for (const GroupLane& lane : sh.lanes) {
           if (lane.committed == 0) {
             continue;
           }
+          group_end = std::max(group_end, lane.end_clock);
           ThreadRt& th = threads[lane.thread_index];
           th.last_start = lane.last_start;
           th.clock = lane.end_clock;
@@ -431,6 +462,15 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
         sh.report.grouped_ops += committed;
         sh.report.counters.total_accesses += committed;
         sh.report.counters.local_hits += committed;
+        if (lane_trace != nullptr) [[unlikely]] {
+          TraceEvent ev;
+          ev.kind = TraceEventKind::kGroupCommit;
+          ev.clock = group_end;
+          ev.blade = threads[group_threads[0]].blade;
+          ev.a = committed;
+          ev.b = sh.lanes.size();
+          lane_trace->Emit(ev);
+        }
         continue;
       }
       if (group_threads.size() == 1) {
@@ -457,6 +497,20 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
         commit_prefix(*best, sh, horizon, 1);
       }
     }
+    if (lane_trace != nullptr) [[unlikely]] {
+      // One execution event per shard per round covering the plain (ungrouped) channel
+      // commits; grouped batches carried their own kGroupCommit events above.
+      const uint64_t plain = (sh.report.parallel_hits - hits_before) -
+                             (sh.report.grouped_ops - grouped_before);
+      if (plain != 0) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kChannelCommit;
+        ev.clock = sh.report.makespan;
+        ev.a = plain;
+        ev.b = static_cast<uint64_t>(s);
+        lane_trace->Emit(ev);
+      }
+    }
   };
 
   // --- Serialized drain & owner-parallel drain phases ---------------------
@@ -473,6 +527,21 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
   const SimTime min_step = owner_ops != nullptr ? owner_ops->MinEligibleCost() + think : 0;
 
   SimTime next_sample = sample_interval;
+  // Metrics time series: sampled only from the serialized merge step (exec_serial), so
+  // every sampled value is a function of the serialized op stream — shard-count
+  // invariant, and identical with tracing on or off. Reuses the sampler interval
+  // without forcing the reference path (CollectMetrics only reads).
+  SimTime next_metrics_at = sample_interval;
+  auto sample_metrics = [&](SimTime now) {  // MIND_SERIALIZED_PATH
+    if (now < next_metrics_at) {
+      return;
+    }
+    system->CollectMetrics(metrics_.get(), "system");
+    metrics_->Sample(now);
+    while (now >= next_metrics_at) {
+      next_metrics_at += sample_interval;
+    }
+  };
   // Earliest time-driven global event the drain must serialize: a scheduled fault-plane
   // drain, the system's own serial boundary (e.g. a bounded-splitting epoch end) and —
   // on the reference path — the next sampler observation point. Ops at or past it are
@@ -559,6 +628,7 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
     if (++th.next_op >= ops.size()) {
       th.finished = true;
     }
+    sample_metrics(th.clock);
     return SerialStep{r.local_hit, !r.status.ok(), r.wave_base, r.wave_end};
   };
 
@@ -646,11 +716,25 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
     bool exit MIND_GUARDED_BY(mu) = false;
   } sync;
 
+  // Wall-clock phase mapping for the profiler (lane s written only by the thread running
+  // shard s's phase — the mailbox discipline of docs/determinism.md).
+  auto prof_phase = [](Phase p) {
+    switch (p) {
+      case Phase::kScan:
+        return PhaseProfiler::Phase::kScan;
+      case Phase::kCommit:
+        return PhaseProfiler::Phase::kCommit;
+      case Phase::kOwnerDrain:
+        return PhaseProfiler::Phase::kOwnerDrain;
+    }
+    return PhaseProfiler::Phase::kScan;
+  };
   auto run_one = [&](int s, Phase phase, SimTime horizon) {  // MIND_PARALLEL_PHASE
     // Dynamic half of the phase contract: while the scope is live, Rng draws assert.
     // Sequential executions get the same bracket — phase work is draw-free by
     // construction in every mode (eligibility gates exclude anything that could).
     ParallelPhaseScope in_phase;
+    const uint64_t prof_start = prof != nullptr ? prof->Begin() : 0;
     switch (phase) {
       case Phase::kScan:
         scan_shard(s);
@@ -661,6 +745,9 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
       case Phase::kOwnerDrain:
         owner_phase_shard(s, horizon);
         break;
+    }
+    if (prof != nullptr) {
+      prof->End(static_cast<size_t>(s), prof_phase(phase), prof_start);
     }
   };
   std::vector<std::thread> workers;
@@ -711,9 +798,17 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
     }
     sync.work_cv.NotifyAll();
     run_one(0, phase, horizon);
-    MutexLock lk(sync.mu);
-    while (sync.remaining != 0) {
-      sync.done_cv.Wait(sync.mu);
+    const uint64_t wait_start = prof != nullptr ? prof->Begin() : 0;
+    {
+      MutexLock lk(sync.mu);
+      while (sync.remaining != 0) {
+        sync.done_cv.Wait(sync.mu);
+      }
+    }
+    if (prof != nullptr) {
+      // The coordinator's stall for the slowest shard: the barrier cost the ROADMAP's
+      // H_safe-quantum question asks about, on its own serial-lane track.
+      prof->End(prof->serial_lane(), PhaseProfiler::Phase::kBarrierWait, wait_start);
     }
   };
 
@@ -876,6 +971,19 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
             }
           }
         }
+        if (exec_sinks[0] != nullptr && retired != 0) [[unlikely]] {
+          // Execution event: one owner-parallel drain sub-round, stamped at its safety
+          // horizon. Deliberately NOT the control sink — the control ring must hold only
+          // the semantic stream, so drop-oldest overflow displaces the same events for
+          // every shard count; round-cadence execution events go to the shard-0 mailbox
+          // (the drain is serialized, so no phase writer is live here).
+          TraceEvent ev;
+          ev.kind = TraceEventKind::kDrainPhase;
+          ev.clock = h_safe;
+          ev.a = retired;
+          ev.b = h_safe;
+          exec_sinks[0]->Emit(ev);
+        }
         if (bounded) {
           // Phase ops are hits by construction; the streak accumulates in bulk (any
           // deterministic, layout-invariant policy preserves bit-identity of results).
@@ -944,8 +1052,20 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
     }
   };
 
+  // Serialized drain stretches record on the profiler's serial lane; nested
+  // owner-parallel sub-rounds still record on their shard lanes (the serial-drain
+  // interval contains them — see docs/observability.md).
+  auto timed_drain = [&](bool bounded, uint32_t max_coherence_ops,  // MIND_SERIALIZED_PATH
+                         uint32_t hit_streak_exit) {
+    const uint64_t drain_start = prof != nullptr ? prof->Begin() : 0;
+    drain(bounded, max_coherence_ops, hit_streak_exit);
+    if (prof != nullptr) {
+      prof->End(prof->serial_lane(), PhaseProfiler::Phase::kSerialDrain, drain_start);
+    }
+  };
+
   if (reference_mode) {
-    drain(/*bounded=*/false, 0, 0);
+    timed_drain(/*bounded=*/false, 0, 0);
   } else {
     // --- Round loop -------------------------------------------------------
 
@@ -999,7 +1119,7 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
       // degenerate zero-latency/zero-think configs where the horizon equals the frontier
       // clock and nothing commits; the drain (always exact) then guarantees progress.
       if (any_blocked || committed_after == committed_before) {
-        drain(/*bounded=*/true, drain_coherence_budget, drain_streak_exit);
+        timed_drain(/*bounded=*/true, drain_coherence_budget, drain_streak_exit);
         if (committed_after - committed_before < threads.size()) {
           drain_coherence_budget = std::min(drain_coherence_budget * 2, kMaxCoherenceBudget);
           drain_streak_exit = std::min(drain_streak_exit * 2, kMaxStreakExit);
@@ -1066,7 +1186,73 @@ ReplayReport ReplayEngine::Run(Sampler sampler, SimTime sample_interval) {
     report.avg_latency_us =
         ToMicros(latency_sum) / static_cast<double>(report.total_ops);
   }
+
+  // --- Observability report boundary --------------------------------------
+  // Final registry fill: the system's cumulative tree under "system/", the run's delta
+  // report under "replay/". Prefetch stats enter only here (prefetch_stats() resolves
+  // lazily and must not run mid-drain — see MemorySystem::CollectMetrics).
+  system->CollectMetrics(metrics_.get(), "system");
+  report.FillRegistry(metrics_.get(), "replay");
+  metrics_->SetGauge("replay/shards", static_cast<double>(effective_shards_));
+  uint64_t parallel_hits = 0;
+  uint64_t grouped_ops = 0;
+  uint64_t drained_ops = 0;
+  uint64_t owner_drained = 0;
+  for (const ShardReport& sr : shard_reports_) {
+    parallel_hits += sr.parallel_hits;
+    grouped_ops += sr.grouped_ops;
+    drained_ops += sr.drained_ops;
+    owner_drained += sr.owner_drained;
+  }
+  metrics_->SetCounter("replay/parallel_hits", parallel_hits);
+  metrics_->SetCounter("replay/grouped_ops", grouped_ops);
+  metrics_->SetCounter("replay/drained_ops", drained_ops);
+  metrics_->SetCounter("replay/owner_drained", owner_drained);
+  if (trace_scope_ != nullptr) {
+    (void)system->SetTraceSink(nullptr);  // Detach before the scope can go away.
+    trace_scope_->Finalize();
+    metrics_->SetCounter("trace/semantic_events", trace_scope_->semantic_events());
+    metrics_->SetCounter("trace/execution_events", trace_scope_->execution_events());
+    metrics_->SetCounter("trace/dropped", trace_scope_->dropped());
+    metrics_->SetCounter("trace/semantic_digest", trace_scope_->SemanticDigest());
+  }
   return report;
+}
+
+void ReplayReport::FillRegistry(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->SetGauge(prefix + "/makespan_ns", static_cast<double>(makespan));
+  reg->SetCounter(prefix + "/total_ops", total_ops);
+  reg->SetGauge(prefix + "/throughput_mops", throughput_mops);
+  reg->SetGauge(prefix + "/avg_latency_us", avg_latency_us);
+  reg->SetSummary(prefix + "/latency_ns", latency_histogram.Summary());
+  reg->SetCounter(prefix + "/counters/total_accesses", counters.total_accesses);
+  reg->SetCounter(prefix + "/counters/local_hits", counters.local_hits);
+  reg->SetCounter(prefix + "/counters/remote_accesses", counters.remote_accesses);
+  reg->SetCounter(prefix + "/counters/invalidations", counters.invalidations);
+  reg->SetCounter(prefix + "/counters/pages_flushed", counters.pages_flushed);
+  reg->SetCounter(prefix + "/counters/false_invalidations",
+                  counters.false_invalidations);
+  reg->SetCounter(prefix + "/breakdown/fault_ns", counters.breakdown_sums.fault);
+  reg->SetCounter(prefix + "/breakdown/network_ns", counters.breakdown_sums.network);
+  reg->SetCounter(prefix + "/breakdown/inv_queue_ns", counters.breakdown_sums.inv_queue);
+  reg->SetCounter(prefix + "/breakdown/inv_tlb_ns", counters.breakdown_sums.inv_tlb);
+  reg->SetCounter(prefix + "/prefetch/issued", prefetch.issued);
+  reg->SetCounter(prefix + "/prefetch/useful", prefetch.useful);
+  reg->SetCounter(prefix + "/prefetch/late", prefetch.late);
+  reg->SetCounter(prefix + "/prefetch/evicted_unused", prefetch.evicted_unused);
+  reg->SetCounter(prefix + "/prefetch/discarded_stale", prefetch.discarded_stale);
+  reg->SetCounter(prefix + "/prefetch/rearmed", prefetch.rearmed);
+  reg->SetGauge(prefix + "/prefetch/coverage", PrefetchCoverage());
+  reg->SetCounter(prefix + "/fault/timeouts", fault.timeouts);
+  reg->SetCounter(prefix + "/fault/retransmissions", fault.retransmissions);
+  reg->SetCounter(prefix + "/fault/resets_triggered", fault.resets_triggered);
+  reg->SetCounter(prefix + "/fault/pages_flushed_by_reset", fault.pages_flushed_by_reset);
+  reg->SetCounter(prefix + "/fault/drains_completed", fault.drains_completed);
+  reg->SetCounter(prefix + "/fault/drain_pages_migrated", fault.drain_pages_migrated);
+  reg->SetCounter(prefix + "/fault/stalled_deliveries", fault.stalled_deliveries);
+  reg->SetGauge(prefix + "/rates/remote_accesses_per_op", RemoteAccessesPerOp());
+  reg->SetGauge(prefix + "/rates/invalidations_per_op", InvalidationsPerOp());
+  reg->SetGauge(prefix + "/rates/flushed_pages_per_op", FlushedPagesPerOp());
 }
 
 }  // namespace mind

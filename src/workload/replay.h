@@ -34,6 +34,9 @@
 #include "src/baselines/memory_system.h"
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/phase_profiler.h"
+#include "src/obs/trace_scope.h"
 #include "src/workload/region_ownership.h"
 #include "src/workload/trace.h"
 
@@ -76,6 +79,11 @@ struct ReplayReport {
         static_cast<double>(prefetch.useful + counters.remote_accesses);
     return would_fault == 0.0 ? 0.0 : static_cast<double>(prefetch.useful) / would_fault;
   }
+
+  // Publishes every report field into the registry under `prefix` — the single
+  // exporter the example binaries and figure generators print from, so the
+  // report schema lives in exactly one place (src/obs/metrics_registry.h).
+  void FillRegistry(MetricsRegistry* reg, const std::string& prefix) const;
 };
 
 struct ReplayOptions {
@@ -127,6 +135,15 @@ struct ReplayOptions {
   // deterministic for a fixed configuration, and the report carries the prefetch
   // accounting delta (issued/useful/late + derived coverage).
   PrefetchPolicy prefetch = PrefetchPolicy::kNone;
+  // Record a TraceScope (src/obs/trace_scope.h) for the run: semantic events from the
+  // systems' serialized paths into the control sink, execution events (channel/group
+  // commits, drain sub-rounds) from the engine into per-shard mailbox sinks. Off — the
+  // default — constructs nothing and leaves the systems' sinks null, so the hot path
+  // pays at most one pointer compare per miss and nothing at all on hits.
+  bool trace = false;
+  // Record wall-clock per-phase profiles (src/obs/phase_profiler.h). Never part of the
+  // deterministic digest; off = the profiler is not constructed = zero host-clock reads.
+  bool profile = false;
 };
 
 // Per-shard accounting, exposed for tests and perf analysis. The merged ReplayReport is
@@ -180,6 +197,16 @@ class ReplayEngine {
   // through it.
   [[nodiscard]] const RegionOwnership& ownership() const { return ownership_; }
 
+  // Observability artifacts of the last Run (src/obs/). The trace scope is non-null and
+  // finalized after a Run with options.trace; the profiler after one with
+  // options.profile. The metrics registry always exists after Run: report fields plus
+  // MemorySystem::CollectMetrics under "system/...", with mid-run series points sampled
+  // on the serialized drain path at the sampler interval.
+  [[nodiscard]] TraceScope* trace_scope() { return trace_scope_.get(); }
+  [[nodiscard]] const TraceScope* trace_scope() const { return trace_scope_.get(); }
+  [[nodiscard]] const PhaseProfiler* profiler() const { return profiler_.get(); }
+  [[nodiscard]] MetricsRegistry* metrics() { return metrics_.get(); }
+
   static constexpr uint64_t kChunkPages = (64ull << 20) >> kPageShift;
 
  private:
@@ -204,6 +231,9 @@ class ReplayEngine {
   bool setup_done_ = false;
   int effective_shards_ = 0;
   std::vector<ShardReport> shard_reports_;
+  std::unique_ptr<TraceScope> trace_scope_;    // Non-null after Run with options.trace.
+  std::unique_ptr<PhaseProfiler> profiler_;    // Non-null after Run with options.profile.
+  std::unique_ptr<MetricsRegistry> metrics_;   // Non-null after Run.
 };
 
 }  // namespace mind

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate (and summarize) Chrome trace_event JSON written by TraceScope.
+
+Usage:
+  tools/trace_export.py --validate trace.json     # exit 0 iff well-formed
+  tools/trace_export.py --summary trace.json      # event counts per name/phase
+
+"Well-formed" means: the file parses as JSON, the top level is an object with a
+"traceEvents" list, and every event is an object carrying name/ph/ts/pid/tid
+with the types Perfetto and chrome://tracing require ("X" events additionally
+need a numeric "dur"; "i" instants need a scope "s"). Stdlib only.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+KNOWN_PHASES = {"X", "i", "M", "B", "E", "C"}
+
+
+def validate(trace, path):
+    errors = []
+    if not isinstance(trace, dict):
+        return [f"{path}: top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: missing or non-list 'traceEvents'"]
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                errors.append(f"{where}: missing '{key}'")
+        ph = ev.get("ph")
+        if ph is not None and ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+        if not isinstance(ev.get("ts", 0), (int, float)):
+            errors.append(f"{where}: non-numeric 'ts'")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            errors.append(f"{where}: 'X' event missing numeric 'dur'")
+        if ph == "i" and "s" not in ev:
+            errors.append(f"{where}: instant event missing scope 's'")
+        if len(errors) >= 20:
+            errors.append(f"{path}: ... (stopping after 20 errors)")
+            return errors
+    return errors
+
+
+def summarize(trace):
+    counts = collections.Counter()
+    cats = collections.Counter()
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") == "M":
+            continue
+        counts[ev.get("name", "?")] += 1
+        cats[ev.get("cat", "?")] += 1
+    print(f"events: {sum(counts.values())}")
+    for cat, n in sorted(cats.items()):
+        print(f"  cat {cat}: {n}")
+    for name, n in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {name}: {n}")
+    other = trace.get("otherData", {})
+    if "semanticDigest" in other:
+        print(f"semanticDigest: {other['semanticDigest']}  dropped: {other.get('dropped', 0)}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--validate", action="store_true", help="check structure, exit nonzero on problems")
+    parser.add_argument("--summary", action="store_true", help="print per-event-name counts")
+    parser.add_argument("traces", nargs="+", metavar="trace.json")
+    args = parser.parse_args()
+    if not (args.validate or args.summary):
+        args.validate = True
+
+    failed = False
+    for path in args.traces:
+        try:
+            with open(path, encoding="utf-8") as f:
+                trace = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            failed = True
+            continue
+        if args.validate:
+            errors = validate(trace, path)
+            if errors:
+                print("\n".join(errors), file=sys.stderr)
+                failed = True
+            else:
+                n = len(trace["traceEvents"])
+                print(f"{path}: OK ({n} events)")
+        if args.summary:
+            summarize(trace)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
