@@ -11,7 +11,7 @@ namespace mind {
 
 FastSwapSystem::FastSwapSystem(FastSwapConfig config)
     : config_(config),
-      fabric_(1, config.num_memory_blades, config.latency),
+      fabric_(1, config.num_memory_blades, config.latency, config.fabric),
       fault_plane_(config.fault) {
   cache_ = std::make_unique<DramCache>(config_.compute_cache_bytes >> kPageShift,
                                        /*store_data=*/false);
@@ -50,7 +50,7 @@ class FastSwapSystem::OwnerDrain final : public OwnerDrainOps {
     return frame != nullptr && !frame->prefetched;  // Read-write installs: any hit counts.
   }
   MIND_SERIALIZED_PATH [[nodiscard]] SimTime MinEligibleCost() const override {
-    return sys_->config_.latency.local_cache_hit;
+    return sys_->lat().local_cache_hit;
   }
   MIND_PARALLEL_PHASE AccessResult AccessOwned(int shard, ThreadId /*tid*/,
                                                ComputeBladeId /*blade*/, VirtAddr va,
@@ -65,7 +65,7 @@ class FastSwapSystem::OwnerDrain final : public OwnerDrainOps {
     ++sc.local_hits;
     AccessResult res;
     res.local_hit = true;
-    res.latency = sys_->config_.latency.local_cache_hit;
+    res.latency = sys_->lat().local_cache_hit;
     res.completion = now + res.latency;
     return res;
   }
@@ -110,7 +110,7 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
       prefetch_.OnPrefetchedTouch(page);
     }
     res.local_hit = true;
-    res.latency = config_.latency.local_cache_hit;
+    res.latency = lat().local_cache_hit;
     res.completion = now + res.latency;
     return res;
   };
@@ -136,16 +136,16 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
       ++counters_.remote_accesses;
       // The thread still takes the page-fault trap, then blocks until the data lands.
       const SimTime landed =
-          std::max(now + config_.latency.page_fault_entry, entry.ready_at);
+          std::max(now + lat().page_fault_entry, entry.ready_at);
       InstallPage(page, landed, /*prefetched=*/false, nullptr);
       if (type == AccessType::kWrite) {
         cache_->MarkDirty(page);
       }
-      const SimTime done = landed + config_.latency.pte_install;
+      const SimTime done = landed + lat().pte_install;
       res.latency = done - now;
       res.completion = done;
       res.breakdown.fault =
-          config_.latency.page_fault_entry + config_.latency.pte_install;
+          lat().page_fault_entry + lat().pte_install;
       res.breakdown.network = res.latency - res.breakdown.fault;
       counters_.breakdown_sums += res.breakdown;
       if (trace_ != nullptr) [[unlikely]] {
@@ -165,21 +165,17 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
   // Page fault: frontswap fetch from the backing memory blade through the ToR switch
   // (plain forwarding — no in-network memory logic).
   ++counters_.remote_accesses;
-  SimTime t = now + config_.latency.page_fault_entry;
+  SimTime t = now + lat().page_fault_entry;
   if (fault_plane_.lossy()) [[unlikely]] {
     // Lost RDMA reads are retried by the kernel; even an exhausted budget only delays the
     // fetch by the summed timeouts (no reset — there is no directory to wedge).
     t += fault_plane_.SendWithAck(0, t, 0).latency;
   }
-  auto up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, t);
-  t = up.arrival + config_.latency.switch_pipeline;
   const MemoryBladeId m = BackingBlade(page);
-  auto req = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadRequest, t);
-  t = req.arrival + config_.latency.memory_blade_service;
-  auto resp_up = fabric_.ToSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadResponse, t);
-  auto resp_down = fabric_.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse,
-                                      resp_up.arrival + config_.latency.switch_pipeline);
-  t = resp_down.arrival + config_.latency.pte_install;
+  const auto rtt =
+      fabric_.Rtt(Endpoint::Compute(0), Endpoint::Memory(m), MessageKind::kRdmaReadRequest,
+                  MessageKind::kRdmaReadResponse, t, lat().memory_blade_service);
+  t = rtt.complete + lat().pte_install;
 
   InstallPage(page, t, /*prefetched=*/false, nullptr);
   if (type == AccessType::kWrite) {
@@ -188,8 +184,13 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
 
   res.latency = t - now;
   res.completion = t;
-  res.breakdown.fault = config_.latency.page_fault_entry + config_.latency.pte_install;
-  res.breakdown.network = res.latency - res.breakdown.fault;
+  res.breakdown.fault = lat().page_fault_entry + lat().pte_install;
+  res.breakdown.fabric_wait =
+      rtt.request.total_wait() + rtt.response.total_wait();
+  res.breakdown.network =
+      res.latency > res.breakdown.fault + res.breakdown.fabric_wait
+          ? res.latency - res.breakdown.fault - res.breakdown.fabric_wait
+          : 0;
   counters_.breakdown_sums += res.breakdown;
   if (trace_ != nullptr) [[unlikely]] {
     TraceEvent ev;
@@ -199,7 +200,7 @@ MIND_SERIALIZED_PATH AccessResult FastSwapSystem::Access(ThreadId tid, ComputeBl
     ev.tid = tid;
     ev.a = va;
     ev.b = res.breakdown.fault;
-    ev.c = res.breakdown.network;
+    ev.c = TracePack32(res.breakdown.network, res.breakdown.fabric_wait);
     trace_->Emit(ev);
   }
   if (config_.prefetch.enabled()) {
@@ -232,11 +233,9 @@ void FastSwapSystem::InstallPage(uint64_t page, SimTime now, bool prefetched,
     if (evicted->dirty) {
       // Asynchronous write-back of the victim page.
       ++counters_.pages_flushed;
-      auto wb_up =
-          fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaWriteRequest, now);
-      (void)fabric_.FromSwitch(Endpoint::Memory(BackingBlade(evicted->page)),
-                               MessageKind::kRdmaWriteRequest,
-                               wb_up.arrival + config_.latency.switch_pipeline);
+      (void)fabric_.Route(Endpoint::Compute(0),
+                          Endpoint::Memory(BackingBlade(evicted->page)),
+                          MessageKind::kRdmaWriteRequest, now);
     }
   }
   if (prefetched) {
@@ -279,6 +278,14 @@ void FastSwapSystem::PrefetchAfterFault(ThreadId tid, uint64_t page, SimTime don
 void FastSwapSystem::IssuePrefetches(PrefetchEngine& engine, uint64_t page, SimTime done) {
   prefetch_scratch_.clear();
   engine.Predict(page, &prefetch_scratch_);
+  // Occupancy feedback: skip (and shrink) the window when the trigger page's backing
+  // blade port is already saturated with demand traffic.
+  if (config_.prefetch.fabric_pressure_threshold < 1.0 &&
+      fabric_.Utilization(Endpoint::Memory(BackingBlade(page))) >
+          config_.prefetch.fabric_pressure_threshold) {
+    engine.OnFabricPressure();
+    return;
+  }
   uint64_t last_issued = page;
   bool issued_any = false;
   uint64_t issued_count = 0;
@@ -296,16 +303,12 @@ void FastSwapSystem::IssuePrefetches(PrefetchEngine& engine, uint64_t page, SimT
     }
     // Frontswap read-ahead: the demand fetch's exact hops, issued after it and queueing
     // behind it on the single blade's NIC.
-    auto up = fabric_.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, done);
     const MemoryBladeId m = BackingBlade(p);
-    auto req = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadRequest,
-                                  up.arrival + config_.latency.switch_pipeline);
-    auto resp_up = fabric_.ToSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadResponse,
-                                    req.arrival + config_.latency.memory_blade_service);
-    auto resp_down =
-        fabric_.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse,
-                           resp_up.arrival + config_.latency.switch_pipeline);
-    const SimTime ready = resp_down.arrival + config_.latency.pte_install;
+    const auto pf_rtt = fabric_.Rtt(Endpoint::Compute(0), Endpoint::Memory(m),
+                                    MessageKind::kRdmaReadRequest,
+                                    MessageKind::kRdmaReadResponse, done,
+                                    lat().memory_blade_service);
+    const SimTime ready = pf_rtt.complete + lat().pte_install;
     engine.OnIssued();
     prefetch_.in_flight[p] =
         BladePrefetchState::InFlight{ready, 0, &engine, /*pdid=*/0};
@@ -347,7 +350,7 @@ class FastSwapSystem::Channel final : public AccessChannel {
                                           SimTime think,
                       Completion* completions) override {
     DramCache& cache = *sys_->cache_;
-    const SimTime hit_latency = sys_->config_.latency.local_cache_hit;
+    const SimTime hit_latency = sys_->lat().local_cache_hit;
     stamps_.Clear();
     SubmitResult out;
     size_t i = 0;

@@ -28,6 +28,8 @@ struct FastSwapConfig {
   uint64_t compute_cache_bytes = 512ull * 1024 * 1024;
   uint64_t chunk_pages = 512;  // Remote placement granularity (2 MB).
   LatencyModel latency;
+  // Fabric queueing discipline (src/net/queue_model.h); default kFifo = historical timing.
+  FabricConfig fabric;
   // Swap-path prefetching (the canonical beneficiary — Leap runs exactly here): engines
   // watch the fault stream and fill the swap cache ahead of it, read-write like every
   // swapped-in page. Default off (src/prefetch/prefetch.h).
@@ -81,6 +83,12 @@ class FastSwapSystem final : public MemorySystem {
     return fault_plane_.counters();
   }
 
+  // Interface blocks plus the fabric's counters and per-port occupancy gauges.
+  void CollectMetrics(MetricsRegistry* reg, const std::string& prefix) override {
+    MemorySystem::CollectMetrics(reg, prefix);
+    fabric_.CollectMetrics(reg, prefix + "/fabric");
+  }
+
   // Drains pending prefetch installs and re-armed windows (the re-arm gap fix; see
   // MemorySystem::AdvanceTo). Called once after the final op in every replay mode, so it
   // is mode-invariant.
@@ -102,6 +110,8 @@ class FastSwapSystem final : public MemorySystem {
     return static_cast<MemoryBladeId>((page / config_.chunk_pages) %
                                       static_cast<uint64_t>(config_.num_memory_blades));
   }
+  // The single LatencyModel instance lives in the fabric; this is the constant view.
+  [[nodiscard]] const LatencyModel& lat() const { return fabric_.latency(); }
 
   // --- Prefetch internals (all driven from the serialized Access path) ---
   PrefetchEngine& EnsurePrefetchEngine(ThreadId tid);

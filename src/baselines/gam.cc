@@ -11,7 +11,8 @@ namespace mind {
 
 GamSystem::GamSystem(GamConfig config)
     : config_(config),
-      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency),
+      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency,
+              config.fabric),
       fault_plane_(config.fault) {
   blades_.resize(static_cast<size_t>(config_.num_compute_blades));
   blade_thread_counts_.resize(static_cast<size_t>(config_.num_compute_blades), 0);
@@ -37,32 +38,22 @@ Result<ThreadId> GamSystem::RegisterThread(ComputeBladeId blade) {
 
 SimTime GamSystem::BladeToBlade(ComputeBladeId from, ComputeBladeId to, MessageKind kind,
                                 SimTime t) {
-  auto up = fabric_.ToSwitch(Endpoint::Compute(from), kind, t);
   // Plain L2 forwarding through the switch: one pipeline pass, no recirculation.
-  auto down = fabric_.FromSwitch(Endpoint::Compute(to), kind,
-                                 up.arrival + config_.latency.switch_pipeline);
-  return down.arrival;
+  return fabric_.Route(Endpoint::Compute(from), Endpoint::Compute(to), kind, t).arrival;
 }
 
 SimTime GamSystem::FetchFromMemory(uint64_t page, ComputeBladeId to, SimTime t) {
-  const MemoryBladeId m = BackingBlade(page);
   // Full path: requester NIC -> switch -> memory blade -> switch -> requester.
-  auto issue = fabric_.ToSwitch(Endpoint::Compute(to), MessageKind::kRdmaReadRequest, t);
-  auto req = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadRequest,
-                                issue.arrival + config_.latency.switch_pipeline);
-  SimTime s = req.arrival + config_.latency.memory_blade_service;
-  auto up = fabric_.ToSwitch(Endpoint::Memory(m), MessageKind::kRdmaReadResponse, s);
-  auto down = fabric_.FromSwitch(Endpoint::Compute(to), MessageKind::kRdmaReadResponse,
-                                 up.arrival + config_.latency.switch_pipeline);
-  return down.arrival;
+  const auto rtt = fabric_.Rtt(Endpoint::Compute(to), Endpoint::Memory(BackingBlade(page)),
+                               MessageKind::kRdmaReadRequest, MessageKind::kRdmaReadResponse,
+                               t, lat().memory_blade_service);
+  return rtt.complete;
 }
 
 SimTime GamSystem::FlushToMemory(uint64_t page, ComputeBladeId from, SimTime t) {
-  const MemoryBladeId m = BackingBlade(page);
-  auto up = fabric_.ToSwitch(Endpoint::Compute(from), MessageKind::kRdmaWriteRequest, t);
-  auto down = fabric_.FromSwitch(Endpoint::Memory(m), MessageKind::kRdmaWriteRequest,
-                                 up.arrival + config_.latency.switch_pipeline);
-  return down.arrival + config_.latency.memory_blade_service;
+  auto hop = fabric_.Route(Endpoint::Compute(from), Endpoint::Memory(BackingBlade(page)),
+                           MessageKind::kRdmaWriteRequest, t);
+  return hop.arrival + lat().memory_blade_service;
 }
 
 SimTime GamSystem::PsoReadBarrier(ThreadId tid, uint64_t page, SimTime now) {
@@ -99,8 +90,11 @@ SimTime GamSystem::EnterLibrary(ThreadId tid, ComputeBladeId blade, uint64_t pag
     now = PsoReadBarrier(tid, page, now);
   }
   // Library fast path: permission check + lock on *every* access (GAM has no MMU help).
+  // detlint: allow(parallel-serialized-call): this is the per-blade FifoResource library
+  // lock (blade-confined under the group/drain phase discipline), not the fabric's
+  // serialized QueueModel::Acquire — the regex frontend matches by name only.
   const auto grant = blades_[blade].lock.Acquire(now, config_.lock_service);
-  return grant.finish + config_.latency.gam_local_access;
+  return grant.finish + lat().gam_local_access;
 }
 
 // Ownership-aware drain over the GAM hit path (contract notes in gam.h; engine-side
@@ -124,7 +118,7 @@ class GamSystem::OwnerDrain final : public OwnerDrainOps {
            (type == AccessType::kRead || frame->writable);
   }
   MIND_SERIALIZED_PATH [[nodiscard]] SimTime MinEligibleCost() const override {
-    return sys_->config_.lock_service + sys_->config_.latency.gam_local_access;
+    return sys_->config_.lock_service + sys_->lat().gam_local_access;
   }
   MIND_PARALLEL_PHASE AccessResult AccessOwned(int shard, ThreadId tid, ComputeBladeId blade,
                                                VirtAddr va, AccessType type,
@@ -213,10 +207,10 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
               ++counters_.pages_flushed;
             }
           }
-          const SimTime done = landed + config_.latency.gam_local_access;
+          const SimTime done = landed + lat().gam_local_access;
           res.latency = done - req_now;
           res.completion = done;
-          res.breakdown.fault = config_.latency.gam_local_access;
+          res.breakdown.fault = lat().gam_local_access;
           res.breakdown.network = done - req_now > res.breakdown.fault
                                       ? done - req_now - res.breakdown.fault
                                       : 0;
@@ -297,7 +291,7 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
     t = BladeToBlade(blade, home, MessageKind::kRdmaReadRequest, t);
   }
   BladeState& home_state = blades_[home];
-  const auto handler_grant = home_state.handler.Acquire(t, config_.latency.gam_software_handler);
+  const auto handler_grant = home_state.handler.Acquire(t, lat().gam_software_handler);
   t = handler_grant.finish;
 
   DirEntry& dir = home_state.directory[page];
@@ -318,7 +312,7 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
     // Owner flushes the page, sequentially before the fetch.
     SimTime at_owner = BladeToBlade(home, dir.owner, MessageKind::kInvalidation, t);
     (void)blades_[dir.owner].cache->InvalidateRange(page, page + 1);
-    at_owner += config_.latency.invalidation_handler_cpu + config_.latency.page_flush_cpu;
+    at_owner += lat().invalidation_handler_cpu + lat().page_flush_cpu;
     const SimTime flushed = FlushToMemory(page, dir.owner, at_owner);
     ++counters_.invalidations;
     ++counters_.pages_flushed;
@@ -331,11 +325,11 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
       const auto s = static_cast<ComputeBladeId>(LowestSetBit(others));
       others &= others - 1;
       const SimTime at_sharer = BladeToBlade(home, s, MessageKind::kInvalidation, send);
-      send += config_.latency.rdma_message_overhead;  // Sequential software sends.
+      send += lat().rdma_message_overhead;  // Sequential software sends.
       (void)blades_[s].cache->InvalidateRange(page, page + 1);
       ++counters_.invalidations;
       const SimTime ack = BladeToBlade(s, home, MessageKind::kInvalidationAck,
-                                       at_sharer + config_.latency.invalidation_handler_cpu);
+                                       at_sharer + lat().invalidation_handler_cpu);
       inv_done = std::max(inv_done, ack);
     }
     t = std::max(t, inv_done);
@@ -364,7 +358,7 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
   } else {
     data_at = BladeToBlade(home, blade, MessageKind::kRdmaWriteAck, t);
   }
-  const SimTime done = std::max(data_at, inv_done) + config_.latency.gam_local_access;
+  const SimTime done = std::max(data_at, inv_done) + lat().gam_local_access;
 
   // Commit directory.
   if (type == AccessType::kWrite) {
@@ -401,7 +395,7 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
   }
 
   res.completion = done;
-  res.breakdown.fault = config_.latency.gam_local_access;
+  res.breakdown.fault = lat().gam_local_access;
   res.breakdown.network =
       done - req_now > res.breakdown.fault ? done - req_now - res.breakdown.fault : 0;
   counters_.breakdown_sums += res.breakdown;
@@ -414,7 +408,7 @@ MIND_SERIALIZED_PATH AccessResult GamSystem::Access(ThreadId tid, ComputeBladeId
     ev.blade = blade;
     ev.a = va;
     ev.b = res.breakdown.fault;
-    ev.c = res.breakdown.network;
+    ev.c = TracePack32(res.breakdown.network, res.breakdown.fabric_wait);
     trace_->Emit(ev);
   }
 
@@ -535,6 +529,14 @@ void GamSystem::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade,
                                 uint64_t page, SimTime done) {
   prefetch_scratch_.clear();
   engine.Predict(page, &prefetch_scratch_);
+  // Occupancy feedback: skip (and shrink) the window when the trigger page's backing
+  // blade port is already saturated with demand traffic.
+  if (config_.prefetch.fabric_pressure_threshold < 1.0 &&
+      fabric_.Utilization(Endpoint::Memory(BackingBlade(page))) >
+          config_.prefetch.fabric_pressure_threshold) {
+    engine.OnFabricPressure();
+    return;
+  }
   BladeState& local = blades_[blade];
   uint64_t last_issued = page;
   bool issued_any = false;
@@ -561,7 +563,7 @@ void GamSystem::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade,
     }
     BladeState& home_state = blades_[home];
     const auto handler_grant =
-        home_state.handler.Acquire(t, config_.latency.gam_software_handler);
+        home_state.handler.Acquire(t, lat().gam_software_handler);
     t = handler_grant.finish;
     DirEntry& dir = home_state.directory[p];
     if (dir.state == MsiState::kModified && dir.owner != blade) {
@@ -627,7 +629,7 @@ class GamSystem::Channel final : public AccessChannel {
     BladeState& blade = sys_->blades_[blade_];
     DramCache& cache = *blade.cache;
     const SimTime service = sys_->config_.lock_service;
-    const SimTime local_work = sys_->config_.latency.gam_local_access;
+    const SimTime local_work = sys_->lat().gam_local_access;
     stamps_.Clear();
     think_ = think;
     // With one registered thread on the blade, nothing but this channel ever moves the
@@ -762,7 +764,7 @@ class GamSystem::Group final : public ChannelGroup {
                                             SimTime think, Histogram& hist) override {
     BladeState& blade = sys_->blades_[blade_];
     const SimTime service = sys_->config_.lock_service;
-    const SimTime local_work = sys_->config_.latency.gam_local_access;
+    const SimTime local_work = sys_->lat().gam_local_access;
     SimTime busy = blade.lock.busy_until();
     uint64_t jobs = 0;
     SimTime total_wait = 0;

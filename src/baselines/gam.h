@@ -38,6 +38,8 @@ struct GamConfig {
   uint64_t compute_cache_bytes = 512ull * 1024 * 1024;
   uint64_t home_chunk_pages = 512;  // 2 MB home-partition granularity.
   LatencyModel latency;
+  // Fabric queueing discipline (src/net/queue_model.h); default kFifo = historical timing.
+  FabricConfig fabric;
   SimTime lock_service = 150;       // Serialized slice of the per-access library work.
   // Software prefetching in the user-level library: predictions issue behind the blade's
   // FIFO library lock (speculation pays the same serialized entry every access does) and
@@ -99,6 +101,12 @@ class GamSystem final : public MemorySystem {
     return fault_plane_.counters();
   }
 
+  // Interface blocks plus the fabric's counters and per-port occupancy gauges.
+  void CollectMetrics(MetricsRegistry* reg, const std::string& prefix) override {
+    MemorySystem::CollectMetrics(reg, prefix);
+    fabric_.CollectMetrics(reg, prefix + "/fabric");
+  }
+
   // Drains pending prefetch installs and re-armed windows for every blade (the re-arm gap
   // fix; see MemorySystem::AdvanceTo). Called once after the final op in every replay
   // mode, so it is mode-invariant.
@@ -140,6 +148,8 @@ class GamSystem final : public MemorySystem {
     return static_cast<MemoryBladeId>((page / config_.home_chunk_pages) %
                                       static_cast<uint64_t>(config_.num_memory_blades));
   }
+  // The single LatencyModel instance lives in the fabric; this is the constant view.
+  [[nodiscard]] const LatencyModel& lat() const { return fabric_.latency(); }
 
   // One control hop between two compute blades, through the switch (plain forwarding).
   SimTime BladeToBlade(ComputeBladeId from, ComputeBladeId to, MessageKind kind, SimTime t);

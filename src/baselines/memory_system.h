@@ -235,6 +235,7 @@ class MemorySystem {
     reg->SetCounter(prefix + "/breakdown/network_ns", c.breakdown_sums.network);
     reg->SetCounter(prefix + "/breakdown/inv_queue_ns", c.breakdown_sums.inv_queue);
     reg->SetCounter(prefix + "/breakdown/inv_tlb_ns", c.breakdown_sums.inv_tlb);
+    reg->SetCounter(prefix + "/breakdown/fabric_wait_ns", c.breakdown_sums.fabric_wait);
     const FaultCounters f = fault_counters();
     reg->SetCounter(prefix + "/fault/timeouts", f.timeouts);
     reg->SetCounter(prefix + "/fault/retransmissions", f.retransmissions);

@@ -151,6 +151,7 @@ class MindSystem final : public MemorySystem {
     reg->SetCounter(prefix + "/splitting/split_failures", bs.split_failures);
     reg->SetGauge(prefix + "/splitting/last_threshold", bs.last_threshold);
     reg->SetGauge(prefix + "/splitting/current_c", bs.current_c);
+    rack_->fabric().CollectMetrics(reg, prefix + "/fabric");
   }
 
   [[nodiscard]] Rack& rack() { return *rack_; }

@@ -28,20 +28,26 @@ struct LocalOp {
 // The additive latency decomposition of Fig. 7 (right): PgFault covers trap entry and PTE
 // install; Network covers hops, switch pipeline passes, serialization, memory service and
 // directory serialization; Inv-queue and Inv-TLB cover the slowest sharer's handler-queue
-// wait and synchronous TLB shootdown on the invalidation critical path.
+// wait and synchronous TLB shootdown on the invalidation critical path; Fabric-wait
+// covers port/stage queueing on the requester's own hops (the contention component the
+// queue models add — zero on an idle rack, where Network is pure wire + service time).
 struct LatencyBreakdown {
   SimTime fault = 0;
   SimTime network = 0;
   SimTime inv_queue = 0;
   SimTime inv_tlb = 0;
+  SimTime fabric_wait = 0;
 
-  [[nodiscard]] SimTime Total() const { return fault + network + inv_queue + inv_tlb; }
+  [[nodiscard]] SimTime Total() const {
+    return fault + network + inv_queue + inv_tlb + fabric_wait;
+  }
 
   LatencyBreakdown& operator+=(const LatencyBreakdown& o) {
     fault += o.fault;
     network += o.network;
     inv_queue += o.inv_queue;
     inv_tlb += o.inv_tlb;
+    fabric_wait += o.fabric_wait;
     return *this;
   }
 
@@ -54,6 +60,7 @@ struct LatencyBreakdown {
     d.network = network - o.network;
     d.inv_queue = inv_queue - o.inv_queue;
     d.inv_tlb = inv_tlb - o.inv_tlb;
+    d.fabric_wait = fabric_wait - o.fabric_wait;
     return d;
   }
 };

@@ -13,6 +13,7 @@
 #include "src/controlplane/allocator.h"
 #include "src/controlplane/bounded_splitting.h"
 #include "src/fault/fault_plane.h"
+#include "src/net/queue_model.h"
 #include "src/prefetch/prefetch.h"
 #include "src/sim/latency_model.h"
 
@@ -48,6 +49,9 @@ struct RackConfig {
   bool fetch_whole_region = false;
 
   LatencyModel latency;
+  // Fabric queueing discipline (src/net/queue_model.h). The default — kFifo ports,
+  // pass-through switch stages — is bit-identical to the pre-queue-model fabric.
+  FabricConfig fabric;
   BoundedSplittingConfig splitting;
   AllocatorConfig alloc;
   // §4.4 failure handling: loss model, stall windows, blade death, scheduled drains

@@ -11,7 +11,6 @@ namespace mind {
 
 Rack::Rack(RackConfig config)
     : config_(config),
-      lat_(config.latency),
       tcam_capacity_(config.tcam_rules),
       translator_(&tcam_capacity_),
       protection_(&tcam_capacity_),
@@ -20,7 +19,9 @@ Rack::Rack(RackConfig config)
       splitting_(&directory_, config.splitting),
       controller_(&translator_, &protection_, &splitting_, config.num_compute_blades,
                   config.alloc),
-      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency),
+      fabric_(config.num_compute_blades, config.num_memory_blades, config.latency,
+              config.fabric),
+      lat_(fabric_.latency()),
       fault_plane_(config.fault) {
   compute_blades_.reserve(static_cast<size_t>(config.num_compute_blades));
   for (int i = 0; i < config.num_compute_blades; ++i) {
@@ -65,25 +66,25 @@ bool Rack::TranslatePage(VirtAddr va, Translation* out) {
 }
 
 SimTime Rack::FetchPageFromMemory(VirtAddr va, ComputeBladeId requester, SimTime start,
-                                  const PageData** bytes) {
+                                  const PageData** bytes, SimTime* fabric_wait) {
   Translation tr;
   const bool translated = TranslatePage(va, &tr);
   assert(translated && "translation must exist for an allocated vma");
   (void)translated;
   // Switch egress -> memory blade NIC (header-rewritten one-sided RDMA read, §6.3).
-  auto to_mem = fabric_.FromSwitch(Endpoint::Memory(tr.blade), MessageKind::kRdmaReadRequest,
-                                   start);
-  SimTime t = to_mem.arrival + lat_.memory_blade_service;
+  auto to_mem = fabric_.Route(Endpoint::Switch(), Endpoint::Memory(tr.blade),
+                              MessageKind::kRdmaReadRequest, start);
+  const SimTime t = to_mem.arrival + lat_.memory_blade_service;
   const PageData* payload = memory_blades_[tr.blade]->ReadPage(PageNumber(tr.phys_addr));
   if (bytes != nullptr) {
     *bytes = payload;
   }
   // Memory blade -> switch -> requesting compute blade (page payload).
-  auto to_switch = fabric_.ToSwitch(Endpoint::Memory(tr.blade),
-                                    MessageKind::kRdmaReadResponse, t);
-  t = to_switch.arrival + lat_.switch_pipeline;
-  auto to_blade = fabric_.FromSwitch(Endpoint::Compute(requester),
-                                     MessageKind::kRdmaReadResponse, t);
+  auto to_blade = fabric_.Route(Endpoint::Memory(tr.blade), Endpoint::Compute(requester),
+                                MessageKind::kRdmaReadResponse, t);
+  if (fabric_wait != nullptr) {
+    *fabric_wait += to_mem.total_wait() + to_blade.total_wait();
+  }
   return to_blade.arrival;
 }
 
@@ -93,10 +94,9 @@ SimTime Rack::WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* 
   if (!TranslatePage(PageToAddr(page), &tr)) {
     return start;  // vma was unmapped concurrently; drop the write-back.
   }
-  auto h1 = fabric_.ToSwitch(Endpoint::Compute(from), MessageKind::kRdmaWriteRequest, start);
-  SimTime t = h1.arrival + lat_.switch_pipeline;
-  auto h2 = fabric_.FromSwitch(Endpoint::Memory(tr.blade), MessageKind::kRdmaWriteRequest, t);
-  t = h2.arrival + lat_.memory_blade_service;
+  auto hop = fabric_.Route(Endpoint::Compute(from), Endpoint::Memory(tr.blade),
+                           MessageKind::kRdmaWriteRequest, start);
+  const SimTime t = hop.arrival + lat_.memory_blade_service;
   memory_blades_[tr.blade]->WritePage(PageNumber(tr.phys_addr), data);
   return t;
 }
@@ -137,6 +137,25 @@ Rack::InvalidationWave Rack::InvalidateBlades(SharerMask targets, const Director
   const auto deliveries = config_.use_multicast ? fabric_.MulticastInvalidation(targets, t)
                                                 : fabric_.UnicastInvalidations(targets, t);
   stats_.invalidations_sent += deliveries.size();
+  if (trace_ != nullptr) [[unlikely]] {
+    // Wave issue: multicast puts every copy on the wire at once, unicast staggers them —
+    // the span between first and last delivery makes the difference visible in a trace.
+    SimTime first = deliveries.empty() ? t : deliveries.front().delivery.arrival;
+    SimTime last = first;
+    for (const auto& d : deliveries) {
+      first = std::min(first, d.delivery.arrival);
+      last = std::max(last, d.delivery.arrival);
+    }
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kWaveIssue;
+    ev.clock = t;
+    ev.blade = requester != kInvalidComputeBlade ? requester : 0;
+    ev.a = targets;
+    ev.b = deliveries.size();
+    ev.c = config_.use_multicast ? 1 : 0;
+    ev.d = last - first;
+    trace_->Emit(ev);
+  }
   for (const auto& d : deliveries) {
     ComputeBlade& sharer = *compute_blades_[d.blade];
     SimTime arrival = d.delivery.arrival;
@@ -160,15 +179,14 @@ Rack::InvalidationWave Rack::InvalidateBlades(SharerMask targets, const Director
     wave.flush_landed = std::max(wave.flush_landed, flush_land);
 
     // ACK: sharer -> switch -> requesting blade (§4.4: the requester collects ACKs).
-    auto ack_up = fabric_.ToSwitch(Endpoint::Compute(d.blade), MessageKind::kInvalidationAck,
-                                   outcome.done);
-    SimTime ack_at_req = ack_up.arrival + lat_.switch_pipeline;
-    if (requester != kInvalidComputeBlade) {
-      auto ack_down = fabric_.FromSwitch(Endpoint::Compute(requester),
-                                         MessageKind::kInvalidationAck, ack_at_req);
-      ack_at_req = ack_down.arrival;
-    }
-    wave.max_ack_at_requester = std::max(wave.max_ack_at_requester, ack_at_req);
+    // Forced/capacity invalidations have no requester; their ACK terminates in the
+    // switch pipeline (a half-route).
+    const Endpoint ack_dst = requester != kInvalidComputeBlade
+                                 ? Endpoint::Compute(requester)
+                                 : Endpoint::Switch();
+    auto ack = fabric_.Route(Endpoint::Compute(d.blade), ack_dst,
+                             MessageKind::kInvalidationAck, outcome.done);
+    wave.max_ack_at_requester = std::max(wave.max_ack_at_requester, ack.arrival);
     wave.max_queue_wait = std::max(wave.max_queue_wait, outcome.queue_wait);
     wave.max_tlb = std::max(wave.max_tlb, outcome.tlb_time);
   }
@@ -620,21 +638,25 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
   }
   PipelineSlot& pslot = pipeline_[req.tid & (kPipelineSlots - 1)];
 
-  // 2. Page fault: issue a one-sided RDMA request on the *virtual* address to the switch.
+  // 2. Page fault: issue a one-sided RDMA request on the *virtual* address to the switch
+  // (a half-route: the request terminates in the pipeline for translation + protection).
   ++stats_.remote_accesses;
   SimTime t = now + lat_.page_fault_entry;
-  auto to_switch = fabric_.ToSwitch(Endpoint::Compute(req.blade),
-                                    MessageKind::kRdmaReadRequest, t);
+  // Requester-path port/stage queueing, accumulated hop by hop into the Fig. 7 breakdown.
+  SimTime fabric_wait = 0;
+  auto to_switch = fabric_.Route(Endpoint::Compute(req.blade), Endpoint::Switch(),
+                                 MessageKind::kRdmaReadRequest, t);
   const SimTime issued_at = t + lat_.rdma_message_overhead;  // Thread-side post completes.
-  t = to_switch.arrival + lat_.switch_pipeline;  // Ingress parse + translation + protection.
+  t = to_switch.arrival;  // Ingress parse + translation + protection already charged.
+  fabric_wait += to_switch.total_wait();
 
   // 3. Protection check in the match-action pipeline (§4.2). A missing <PDID, vma> entry
   // rejects the request; the blade maps that to EFAULT when no vma covers the address and
   // EACCES when the vma exists but the permission class mismatches.
   if (!protection_.Allows(req.pdid, req.va, req.type)) {
     ++stats_.permission_denials;
-    auto reject = fabric_.FromSwitch(Endpoint::Compute(req.blade), MessageKind::kRdmaWriteAck,
-                                     t);
+    auto reject = fabric_.Route(Endpoint::Switch(), Endpoint::Compute(req.blade),
+                                MessageKind::kRdmaWriteAck, t);
     res.status = controller_.FindVma(req.va) == nullptr
                      ? Status(ErrorCode::kFault, "address not mapped")
                      : Status(ErrorCode::kPermissionDenied);
@@ -679,7 +701,11 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
   res.next_state = row.next_state;
 
   // 5. Transition decision (second MAU) + recirculation to commit the entry (Fig. 4).
-  t += lat_.switch_recirculation;
+  {
+    SimTime recirc_wait = 0;
+    t = fabric_.Recirculate(t, &recirc_wait);
+    fabric_wait += recirc_wait;
+  }
 
   // 6. Invalidations via switch-native multicast with egress pruning (§4.3.2).
   SharerMask targets = 0;
@@ -746,7 +772,8 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
       }
       fetch_start += outcome.latency;
     }
-    data_at_requester = FetchPageFromMemory(req.va, req.blade, fetch_start, &bytes);
+    data_at_requester = FetchPageFromMemory(req.va, req.blade, fetch_start, &bytes,
+                                            &fabric_wait);
     if (config_.fetch_whole_region) {
       // Coupled-granularity ablation (§4.3.1): pull every other page of the region too.
       // The extra transfers serialize on the requester's NIC behind the demanded page.
@@ -763,9 +790,10 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
     }
   } else {
     ++stats_.write_upgrades;
-    auto grant = fabric_.FromSwitch(Endpoint::Compute(req.blade), MessageKind::kRdmaWriteAck,
-                                    t);
+    auto grant = fabric_.Route(Endpoint::Switch(), Endpoint::Compute(req.blade),
+                               MessageKind::kRdmaWriteAck, t);
     data_at_requester = grant.arrival;
+    fabric_wait += grant.total_wait();
   }
 
   const SimTime done =
@@ -831,8 +859,10 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
   res.breakdown.fault = lat_.page_fault_entry + lat_.pte_install;
   res.breakdown.inv_queue = wave.max_queue_wait;
   res.breakdown.inv_tlb = wave.max_tlb;
+  res.breakdown.fabric_wait = fabric_wait;
   const SimTime total = done - req.now;
-  const SimTime accounted = res.breakdown.fault + wave.max_queue_wait + wave.max_tlb;
+  const SimTime accounted =
+      res.breakdown.fault + wave.max_queue_wait + wave.max_tlb + fabric_wait;
   res.breakdown.network = total > accounted ? total - accounted : 0;
   stats_.breakdown_sums += res.breakdown;
 
@@ -856,7 +886,7 @@ MIND_SERIALIZED_PATH AccessResult Rack::Access(const AccessRequest& req) {
     ev.blade = req.blade;
     ev.a = req.va;
     ev.b = res.breakdown.fault;
-    ev.c = res.breakdown.network;
+    ev.c = TracePack32(res.breakdown.network, res.breakdown.fabric_wait);
     ev.d = TracePack32(res.breakdown.inv_queue, res.breakdown.inv_tlb);
     trace_->Emit(ev);
   }
@@ -1032,6 +1062,16 @@ void Rack::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade_id,
   if (prefetch_scratch_.empty()) {
     return;
   }
+  // Occupancy feedback: when the trigger page's home blade port is already saturated with
+  // demand traffic, speculative fetches would only deepen the queue the demand stream is
+  // stuck in. Shrink the window instead of issuing (it regrows on useful touches).
+  if (Translation tr; config_.prefetch.fabric_pressure_threshold < 1.0 &&
+                      TranslatePage(PageToAddr(page), &tr) &&
+                      fabric_.Utilization(Endpoint::Memory(tr.blade)) >
+                          config_.prefetch.fabric_pressure_threshold) {
+    engine.OnFabricPressure();
+    return;
+  }
   BladePrefetchState& bp = blade_prefetch_[blade_id];
   DramCache& cache = compute_blades_[blade_id]->cache();
   uint64_t last_issued = page;
@@ -1074,10 +1114,9 @@ void Rack::IssuePrefetches(PrefetchEngine& engine, ComputeBladeId blade_id,
     entry->sharers |= BladeBit(blade_id);
     // Requester NIC -> switch (pipeline + directory recirculation) -> memory blade ->
     // requester: the demand fetch's exact hops, issued after it and queueing behind it.
-    auto up = fabric_.ToSwitch(Endpoint::Compute(blade_id), MessageKind::kRdmaReadRequest,
-                               t);
-    const SimTime at_switch =
-        up.arrival + lat_.switch_pipeline + lat_.switch_recirculation;
+    auto up = fabric_.Route(Endpoint::Compute(blade_id), Endpoint::Switch(),
+                            MessageKind::kRdmaReadRequest, t, /*recirculate=*/true);
+    const SimTime at_switch = up.arrival;
     const PageData* bytes = nullptr;  // Payload is re-read from memory at install time.
     const SimTime ready =
         FetchPageFromMemory(va, blade_id, at_switch, &bytes) + lat_.pte_install;
@@ -1215,10 +1254,9 @@ Result<SimTime> Rack::MigrateRange(VirtAddr base, uint32_t size_log2, MemoryBlad
     const PageData* bytes = memory_blades_[tr->blade]->ReadPage(PageNumber(tr->phys_addr));
     memory_blades_[dst]->WritePage(PageNumber(dst_pa + (va - base)), bytes);
     // One page crosses the fabric twice (src -> switch -> dst).
-    auto up = fabric_.ToSwitch(Endpoint::Memory(tr->blade), MessageKind::kRdmaReadResponse, t);
-    auto down = fabric_.FromSwitch(Endpoint::Memory(dst), MessageKind::kRdmaWriteRequest,
-                                   up.arrival + lat_.switch_pipeline);
-    t = down.arrival + lat_.memory_blade_service;
+    auto hop = fabric_.Route(Endpoint::Memory(tr->blade), Endpoint::Memory(dst),
+                             MessageKind::kRdmaWriteRequest, t);
+    t = hop.arrival + lat_.memory_blade_service;
   }
   // 3. Flip the translation: the outlier's longest-prefix match now overrides the blade
   //    range for this range only.

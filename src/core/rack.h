@@ -216,6 +216,7 @@ class Rack {
   [[nodiscard]] Controller& controller() { return controller_; }
   [[nodiscard]] BoundedSplitting& bounded_splitting() { return splitting_; }
   [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const Fabric& fabric() const { return fabric_; }
   [[nodiscard]] const AddressTranslator& translator() const { return translator_; }
   [[nodiscard]] const ProtectionTable& protection() const { return protection_; }
   [[nodiscard]] const StateTransitionTable& stt() const { return stt_; }
@@ -260,8 +261,9 @@ class Rack {
 
   // Fetches the page containing `va` from its memory blade towards `requester`. Returns the
   // data-arrival time; `bytes` receives the page payload when data storage is on.
+  // `fabric_wait` (optional) accumulates the fetch's port/stage queueing delay.
   SimTime FetchPageFromMemory(VirtAddr va, ComputeBladeId requester, SimTime start,
-                              const PageData** bytes);
+                              const PageData** bytes, SimTime* fabric_wait = nullptr);
 
   // Writes one page back to its memory blade (flush or eviction), returning landing time.
   SimTime WriteBackPage(ComputeBladeId from, uint64_t page, const PageData* data,
@@ -377,7 +379,6 @@ class Rack {
   bool TranslatePage(VirtAddr va, Translation* out);
 
   RackConfig config_;
-  LatencyModel lat_;
 
   // Data plane.
   TcamCapacity tcam_capacity_;
@@ -390,8 +391,10 @@ class Rack {
   BoundedSplitting splitting_;
   Controller controller_;
 
-  // Fabric + blades.
+  // Fabric + blades. The fabric owns the rack's single LatencyModel; lat_ is a view of it
+  // for the many call sites that only need constants.
   Fabric fabric_;
+  const LatencyModel& lat_;
   FaultPlane fault_plane_;
   std::vector<std::unique_ptr<ComputeBlade>> compute_blades_;
   std::vector<std::unique_ptr<MemoryBlade>> memory_blades_;

@@ -58,10 +58,7 @@ struct RackStats {
     d.transitions_m_stay -= earlier.transitions_m_stay;
     d.transitions_m_to_s -= earlier.transitions_m_to_s;
     d.transitions_m_to_m -= earlier.transitions_m_to_m;
-    d.breakdown_sums.fault -= earlier.breakdown_sums.fault;
-    d.breakdown_sums.network -= earlier.breakdown_sums.network;
-    d.breakdown_sums.inv_queue -= earlier.breakdown_sums.inv_queue;
-    d.breakdown_sums.inv_tlb -= earlier.breakdown_sums.inv_tlb;
+    d.breakdown_sums = breakdown_sums - earlier.breakdown_sums;
     return d;
   }
 };

@@ -1,149 +1,176 @@
-// The rack fabric: dedicated full-duplex links between each blade and the ToR switch.
+// The rack fabric: dedicated full-duplex links between each blade and the ToR switch,
+// with a pluggable queue model (src/net/queue_model.h) on every port direction and on the
+// switch's pipeline/recirculation stages.
 //
 // Every compute and memory blade in the paper's testbed has a dedicated 100 Gbps NIC; the
-// switch's per-port capacity matches. We model each direction of each port as a FIFO resource
-// so concurrent page transfers to the same blade queue behind one another (NIC serialization),
-// while transfers to different blades proceed in parallel — exactly the property MIND's
-// multicast invalidation exploits (§4.3.2).
+// switch's per-port capacity matches. Each direction of each port is one QueueModel, so
+// concurrent page transfers to the same blade queue behind one another (NIC
+// serialization) while transfers to different blades proceed in parallel — exactly the
+// property MIND's multicast invalidation exploits (§4.3.2).
+//
+// The fabric boundary is a single routed call: `Route(from, to, kind, now)` carries a
+// message from one endpoint to another through the switch and returns the per-hop
+// `Delivery` breakdown (egress wait, switch wait, ingress wait, wire time). Either side
+// may be `Endpoint::Switch()` for a half-route — a request that terminates in the switch
+// pipeline (protection check, directory lookup) before continuing, or a message the
+// switch itself originates (invalidation fan-out). Charging rules, chosen so the default
+// kFifo configuration is bit-identical to the historical ToSwitch/FromSwitch +
+// caller-summed constants:
+//
+//   * blade -> switch: sender egress port (serialization + queueing), per-message NIC
+//     overhead + wire propagation, then one pipeline pass (switch_pipeline + stage
+//     queueing; + switch_recirculation when `recirculate` is set).
+//   * switch -> blade: destination ingress port + overhead + propagation. No pipeline
+//     charge — it was paid on switch entry.
+//   * blade -> blade: both of the above composed.
+//
+// `Rtt()` composes the request route, service at the destination and the response route —
+// the 1-RTT fetch shape every system shares, asserted in one place by
+// LatencyModel::OneRttFetch's Fig. 7 calibration.
+//
+// Determinism: all methods here run on MIND_SERIALIZED_PATH code only (the coherence
+// drain / serialized access path); queue models are pure functions of the call stream.
 #ifndef MIND_SRC_NET_FABRIC_H_
 #define MIND_SRC_NET_FABRIC_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/bitops.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/net/message.h"
+#include "src/net/queue_model.h"
 #include "src/sim/latency_model.h"
-#include "src/sim/resource.h"
 
 namespace mind {
 
-// Endpoint of a link: a compute blade, a memory blade, or the switch CPU (control plane).
+class MetricsRegistry;
+
+// Endpoint of a route: a compute blade, a memory blade, the switch CPU (control plane,
+// PCIe-attached) or the switch ASIC itself (pipeline-terminated half-routes).
 struct Endpoint {
-  enum class Kind : uint8_t { kComputeBlade, kMemoryBlade, kSwitchCpu };
+  enum class Kind : uint8_t { kComputeBlade, kMemoryBlade, kSwitchCpu, kSwitch };
   Kind kind = Kind::kComputeBlade;
   uint16_t id = 0;
 
   static Endpoint Compute(ComputeBladeId id) { return {Kind::kComputeBlade, id}; }
   static Endpoint Memory(MemoryBladeId id) { return {Kind::kMemoryBlade, id}; }
   static Endpoint SwitchCpu() { return {Kind::kSwitchCpu, 0}; }
+  static Endpoint Switch() { return {Kind::kSwitch, 0}; }
+
+  [[nodiscard]] bool IsSwitch() const { return kind == Kind::kSwitch; }
 };
 
 class Fabric {
  public:
-  Fabric(int num_compute_blades, int num_memory_blades, const LatencyModel& latency)
-      : latency_(latency),
-        compute_tx_(num_compute_blades),
-        compute_rx_(num_compute_blades),
-        memory_tx_(num_memory_blades),
-        memory_rx_(num_memory_blades) {}
+  // The fabric owns the rack's single LatencyModel instance (every system reads it back
+  // through latency()) and builds one queue model per port direction + the two switch
+  // stages from `config`.
+  Fabric(int num_compute_blades, int num_memory_blades, const LatencyModel& latency,
+         const FabricConfig& config = {});
 
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Per-hop breakdown of one routed message.
   struct Delivery {
-    SimTime arrival;    // When the message is fully received at the destination port.
-    SimTime link_wait;  // Queueing delay on the sender's egress link.
+    SimTime arrival = 0;       // When the message is fully received at the destination.
+    SimTime egress_wait = 0;   // Queueing at the sender's egress port.
+    SimTime switch_wait = 0;   // Queueing at the pipeline/recirculation stage.
+    SimTime ingress_wait = 0;  // Queueing at the destination's ingress port.
+    SimTime wire = 0;          // Serialization + NIC overhead + propagation constants.
+
+    [[nodiscard]] SimTime total_wait() const {
+      return egress_wait + switch_wait + ingress_wait;
+    }
   };
 
-  // Transfer one hop: blade -> switch. Returns when the switch has the message.
-  Delivery ToSwitch(const Endpoint& from, MessageKind kind, SimTime now) {
-    return Transfer(TxOf(from), kind, now);
-  }
+  // Routes one message from `from` to `to` through the switch, starting at `now`.
+  // `recirculate` adds the directory-update recirculation pass on switch entry (§6.3).
+  MIND_SERIALIZED_PATH Delivery Route(const Endpoint& from, const Endpoint& to,
+                                      MessageKind kind, SimTime now,
+                                      bool recirculate = false);
 
-  // Transfer one hop: switch -> blade. Returns when the blade has the message.
-  Delivery FromSwitch(const Endpoint& to, MessageKind kind, SimTime now) {
-    return Transfer(RxOf(to), kind, now);
-  }
+  // A request/response round trip: request route, `service_at_destination` at `to`, then
+  // the response route back. `complete` is when the response fully lands at `from`.
+  struct RttDelivery {
+    Delivery request;
+    Delivery response;
+    SimTime complete = 0;
+  };
+  MIND_SERIALIZED_PATH RttDelivery Rtt(const Endpoint& from, const Endpoint& to,
+                                       MessageKind request_kind, MessageKind response_kind,
+                                       SimTime now, SimTime service_at_destination,
+                                       bool recirculate = false);
+
+  // An extra recirculation pass for a message already inside the pipeline (the Fig. 4
+  // directory-update pass when it is paid separately from switch entry). Returns when
+  // the pass completes; `wait` (optional) receives the stage queueing delay.
+  MIND_SERIALIZED_PATH SimTime Recirculate(SimTime now, SimTime* wait = nullptr);
 
   // Multicast an invalidation from the switch to every compute blade whose bit is set in
   // `sharers`. The switch replicates the packet in the traffic manager; copies traverse
-  // distinct egress ports in parallel. Copies for ports not leading to a sharer are dropped
-  // in the egress pipeline (§4.3.2), consuming no link bandwidth. Returns per-sharer
-  // deliveries in blade order alongside the ids.
+  // distinct egress ports in parallel. Copies for ports not leading to a sharer are
+  // dropped in the egress pipeline (§4.3.2), consuming no link bandwidth. Returns
+  // per-sharer deliveries in blade order alongside the ids.
   struct MulticastDelivery {
     ComputeBladeId blade;
     Delivery delivery;
   };
-  std::vector<MulticastDelivery> MulticastInvalidation(SharerMask sharers, SimTime now) {
-    std::vector<MulticastDelivery> out;
-    SharerMask remaining = sharers;
-    while (remaining != 0) {
-      const auto blade = static_cast<ComputeBladeId>(LowestSetBit(remaining));
-      remaining &= remaining - 1;
-      out.push_back({blade, FromSwitch(Endpoint::Compute(blade), MessageKind::kInvalidation,
-                                       now)});
-      ++invalidations_sent_;
-    }
-    ++multicast_operations_;
-    return out;
-  }
+  MIND_SERIALIZED_PATH std::vector<MulticastDelivery> MulticastInvalidation(
+      SharerMask sharers, SimTime now);
 
-  // Unicast equivalent (ablation baseline): the sender issues one invalidation after another,
-  // paying per-message serialization sequentially at its own port before fan-out.
-  std::vector<MulticastDelivery> UnicastInvalidations(SharerMask sharers, SimTime now) {
-    std::vector<MulticastDelivery> out;
-    SimTime send_time = now;
-    SharerMask remaining = sharers;
-    while (remaining != 0) {
-      const auto blade = static_cast<ComputeBladeId>(LowestSetBit(remaining));
-      remaining &= remaining - 1;
-      // Sequential issue: each message occupies the sender CPU/NIC before the next.
-      send_time += latency_.rdma_message_overhead +
-                   latency_.Serialize(latency_.control_message_bytes);
-      out.push_back({blade, FromSwitch(Endpoint::Compute(blade), MessageKind::kInvalidation,
-                                       send_time)});
-      ++invalidations_sent_;
-    }
-    return out;
-  }
+  // Unicast equivalent (ablation baseline): the sender issues one invalidation after
+  // another, paying per-message serialization sequentially at its own port before fan-out.
+  MIND_SERIALIZED_PATH std::vector<MulticastDelivery> UnicastInvalidations(
+      SharerMask sharers, SimTime now);
+
+  // Windowed demand utilization of an endpoint's port, in [0, 1]: the max over its two
+  // directions (a fetch loads the rx side with requests and the tx side with page
+  // responses). The occupancy-feedback signal for prefetch throttling.
+  [[nodiscard]] double Utilization(const Endpoint& e) const;
+
+  // Publishes fabric counters and per-port/per-stage gauges under `prefix`:
+  //   <prefix>/invalidations_sent, <prefix>/multicast_operations,
+  //   <prefix>/port/<name>/{utilization,depth,wait_ns,jobs},
+  //   <prefix>/switch/{pipeline,recirculation}/{utilization,depth,wait_ns,jobs}.
+  void CollectMetrics(MetricsRegistry* reg, const std::string& prefix) const;
 
   [[nodiscard]] uint64_t invalidations_sent() const { return invalidations_sent_; }
   [[nodiscard]] uint64_t multicast_operations() const { return multicast_operations_; }
   [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
 
   [[nodiscard]] int num_compute_blades() const { return static_cast<int>(compute_tx_.size()); }
   [[nodiscard]] int num_memory_blades() const { return static_cast<int>(memory_tx_.size()); }
 
  private:
-  Delivery Transfer(FifoResource& link, MessageKind kind, SimTime now) {
-    const uint64_t bytes =
-        CarriesPage(kind) ? latency_.page_payload_bytes : latency_.control_message_bytes;
-    // The link serializes wire bytes only; per-message NIC processing (doorbells, CQEs)
-    // pipelines with other messages, so it adds latency without occupying the link.
-    const auto grant = link.Acquire(now, latency_.Serialize(bytes));
-    return Delivery{grant.finish + latency_.rdma_message_overhead + latency_.link_propagation,
-                    grant.wait};
+  [[nodiscard]] uint64_t PayloadBytes(MessageKind kind) const {
+    return CarriesPage(kind) ? latency_.page_payload_bytes : latency_.control_message_bytes;
+  }
+  // Service time a message occupies a pipeline stage for under a contending model: the
+  // ASIC's aggregate pipeline bandwidth is ~4x one port's line rate, so a stage pass
+  // costs a quarter of the wire serialization (docs/fabric.md). Pass-through (kFifo)
+  // stages record this as demand without waiting.
+  [[nodiscard]] SimTime StageService(uint64_t bytes) const {
+    return latency_.Serialize(bytes) / 4;
   }
 
-  FifoResource& TxOf(const Endpoint& e) {
-    switch (e.kind) {
-      case Endpoint::Kind::kComputeBlade:
-        return compute_tx_[e.id];
-      case Endpoint::Kind::kMemoryBlade:
-        return memory_tx_[e.id];
-      case Endpoint::Kind::kSwitchCpu:
-        return switch_cpu_link_;
-    }
-    return switch_cpu_link_;
-  }
-
-  FifoResource& RxOf(const Endpoint& e) {
-    switch (e.kind) {
-      case Endpoint::Kind::kComputeBlade:
-        return compute_rx_[e.id];
-      case Endpoint::Kind::kMemoryBlade:
-        return memory_rx_[e.id];
-      case Endpoint::Kind::kSwitchCpu:
-        return switch_cpu_link_;
-    }
-    return switch_cpu_link_;
-  }
+  QueueModel& TxOf(const Endpoint& e);
+  QueueModel& RxOf(const Endpoint& e);
 
   LatencyModel latency_;
-  std::vector<FifoResource> compute_tx_;  // blade -> switch, per compute blade.
-  std::vector<FifoResource> compute_rx_;  // switch -> blade.
-  std::vector<FifoResource> memory_tx_;
-  std::vector<FifoResource> memory_rx_;
-  FifoResource switch_cpu_link_;          // PCIe path to the switch CPU (control plane).
+  FabricConfig config_;
+  std::vector<std::unique_ptr<QueueModel>> compute_tx_;  // blade -> switch, per blade.
+  std::vector<std::unique_ptr<QueueModel>> compute_rx_;  // switch -> blade.
+  std::vector<std::unique_ptr<QueueModel>> memory_tx_;
+  std::vector<std::unique_ptr<QueueModel>> memory_rx_;
+  std::unique_ptr<QueueModel> switch_cpu_link_;  // PCIe path to the switch CPU.
+  std::unique_ptr<QueueModel> pipeline_stage_;
+  std::unique_ptr<QueueModel> recirc_stage_;
   uint64_t invalidations_sent_ = 0;
   uint64_t multicast_operations_ = 0;
 };

@@ -37,7 +37,7 @@ namespace mind {
 
 enum class TraceEventKind : uint8_t {
   // --- Semantic events (serialized-path origin; in the deterministic digest) ---
-  kAccessSpan = 1,        // a=va, b=breakdown.fault, c=breakdown.network,
+  kAccessSpan = 1,        // a=va, b=breakdown.fault, c=pack32(network, fabric_wait),
                           // d=pack32(inv_queue, inv_tlb); dur=thread-visible latency.
   kInvalidationWave = 2,  // a=wave_base, b=wave_end, c=pack32(targets, flushed),
                           // d=pack32(false_invalidations, clean_drops); dur=wave span.
@@ -52,10 +52,12 @@ enum class TraceEventKind : uint8_t {
   kPrefetchIssue = 11,    // a=trigger page, b=predictions issued in this batch.
   kPrefetchUseful = 12,   // a=page (arrived/in-flight prefetch served a demand miss).
   kPrefetchDiscard = 13,  // a=page, b=reason (0=stale-on-install, 1=stale-on-join).
+  kWaveIssue = 14,        // a=sharer mask, b=deliveries, c=1 multicast / 0 unicast,
+                          // d=issue span (first to last copy on the wire).
   // --- Execution events (engine scheduling; excluded from the digest) ---
-  kChannelCommit = 14,    // a=ops committed, b=shard; clock=commit horizon.
-  kGroupCommit = 15,      // a=ops committed, b=lanes; blade=group blade.
-  kDrainPhase = 16,       // a=ops retired in the owner-parallel phase, b=H_safe.
+  kChannelCommit = 15,    // a=ops committed, b=shard; clock=commit horizon.
+  kGroupCommit = 16,      // a=ops committed, b=lanes; blade=group blade.
+  kDrainPhase = 17,       // a=ops retired in the owner-parallel phase, b=H_safe.
 };
 
 // Execution events are a suffix of the kind space; everything below is semantic.

@@ -80,6 +80,9 @@ struct PrefetchConfig {
   uint32_t initial_window = 8;
   uint32_t max_window = 64;      // ...and ceiling.
   uint32_t max_in_flight = 128;  // Bounded in-flight prefetch queue per engine.
+  // Occupancy feedback: skip a prefetch window (and shrink) when the target memory
+  // blade's fabric-port utilization exceeds this fraction. >= 1.0 disables the throttle.
+  double fabric_pressure_threshold = 0.75;
 
   [[nodiscard]] bool enabled() const { return policy != PrefetchPolicy::kNone; }
 };
@@ -92,6 +95,7 @@ struct PrefetchStats {
   uint64_t evicted_unused = 0;   // Installed but evicted/invalidated before any use.
   uint64_t discarded_stale = 0;  // In-flight fetch invalidated before arrival.
   uint64_t rearmed = 0;          // Windows re-armed by touches past the issued midpoint.
+  uint64_t throttled = 0;        // Windows skipped by fabric occupancy feedback.
 
   void Merge(const PrefetchStats& o) {
     issued += o.issued;
@@ -100,6 +104,7 @@ struct PrefetchStats {
     evicted_unused += o.evicted_unused;
     discarded_stale += o.discarded_stale;
     rearmed += o.rearmed;
+    throttled += o.throttled;
   }
 
   [[nodiscard]] PrefetchStats DeltaSince(const PrefetchStats& before) const {
@@ -110,6 +115,7 @@ struct PrefetchStats {
     d.evicted_unused = evicted_unused - before.evicted_unused;
     d.discarded_stale = discarded_stale - before.discarded_stale;
     d.rearmed = rearmed - before.rearmed;
+    d.throttled = throttled - before.throttled;
     return d;
   }
 
@@ -235,6 +241,12 @@ class PrefetchEngine {
   // Installed page left the cache without ever being touched.
   void OnEvictedUnused() {
     ++stats_.evicted_unused;
+    Shrink();
+  }
+  // The target blade's fabric port crossed the occupancy threshold: the window was
+  // skipped outright (speculation must not deepen a queue demand traffic is stuck in).
+  void OnFabricPressure() {
+    ++stats_.throttled;
     Shrink();
   }
 

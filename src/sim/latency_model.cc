@@ -1,0 +1,18 @@
+#include "src/sim/latency_model.h"
+
+#include "src/net/fabric.h"
+
+namespace mind {
+
+SimTime LatencyModel::OneRttFetch() const {
+  // An idle 1x1 fabric with the default (kFifo) queue models reproduces the calibration
+  // constants exactly: zero queueing, only wire + pipeline + service terms.
+  Fabric idle(/*num_compute_blades=*/1, /*num_memory_blades=*/1, *this);
+  const auto rtt =
+      idle.Rtt(Endpoint::Compute(0), Endpoint::Memory(0), MessageKind::kRdmaReadRequest,
+               MessageKind::kRdmaReadResponse, /*now=*/0, memory_blade_service,
+               /*recirculate=*/true);
+  return page_fault_entry + rtt.complete + pte_install;
+}
+
+}  // namespace mind

@@ -1236,12 +1236,15 @@ void ReplayReport::FillRegistry(MetricsRegistry* reg, const std::string& prefix)
   reg->SetCounter(prefix + "/breakdown/network_ns", counters.breakdown_sums.network);
   reg->SetCounter(prefix + "/breakdown/inv_queue_ns", counters.breakdown_sums.inv_queue);
   reg->SetCounter(prefix + "/breakdown/inv_tlb_ns", counters.breakdown_sums.inv_tlb);
+  reg->SetCounter(prefix + "/breakdown/fabric_wait_ns",
+                  counters.breakdown_sums.fabric_wait);
   reg->SetCounter(prefix + "/prefetch/issued", prefetch.issued);
   reg->SetCounter(prefix + "/prefetch/useful", prefetch.useful);
   reg->SetCounter(prefix + "/prefetch/late", prefetch.late);
   reg->SetCounter(prefix + "/prefetch/evicted_unused", prefetch.evicted_unused);
   reg->SetCounter(prefix + "/prefetch/discarded_stale", prefetch.discarded_stale);
   reg->SetCounter(prefix + "/prefetch/rearmed", prefetch.rearmed);
+  reg->SetCounter(prefix + "/prefetch/throttled", prefetch.throttled);
   reg->SetGauge(prefix + "/prefetch/coverage", PrefetchCoverage());
   reg->SetCounter(prefix + "/fault/timeouts", fault.timeouts);
   reg->SetCounter(prefix + "/fault/retransmissions", fault.retransmissions);

@@ -21,39 +21,118 @@ TEST(Message, PagePayloadClassification) {
 
 TEST(Fabric, ControlTransferTiming) {
   Fabric f(2, 2, Lat());
-  const auto d = f.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadRequest, 0);
-  // overhead(300) + serialize(64B ~ 5ns) + propagation(1000).
-  EXPECT_NEAR(static_cast<double>(d.arrival), 1305.0, 10.0);
-  EXPECT_EQ(d.link_wait, 0u);
+  // Blade -> switch half-route on an idle fabric:
+  // serialize(64B ~ 5ns) + overhead(300) + propagation(1000) + pipeline(400).
+  const auto d = f.Route(Endpoint::Compute(0), Endpoint::Switch(),
+                         MessageKind::kRdmaReadRequest, 0);
+  EXPECT_NEAR(static_cast<double>(d.arrival), 1705.0, 10.0);
+  EXPECT_EQ(d.total_wait(), 0u);
+  // Switch -> blade half-route pays no pipeline (charged on switch entry).
+  const auto down =
+      f.Route(Endpoint::Switch(), Endpoint::Compute(1), MessageKind::kInvalidation, 0);
+  EXPECT_NEAR(static_cast<double>(down.arrival), 1305.0, 10.0);
 }
 
 TEST(Fabric, PageTransferSlowerThanControl) {
   Fabric f(2, 2, Lat());
-  const auto ctrl = f.FromSwitch(Endpoint::Compute(0), MessageKind::kInvalidation, 0);
-  const auto page = f.FromSwitch(Endpoint::Compute(1), MessageKind::kRdmaReadResponse, 0);
+  const auto ctrl =
+      f.Route(Endpoint::Switch(), Endpoint::Compute(0), MessageKind::kInvalidation, 0);
+  const auto page =
+      f.Route(Endpoint::Switch(), Endpoint::Compute(1), MessageKind::kRdmaReadResponse, 0);
   EXPECT_GT(page.arrival, ctrl.arrival);
 }
 
 TEST(Fabric, SameLinkSerializes) {
   Fabric f(2, 2, Lat());
-  const auto d1 = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
-  const auto d2 = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
+  const auto d1 =
+      f.Route(Endpoint::Switch(), Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
+  const auto d2 =
+      f.Route(Endpoint::Switch(), Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
   EXPECT_GT(d2.arrival, d1.arrival);
-  EXPECT_GT(d2.link_wait, 0u);
+  EXPECT_GT(d2.ingress_wait, 0u);
+  EXPECT_EQ(d2.total_wait(), d2.ingress_wait + d2.egress_wait + d2.switch_wait);
 }
 
 TEST(Fabric, DistinctBladesParallel) {
   Fabric f(2, 2, Lat());
-  const auto d1 = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
-  const auto d2 = f.FromSwitch(Endpoint::Compute(1), MessageKind::kRdmaReadResponse, 0);
-  EXPECT_EQ(d1.arrival, d2.arrival);  // Independent egress ports.
+  const auto d1 =
+      f.Route(Endpoint::Switch(), Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
+  const auto d2 =
+      f.Route(Endpoint::Switch(), Endpoint::Compute(1), MessageKind::kRdmaReadResponse, 0);
+  EXPECT_EQ(d1.arrival, d2.arrival);  // Independent ingress ports.
 }
 
 TEST(Fabric, TxAndRxAreFullDuplex) {
+  Fabric busy(1, 1, Lat());
+  const auto up = busy.Route(Endpoint::Compute(0), Endpoint::Switch(),
+                             MessageKind::kRdmaWriteRequest, 0);
+  const auto down = busy.Route(Endpoint::Switch(), Endpoint::Compute(0),
+                               MessageKind::kRdmaReadResponse, 0);
+  // No shared queue between directions: the prior tx send leaves the rx path idle.
+  EXPECT_EQ(up.total_wait(), 0u);
+  EXPECT_EQ(down.total_wait(), 0u);
+  Fabric idle(1, 1, Lat());
+  const auto down_idle = idle.Route(Endpoint::Switch(), Endpoint::Compute(0),
+                                    MessageKind::kRdmaReadResponse, 0);
+  EXPECT_EQ(down.arrival, down_idle.arrival);
+}
+
+TEST(Fabric, FullRouteComposesHalfRoutes) {
+  // Blade -> blade routing must decompose into the two half-routes exactly (kFifo).
+  Fabric whole(2, 2, Lat());
+  Fabric halves(2, 2, Lat());
+  const auto full = whole.Route(Endpoint::Compute(0), Endpoint::Memory(1),
+                                MessageKind::kRdmaWriteRequest, 17);
+  const auto up = halves.Route(Endpoint::Compute(0), Endpoint::Switch(),
+                               MessageKind::kRdmaWriteRequest, 17);
+  const auto down = halves.Route(Endpoint::Switch(), Endpoint::Memory(1),
+                                 MessageKind::kRdmaWriteRequest, up.arrival);
+  EXPECT_EQ(full.arrival, down.arrival);
+}
+
+TEST(Fabric, RttComposesRequestServiceResponse) {
   Fabric f(1, 1, Lat());
-  const auto up = f.ToSwitch(Endpoint::Compute(0), MessageKind::kRdmaWriteRequest, 0);
-  const auto down = f.FromSwitch(Endpoint::Compute(0), MessageKind::kRdmaReadResponse, 0);
-  EXPECT_EQ(up.arrival, down.arrival);  // No shared queue between directions.
+  Fabric ref(1, 1, Lat());
+  const SimTime service = Lat().memory_blade_service;
+  const auto rtt =
+      f.Rtt(Endpoint::Compute(0), Endpoint::Memory(0), MessageKind::kRdmaReadRequest,
+            MessageKind::kRdmaReadResponse, 0, service);
+  const auto req = ref.Route(Endpoint::Compute(0), Endpoint::Memory(0),
+                             MessageKind::kRdmaReadRequest, 0);
+  const auto resp = ref.Route(Endpoint::Memory(0), Endpoint::Compute(0),
+                              MessageKind::kRdmaReadResponse, req.arrival + service);
+  EXPECT_EQ(rtt.request.arrival, req.arrival);
+  EXPECT_EQ(rtt.complete, resp.arrival);
+  EXPECT_EQ(rtt.response.arrival, rtt.complete);
+}
+
+TEST(Fabric, RecirculationChargesExtraStage) {
+  Fabric f(1, 1, Lat());
+  SimTime wait = 123;  // Must be overwritten, not accumulated.
+  const SimTime out = f.Recirculate(5000, &wait);
+  EXPECT_EQ(out, 5000 + Lat().switch_recirculation);
+  EXPECT_EQ(wait, 0u);  // Pass-through stage under kFifo.
+}
+
+TEST(Fabric, OneRttFetchCalibrationIsRouted) {
+  // Fig. 7 anchor: the routed idle RTT must stay within the paper's ~9.1us band.
+  const SimTime fetch = Lat().OneRttFetch();
+  EXPECT_GE(fetch, 8000u);
+  EXPECT_LE(fetch, 9500u);
+}
+
+TEST(Fabric, UtilizationRisesWithLoad) {
+  FabricConfig cfg;
+  cfg.queue_model = QueueModelKind::kWindowedMG1;
+  Fabric f(2, 2, Lat(), cfg);
+  EXPECT_EQ(f.Utilization(Endpoint::Memory(0)), 0.0);
+  for (int i = 0; i < 64; ++i) {
+    (void)f.Route(Endpoint::Switch(), Endpoint::Memory(0),
+                  MessageKind::kRdmaReadResponse, 0);
+  }
+  EXPECT_GT(f.Utilization(Endpoint::Memory(0)), 0.0);
+  EXPECT_LE(f.Utilization(Endpoint::Memory(0)), 1.0);
+  EXPECT_EQ(f.Utilization(Endpoint::Memory(1)), 0.0);  // Other ports untouched.
 }
 
 TEST(Fabric, MulticastReachesExactlySharers) {
